@@ -1,0 +1,70 @@
+// Command circgen generates synthetic coupled benchmark circuits in
+// the text netlist format: either one of the paper's ten benchmarks
+// (i1..i10) or a custom size.
+//
+// Usage:
+//
+//	circgen -bench i3 -o i3.ckt
+//	circgen -gates 500 -couplings 2000 -seed 7 -o big.ckt
+//	circgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"topkagg"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "paper benchmark name (i1..i10)")
+		gates     = flag.Int("gates", 100, "gate count for a custom circuit")
+		couplings = flag.Int("couplings", 300, "coupling-capacitor count for a custom circuit")
+		seed      = flag.Int64("seed", 1, "generator seed for a custom circuit")
+		name      = flag.String("name", "custom", "circuit name for a custom circuit")
+		out       = flag.String("o", "", "output file (default stdout)")
+		list      = flag.Bool("list", false, "list the paper benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("name  gates  couplings  (paper nets)")
+		for _, s := range topkagg.Benchmarks() {
+			fmt.Printf("%-5s %5d  %9d  %d\n", s.Name, s.Gates, s.Couplings, s.PaperNets)
+		}
+		return
+	}
+
+	var (
+		c   *topkagg.Circuit
+		err error
+	)
+	if *bench != "" {
+		c, err = topkagg.GenerateBenchmark(*bench)
+	} else {
+		c, err = topkagg.Generate(topkagg.Spec{
+			Name: *name, Gates: *gates, Couplings: *couplings, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := topkagg.WriteNetlist(w, c); err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command experiments regenerates the paper's evaluation: Table 1
+// (brute force vs proposed), Tables 2(a)/2(b) (delay and runtime vs k
+// over benchmarks i1..i10) and Figure 10 (delay convergence curves).
+//
+// Usage:
+//
+//	experiments -exp all -quick          # reduced sizes, finishes fast
+//	experiments -exp table2a            # the full paper layout
+//	experiments -exp fig10 -csv > f.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"topkagg/internal/exp"
+	"topkagg/internal/gen"
+	"topkagg/internal/report"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment: table1, table2a, table2b, fig10, filterstats, coverage, seeds or all")
+		quick = flag.Bool("quick", false, "reduced circuits and k values (seconds instead of many minutes)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		bfsec = flag.Int("bf-budget", 0, "brute-force budget per cardinality in seconds (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{}
+	if *quick {
+		cfg = exp.Quick()
+	}
+	if *bfsec > 0 {
+		cfg.BFBudget = time.Duration(*bfsec) * time.Second
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			t, err := exp.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "table2a":
+			t, err := exp.Table2(cfg, exp.Addition)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "table2b":
+			t, err := exp.Table2(cfg, exp.Elimination)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "seeds":
+			// i1-shaped circuits under five generator seeds.
+			t, err := exp.SeedRobustness(gen.Spec{Name: "i1-seed", Gates: 59, Couplings: 232}, nil, 10)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "coverage":
+			t, err := exp.Coverage(cfg, 0.2, 100)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "filterstats":
+			t, err := exp.FilterStats(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig10":
+			series, err := exp.Fig10(cfg)
+			if err != nil {
+				return err
+			}
+			emit(report.SeriesTable("Figure 10: circuit delay vs k", "k", series))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = []string{"table1", "table2a", "table2b", "fig10"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Command topk runs top-k aggressor analysis on a circuit: either the
+// addition set (which k couplings would add the most delay to
+// noiseless timing) or the elimination set (which k couplings to fix
+// for the largest delay recovery).
+//
+// Circuits load from the native netlist format, from gate-level
+// Verilog plus SPEF parasitics, or from the built-in benchmark
+// generator:
+//
+//	topk -netlist design.ckt -k 10 -mode elim
+//	topk -verilog design.v -spef design.spef -k 10 -mode elim
+//	topk -bench i2 -k 20 -mode add -curve -report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"topkagg"
+)
+
+func main() {
+	var (
+		path    = flag.String("netlist", "", "circuit netlist file (native format)")
+		vpath   = flag.String("verilog", "", "gate-level Verilog netlist file")
+		spath   = flag.String("spef", "", "SPEF parasitics file (with -verilog)")
+		bench   = flag.String("bench", "", "paper benchmark name instead of a file")
+		libPath = flag.String("lib", "", "Liberty (.lib) cell library (default: built-in synthetic library)")
+		k       = flag.Int("k", 10, "set cardinality")
+		mode    = flag.String("mode", "add", "add (addition set) or elim (elimination set)")
+		exact   = flag.Bool("exact", false, "disable all pruning caps (small circuits only)")
+		curve   = flag.Bool("curve", false, "print the full per-cardinality delay curve")
+		report  = flag.Bool("report", false, "print the noisy critical-path report")
+		prefilt = flag.Bool("filter", false, "report false-aggressor classification before the analysis")
+		plot    = flag.String("plot", "", "net name: plot its transition, noise envelope and noisy waveform")
+		netName = flag.String("net", "", "net name: analyze this net's arrival instead of the circuit outputs")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	lib, err := loadLibrary(*libPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk:", err)
+		os.Exit(1)
+	}
+	c, err := loadCircuit(lib, *path, *vpath, *spath, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk:", err)
+		os.Exit(1)
+	}
+	m := topkagg.NewModel(c)
+	opt := topkagg.Options{}
+	if *exact {
+		opt = topkagg.ExactOptions()
+	}
+
+	if *prefilt {
+		fr, err := topkagg.FalseAggressors(m, topkagg.FilterOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topk:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("false-aggressor filter: %d of %d couplings removable; false directions: %d early, %d late, %d unobservable, %d sub-threshold\n\n",
+			len(fr.False), c.NumCouplings(),
+			fr.EarlyFiltered, fr.LateFiltered, fr.UnobservableFiltered, fr.MagnitudeFiltered)
+	}
+
+	var target topkagg.NetID = -1
+	if *netName != "" {
+		id, ok := c.NetByName(*netName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "topk: no net %q\n", *netName)
+			os.Exit(1)
+		}
+		target = id
+	}
+	var res *topkagg.Result
+	switch {
+	case *mode == "add" && target >= 0:
+		res, err = topkagg.TopKAdditionAt(m, target, *k, opt)
+	case *mode == "add":
+		res, err = topkagg.TopKAddition(m, *k, opt)
+	case *mode == "elim" && target >= 0:
+		res, err = topkagg.TopKEliminationAt(m, target, *k, opt)
+	case *mode == "elim":
+		res, err = topkagg.TopKElimination(m, *k, opt)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want add or elim)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := emitJSON(os.Stdout, c, *mode, res); err != nil {
+			fmt.Fprintln(os.Stderr, "topk:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("circuit %s: %d gates, %d couplings, %d victim nets analyzed\n",
+		c.Name, c.NumGates(), c.NumCouplings(), res.Victims)
+	scope := "circuit"
+	if *netName != "" {
+		scope = "net " + *netName
+	}
+	fmt.Printf("%s: noiseless arrival %.4f ns, all-aggressor arrival %.4f ns\n", scope, res.BaseDelay, res.AllDelay)
+	fmt.Printf("enumeration time %s\n", res.Elapsed)
+	if len(res.PerK) == 0 {
+		fmt.Println("no aggressor sets found (no couplings affect the analyzed paths)")
+		return
+	}
+	if *curve {
+		fmt.Println("\nk  delay(ns)  set")
+		for i, s := range res.PerK {
+			fmt.Printf("%-2d %.4f", i+1, s.Delay)
+			fmt.Printf("  %v\n", s.IDs)
+		}
+	}
+	top := res.Top()
+	fmt.Printf("\ntop-%d %s set (delay %.4f ns):\n", len(top.IDs), *mode, top.Delay)
+	for _, id := range top.IDs {
+		fmt.Printf("  %s\n", topkagg.CouplingString(c, id))
+	}
+
+	if *report || *plot != "" {
+		an, err := m.Run(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topk:", err)
+			os.Exit(1)
+		}
+		if *report {
+			fmt.Println()
+			fmt.Print(topkagg.CriticalReport(an))
+		}
+		if *plot != "" {
+			id, ok := c.NetByName(*plot)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "topk: no net %q\n", *plot)
+				os.Exit(1)
+			}
+			fmt.Println()
+			fmt.Print(topkagg.NoisePlot(an, m, id))
+		}
+	}
+}
+
+// jsonResult is the machine-readable output shape of -json.
+type jsonResult struct {
+	Circuit   string     `json:"circuit"`
+	Mode      string     `json:"mode"`
+	Gates     int        `json:"gates"`
+	Couplings int        `json:"couplings"`
+	BaseDelay float64    `json:"baseDelayNs"`
+	AllDelay  float64    `json:"allDelayNs"`
+	ElapsedNs int64      `json:"enumerationNs"`
+	PerK      []jsonPerK `json:"perK"`
+}
+
+type jsonPerK struct {
+	K         int          `json:"k"`
+	DelayNs   float64      `json:"delayNs"`
+	Couplings []jsonCouple `json:"couplings"`
+}
+
+type jsonCouple struct {
+	ID   int     `json:"id"`
+	NetA string  `json:"netA"`
+	NetB string  `json:"netB"`
+	CcFF float64 `json:"ccFF"`
+}
+
+func emitJSON(w io.Writer, c *topkagg.Circuit, mode string, res *topkagg.Result) error {
+	out := jsonResult{
+		Circuit:   c.Name,
+		Mode:      mode,
+		Gates:     c.NumGates(),
+		Couplings: c.NumCouplings(),
+		BaseDelay: res.BaseDelay,
+		AllDelay:  res.AllDelay,
+		ElapsedNs: res.Elapsed.Nanoseconds(),
+	}
+	for i, s := range res.PerK {
+		pk := jsonPerK{K: i + 1, DelayNs: s.Delay}
+		for _, id := range s.IDs {
+			cp := c.Coupling(id)
+			pk.Couplings = append(pk.Couplings, jsonCouple{
+				ID:   int(id),
+				NetA: c.Net(cp.A).Name,
+				NetB: c.Net(cp.B).Name,
+				CcFF: cp.Cc,
+			})
+		}
+		out.PerK = append(out.PerK, pk)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func loadLibrary(path string) (*topkagg.Library, error) {
+	if path == "" {
+		return topkagg.DefaultLibrary(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topkagg.ParseLiberty(f)
+}
+
+func loadCircuit(lib *topkagg.Library, path, vpath, spath, bench string) (*topkagg.Circuit, error) {
+	sources := 0
+	for _, s := range []string{path, vpath, bench} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of -netlist, -verilog or -bench is required")
+	}
+	switch {
+	case path != "":
+		if spath != "" {
+			return nil, fmt.Errorf("-spef pairs with -verilog, not -netlist")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topkagg.ParseNetlistWith(f, lib)
+	case vpath != "":
+		f, err := os.Open(vpath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := topkagg.ParseVerilogWith(f, lib)
+		if err != nil {
+			return nil, err
+		}
+		if spath != "" {
+			sf, err := os.Open(spath)
+			if err != nil {
+				return nil, err
+			}
+			defer sf.Close()
+			if err := topkagg.ApplySPEF(sf, c); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	default:
+		return topkagg.GenerateBenchmark(bench)
+	}
+}

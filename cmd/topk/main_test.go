@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topkagg"
+)
+
+func TestLoadCircuitValidation(t *testing.T) {
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", "", "", ""); err == nil {
+		t.Fatal("must require a source")
+	}
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "x.ckt", "", "", "i1"); err == nil {
+		t.Fatal("must reject multiple sources")
+	}
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "x.ckt", "", "x.spef", ""); err == nil {
+		t.Fatal("-spef must pair with -verilog")
+	}
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", "", "", "i1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", "", "", "nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestLoadCircuitFromNetlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckt")
+	src := "circuit c\noutput y\ngate g1 INV_X1 a -> y\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit(topkagg.DefaultLibrary(), path, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c" {
+		t.Fatalf("name = %q", c.Name)
+	}
+}
+
+func TestLoadCircuitFromVerilogAndSPEF(t *testing.T) {
+	dir := t.TempDir()
+	vpath := filepath.Join(dir, "c.v")
+	spath := filepath.Join(dir, "c.spef")
+	vsrc := `module c (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2_X1 g1 (.A(a), .B(b), .Y(n1));
+  INV_X1 g2 (.A(n1), .Y(y));
+endmodule
+`
+	ssrc := `*SPEF "IEEE 1481-1998"
+*C_UNIT 1 FF
+*R_UNIT 1 KOHM
+*D_NET n1 6
+*CAP
+1 n1 6
+2 n1 b 1.5
+*END
+`
+	if err := os.WriteFile(vpath, []byte(vsrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spath, []byte(ssrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit(topkagg.DefaultLibrary(), "", vpath, spath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCouplings() != 1 {
+		t.Fatalf("couplings = %d", c.NumCouplings())
+	}
+	n1, _ := c.NetByName("n1")
+	if c.Net(n1).Cgnd != 6 {
+		t.Fatal("SPEF parasitics not applied")
+	}
+	// Verilog without SPEF also loads.
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", vpath, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Missing files error cleanly.
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", filepath.Join(dir, "nope.v"), "", ""); err == nil {
+		t.Fatal("missing verilog must error")
+	}
+	if _, err := loadCircuit(topkagg.DefaultLibrary(), "", vpath, filepath.Join(dir, "nope.spef"), ""); err == nil {
+		t.Fatal("missing spef must error")
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	c, err := topkagg.ParseNetlistString(`circuit j
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+couple n1 m1 2.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := topkagg.NewModel(c)
+	res, err := topkagg.TopKAddition(m, 1, topkagg.ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, c, "add", res); err != nil {
+		t.Fatal(err)
+	}
+	var out jsonResult
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Circuit != "j" || out.Mode != "add" || len(out.PerK) != 1 {
+		t.Fatalf("JSON content wrong: %+v", out)
+	}
+	if out.PerK[0].K != 1 || len(out.PerK[0].Couplings) != 1 {
+		t.Fatalf("perK wrong: %+v", out.PerK)
+	}
+	if out.PerK[0].Couplings[0].NetA != "n1" || out.PerK[0].Couplings[0].NetB != "m1" {
+		t.Fatalf("coupling names wrong: %+v", out.PerK[0].Couplings[0])
+	}
+}

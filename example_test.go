@@ -1,0 +1,74 @@
+package topkagg_test
+
+import (
+	"fmt"
+
+	"topkagg"
+)
+
+// The quickstart flow: parse, analyze, enumerate.
+func Example() {
+	c, err := topkagg.ParseNetlistString(`
+circuit example
+output y
+gate g1 NAND2_X1 a b -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 c -> m1
+couple n1 m1 2.5
+couple y m1 1.0
+`)
+	if err != nil {
+		panic(err)
+	}
+	m := topkagg.NewModel(c)
+	res, err := topkagg.TopKAddition(m, 2, topkagg.ExactOptions())
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range res.PerK {
+		fmt.Printf("top-%d: %d coupling(s)\n", i+1, len(s.IDs))
+	}
+	// Output:
+	// top-1: 1 coupling(s)
+	// top-2: 2 coupling(s)
+}
+
+func ExampleCouplingString() {
+	c, _ := topkagg.ParseNetlistString(`
+circuit s
+output y
+gate g1 INV_X1 a -> y
+gate h1 INV_X1 b -> z
+couple y z 1.75
+`)
+	fmt.Println(topkagg.CouplingString(c, 0))
+	// Output:
+	// y<->z (1.75 fF)
+}
+
+func ExampleModel_Run() {
+	c, _ := topkagg.ParseNetlistString(`
+circuit s
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+couple n1 m1 3.0
+`)
+	m := topkagg.NewModel(c)
+	quiet, _ := m.Run(make(topkagg.Mask, c.NumCouplings())) // nothing switching
+	noisy, _ := m.Run(nil)                                  // all aggressors
+	fmt.Println(noisy.CircuitDelay() > quiet.CircuitDelay())
+	// Output:
+	// true
+}
+
+func ExampleGoodK() {
+	c, _ := topkagg.GenerateBenchmark("i1")
+	m := topkagg.NewModel(c)
+	res, _ := topkagg.TopKAddition(m, 15, topkagg.Options{})
+	k, settled, _ := topkagg.GoodK(res, topkagg.KneeParams{Frac: 0.08, Window: 3})
+	fmt.Println(k >= 1 && k <= 15, settled || k == 15)
+	// Output:
+	// true true
+}

@@ -1,0 +1,111 @@
+// Fixflow: the complete crosstalk signoff-and-fix flow this library
+// supports, end to end on one design:
+//
+//  1. Prefilter false aggressors (provably irrelevant couplings).
+//  2. Measure the crosstalk penalty and find a "good" k — how many
+//     aggressors the analysis actually needs to honor.
+//  3. Spend a repair budget two ways and compare: fixing couplings
+//     (the paper's top-k elimination set) versus upsizing victim
+//     drivers — then apply both.
+//  4. Sign off with a critical-path report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"topkagg"
+)
+
+func main() {
+	bench := flag.String("bench", "i1", "benchmark circuit")
+	budget := flag.Int("budget", 8, "repair budget (couplings to fix / gates to upsize)")
+	flag.Parse()
+
+	c, err := topkagg.GenerateBenchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := topkagg.NewModel(c)
+
+	// 1. False-aggressor prefilter.
+	fr, err := topkagg.FalseAggressors(m, topkagg.FilterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[1] prefilter: %d of %d couplings provably irrelevant (%d false directions)\n",
+		len(fr.False), c.NumCouplings(), len(fr.FalseDirections))
+
+	// 2. Penalty measurement and good-k.
+	an, err := m.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := an.Base.CircuitDelay()
+	noisy := an.CircuitDelay()
+	fmt.Printf("[2] delay: %.4f ns noiseless, %.4f ns with crosstalk (+%.1f%%)\n",
+		base, noisy, 100*(noisy-base)/base)
+	add, err := topkagg.TopKAddition(m, 30, topkagg.Options{Active: fr.Active})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, settled, err := topkagg.GoodK(add, topkagg.KneeParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := "curve settled"
+	if !settled {
+		state = "still rising at the sweep end"
+	}
+	fmt.Printf("    good k ≈ %d (%s): that many simultaneous aggressors explain the delay\n", k, state)
+
+	// 3a. Repair option A: fix the top-k elimination couplings.
+	del, err := topkagg.TopKElimination(m, *budget, topkagg.Options{Active: fr.Active, VerifyTop: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elimDelay := del.Top().Delay
+	fmt.Printf("[3] option A — shield %d couplings: %.4f ns (recovers %.4f)\n",
+		len(del.Top().IDs), elimDelay, noisy-elimDelay)
+
+	// 3b. Repair option B: upsize victim drivers (trial on a copy via
+	// netlist round trip so option A's comparison stays clean).
+	c2, err := topkagg.ParseNetlistString(topkagg.NetlistString(c))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := topkagg.NewModel(c2)
+	sz, err := topkagg.OptimizeSizing(m2, *budget, topkagg.SizingOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    option B — upsize %d drivers:   %.4f ns (recovers %.4f, %d trials)\n",
+		len(sz.Moves), sz.After, sz.Before-sz.After, sz.Trials)
+
+	// Apply the better option (on the original model).
+	if elimDelay <= sz.After {
+		fmt.Println("    applying option A (shielding wins)")
+		mask := make(topkagg.Mask, c.NumCouplings())
+		for i := range mask {
+			mask[i] = true
+		}
+		for _, id := range del.Top().IDs {
+			mask[id] = false
+		}
+		an, err = m.Run(mask)
+	} else {
+		fmt.Println("    applying option B (upsizing wins)")
+		if _, err := topkagg.OptimizeSizing(m, *budget, topkagg.SizingOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		an, err = m.Run(nil)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Signoff report.
+	fmt.Printf("\n[4] signoff at %.4f ns:\n\n", an.CircuitDelay())
+	fmt.Print(topkagg.CriticalReport(an))
+}

@@ -1,0 +1,72 @@
+// Ksweep: reproduce the paper's Figure-10 view for one circuit — the
+// convergence of the addition and elimination delay curves as k grows.
+// The crossover region suggests a "good" value of k: beyond it, adding
+// more aggressors to the analysis (or fixing more couplings) buys
+// little.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"topkagg"
+)
+
+func main() {
+	bench := flag.String("bench", "i1", "benchmark circuit")
+	kmax := flag.Int("k", 30, "largest cardinality to sweep")
+	flag.Parse()
+
+	c, err := topkagg.GenerateBenchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := topkagg.NewModel(c)
+
+	add, err := topkagg.TopKAddition(m, *kmax, topkagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	del, err := topkagg.TopKElimination(m, *kmax, topkagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("circuit %s: noiseless %.4f ns, all-aggressor %.4f ns\n\n",
+		c.Name, add.BaseDelay, add.AllDelay)
+	fmt.Println("k    addition(ns)  elimination(ns)")
+	for k := 1; k <= *kmax; k++ {
+		a, e := "", ""
+		if k-1 < len(add.PerK) {
+			a = fmt.Sprintf("%.4f", add.PerK[k-1].Delay)
+		}
+		if k-1 < len(del.PerK) {
+			e = fmt.Sprintf("%.4f", del.PerK[k-1].Delay)
+		}
+		fmt.Printf("%-4d %-13s %s\n", k, a, e)
+	}
+
+	// A simple textual view of the convergence.
+	fmt.Println("\ndelay span [noiseless..all-aggressor], A = addition, E = elimination:")
+	span := add.AllDelay - add.BaseDelay
+	for _, k := range []int{1, *kmax / 4, *kmax / 2, *kmax} {
+		if k < 1 || k-1 >= len(add.PerK) || k-1 >= len(del.PerK) {
+			continue
+		}
+		line := []byte("|----------------------------------------|")
+		pos := func(d float64) int {
+			p := int(40 * (d - add.BaseDelay) / span)
+			if p < 0 {
+				p = 0
+			}
+			if p > 40 {
+				p = 40
+			}
+			return 1 + p
+		}
+		line[pos(add.PerK[k-1].Delay)] = 'A'
+		line[pos(del.PerK[k-1].Delay)] = 'E'
+		fmt.Printf("k=%-3d %s\n", k, line)
+	}
+}

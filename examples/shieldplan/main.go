@@ -1,0 +1,85 @@
+// Shieldplan: given a routed design with crosstalk, produce a shielding
+// work order. A router can typically fix only a limited number of
+// coupling situations (shield insertion, wire spacing); the top-k
+// aggressors elimination set says exactly which k couplings to spend
+// that budget on, and what delay each increment buys.
+//
+// This is the paper's motivating use case for the elimination set:
+// "if a designer can eliminate only 10 coupling situations, the top-10
+// aggressor elimination set exactly points to the set which must be
+// fixed to obtain the maximum reduction in delay noise."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"topkagg"
+)
+
+func main() {
+	bench := flag.String("bench", "i1", "benchmark circuit to plan shields for")
+	budget := flag.Int("budget", 10, "how many couplings the router may fix")
+	flag.Parse()
+
+	c, err := topkagg.GenerateBenchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := topkagg.NewModel(c)
+
+	res, err := topkagg.TopKElimination(m, *budget, topkagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %d gates, %d coupling caps\n", c.Name, c.NumGates(), c.NumCouplings())
+	fmt.Printf("delay with all crosstalk: %.4f ns; noiseless floor: %.4f ns\n\n",
+		res.AllDelay, res.BaseDelay)
+
+	if len(res.PerK) == 0 {
+		fmt.Println("nothing to fix: no coupling affects the critical paths")
+		return
+	}
+
+	fmt.Printf("shield plan (budget %d fixes):\n", *budget)
+	prev := res.AllDelay
+	top := res.Top()
+	seen := map[topkagg.CouplingID]bool{}
+	for i, s := range res.PerK {
+		// Report the coupling this increment added and the measured
+		// delay after fixing the whole set of size i+1.
+		var added []topkagg.CouplingID
+		for _, id := range s.IDs {
+			if !seen[id] {
+				added = append(added, id)
+			}
+		}
+		for _, id := range s.IDs {
+			seen[id] = true
+		}
+		gain := prev - s.Delay
+		fmt.Printf("  fix %2d: delay %.4f ns (recovers %+.4f ns)", i+1, s.Delay, gain)
+		for _, id := range added {
+			fmt.Printf("  -> shield %s", topkagg.CouplingString(c, id))
+		}
+		fmt.Println()
+		prev = s.Delay
+	}
+	recovered := res.AllDelay - top.Delay
+	total := res.AllDelay - res.BaseDelay
+	fmt.Printf("\nbudget of %d fixes recovers %.4f ns of the %.4f ns crosstalk penalty (%.0f%%)\n",
+		*budget, recovered, total, 100*recovered/total)
+
+	// Break the chosen set down: verified per-coupling effects.
+	ex, err := topkagg.ExplainElimination(m, top.IDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwhy these couplings (measured leave-one-out / solo effects):")
+	for _, contrib := range ex.Contributions {
+		fmt.Printf("  %-24s marginal %.4f ns, solo %.4f ns\n",
+			topkagg.CouplingString(c, contrib.Coupling), contrib.Marginal, contrib.Solo)
+	}
+	fmt.Printf("  combination synergy: %+.4f ns\n", ex.Synergy)
+}

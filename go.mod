@@ -1,0 +1,3 @@
+module topkagg
+
+go 1.22

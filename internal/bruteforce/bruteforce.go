@@ -1,0 +1,120 @@
+// Package bruteforce implements the baseline the paper compares
+// against: exhaustive enumeration of all C(r, k) coupling subsets,
+// each evaluated with a full iterative noise-analysis run. Its cost is
+// what makes the top-k problem non-trivial — the paper reports it
+// failing to finish k >= 4 within 1800 s even on the smallest
+// benchmark.
+package bruteforce
+
+import (
+	"fmt"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+// Result is the outcome of one brute-force search.
+type Result struct {
+	// IDs is the optimal coupling set found (nil when timed out before
+	// the first full cardinality pass completed).
+	IDs []circuit.CouplingID
+	// Delay is the circuit delay of the optimum: the maximum over
+	// addition sets, the minimum over elimination sets.
+	Delay float64
+	// Evaluated counts the noise-analysis runs performed.
+	Evaluated int
+	// TimedOut reports whether the deadline expired mid-search.
+	TimedOut bool
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// Addition exhaustively finds the cardinality-k coupling set whose
+// activation maximizes circuit delay. A zero budget means no deadline.
+func Addition(m *noise.Model, k int, budget time.Duration) (*Result, error) {
+	return search(m, k, budget, func(ids []circuit.CouplingID) noise.Mask {
+		return noise.MaskOf(m.C, ids)
+	}, func(cand, best float64) bool { return cand > best })
+}
+
+// Elimination exhaustively finds the cardinality-k coupling set whose
+// removal minimizes circuit delay. A zero budget means no deadline.
+func Elimination(m *noise.Model, k int, budget time.Duration) (*Result, error) {
+	return search(m, k, budget, func(ids []circuit.CouplingID) noise.Mask {
+		return noise.WithoutMask(m.C, ids)
+	}, func(cand, best float64) bool { return cand < best })
+}
+
+func search(m *noise.Model, k int, budget time.Duration,
+	mask func([]circuit.CouplingID) noise.Mask,
+	better func(cand, best float64) bool) (*Result, error) {
+
+	r := m.C.NumCouplings()
+	if k < 1 || k > r {
+		return nil, fmt.Errorf("bruteforce: k=%d out of range 1..%d", k, r)
+	}
+	start := time.Now()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = start.Add(budget)
+	}
+	res := &Result{}
+	first := true
+
+	// Iterate all k-combinations of {0..r-1} in lexicographic order.
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	ids := make([]circuit.CouplingID, k)
+	for {
+		for i, x := range idx {
+			ids[i] = circuit.CouplingID(x)
+		}
+		an, err := m.Run(mask(ids))
+		if err != nil {
+			return nil, fmt.Errorf("bruteforce: %w", err)
+		}
+		res.Evaluated++
+		if d := an.CircuitDelay(); first || better(d, res.Delay) {
+			res.Delay = d
+			res.IDs = append(res.IDs[:0], ids...)
+			first = false
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == r-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Combinations returns C(n, k) as a float64 (it overflows int64
+// quickly); used for reporting the search-space size.
+func Combinations(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 1; i <= k; i++ {
+		out = out * float64(n-k+i) / float64(i)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package bruteforce
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+const threeCouplings = `circuit t
+output y z w
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+gate f1 INV_X1 d -> p1
+gate f2 INV_X1 p1 -> w
+couple n1 m1 3.0
+couple m1 p1 2.0
+couple n1 p1 1.0
+`
+
+func model(t *testing.T) *noise.Model {
+	t.Helper()
+	c, err := netlist.ParseString(threeCouplings, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noise.NewModel(c)
+}
+
+func TestCombinations(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {52, 5, 2598960}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := Combinations(tc.n, tc.k); math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("C(%d,%d) = %g, want %g", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestAdditionFindsWorstSingle(t *testing.T) {
+	m := model(t)
+	res, err := Addition(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 3 {
+		t.Fatalf("evaluated %d scenarios, want 3", res.Evaluated)
+	}
+	// Verify optimality against direct evaluation.
+	for id := 0; id < 3; id++ {
+		an, err := m.Run(noise.MaskOf(m.C, []circuit.CouplingID{circuit.CouplingID(id)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.CircuitDelay() > res.Delay+1e-12 {
+			t.Fatalf("coupling %d beats reported optimum", id)
+		}
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("IDs = %v", res.IDs)
+	}
+}
+
+func TestAdditionExhaustsPairs(t *testing.T) {
+	m := model(t)
+	res, err := Addition(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 3 { // C(3,2)
+		t.Fatalf("evaluated %d, want 3", res.Evaluated)
+	}
+	one, err := Addition(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay < one.Delay-1e-12 {
+		t.Fatal("larger addition sets cannot reduce the worst-case delay")
+	}
+}
+
+func TestEliminationFullSetRecoversBase(t *testing.T) {
+	m := model(t)
+	res, err := Elimination(m, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Run(noise.NewMask(m.C))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Delay-base.CircuitDelay()) > 1e-9 {
+		t.Fatalf("removing every coupling must recover the noiseless delay: %g vs %g",
+			res.Delay, base.CircuitDelay())
+	}
+}
+
+func TestAdditionEliminationBracket(t *testing.T) {
+	m := model(t)
+	all, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add1, err := Addition(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del1, err := Elimination(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := all.Base.CircuitDelay()
+	if !(base <= add1.Delay+1e-12 && add1.Delay <= all.CircuitDelay()+1e-12) {
+		t.Fatalf("addition delay out of bracket: base=%g add=%g all=%g", base, add1.Delay, all.CircuitDelay())
+	}
+	if !(base-1e-12 <= del1.Delay && del1.Delay <= all.CircuitDelay()+1e-12) {
+		t.Fatalf("elimination delay out of bracket: base=%g del=%g all=%g", base, del1.Delay, all.CircuitDelay())
+	}
+}
+
+func TestKRangeValidation(t *testing.T) {
+	m := model(t)
+	if _, err := Addition(m, 0, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := Addition(m, 4, 0); err == nil {
+		t.Fatal("k > r must error")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	m := model(t)
+	res, err := Addition(m, 2, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && res.Evaluated >= 3 {
+		// All 3 pairs evaluated before the (tiny) deadline was ever
+		// checked; acceptable but the flag must then be false.
+		return
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected timeout flag, got %+v", res)
+	}
+}

@@ -1,0 +1,156 @@
+package bruteforce
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+// AdditionParallel is Addition distributed over workers goroutines.
+// The noise model is read-only during evaluation, so scenario runs
+// parallelize perfectly; the search space is partitioned by the first
+// element of each combination. Results are deterministic regardless of
+// worker count: ties between equal-delay optima resolve to the
+// lexicographically smallest coupling set. workers <= 0 selects
+// GOMAXPROCS.
+func AdditionParallel(m *noise.Model, k int, budget time.Duration, workers int) (*Result, error) {
+	return searchParallel(m, k, budget, workers, func(ids []circuit.CouplingID) noise.Mask {
+		return noise.MaskOf(m.C, ids)
+	}, func(cand, best float64) bool { return cand > best })
+}
+
+// EliminationParallel is Elimination distributed over workers
+// goroutines.
+func EliminationParallel(m *noise.Model, k int, budget time.Duration, workers int) (*Result, error) {
+	return searchParallel(m, k, budget, workers, func(ids []circuit.CouplingID) noise.Mask {
+		return noise.WithoutMask(m.C, ids)
+	}, func(cand, best float64) bool { return cand < best })
+}
+
+func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
+	mask func([]circuit.CouplingID) noise.Mask,
+	better func(cand, best float64) bool) (*Result, error) {
+
+	r := m.C.NumCouplings()
+	if k < 1 || k > r {
+		return nil, fmt.Errorf("bruteforce: k=%d out of range 1..%d", k, r)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r-k+1 {
+		workers = r - k + 1
+	}
+	start := time.Now()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = start.Add(budget)
+	}
+
+	var (
+		next      atomic.Int64 // next first-element index to claim
+		timedOut  atomic.Bool
+		evaluated atomic.Int64
+		firstErr  error
+		errOnce   sync.Once
+		wg        sync.WaitGroup
+	)
+	type local struct {
+		ids   []circuit.CouplingID
+		delay float64
+		found bool
+	}
+	locals := make([]local, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := make([]int, k)
+			ids := make([]circuit.CouplingID, k)
+			best := &locals[w]
+			for {
+				if timedOut.Load() {
+					return
+				}
+				first := int(next.Add(1) - 1)
+				if first > r-k {
+					return
+				}
+				// Enumerate all combinations whose smallest element is
+				// `first`: choose the remaining k-1 from (first, r).
+				idx[0] = first
+				for i := 1; i < k; i++ {
+					idx[i] = first + i
+				}
+				for {
+					for i, x := range idx {
+						ids[i] = circuit.CouplingID(x)
+					}
+					an, err := m.Run(mask(ids))
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						timedOut.Store(true)
+						return
+					}
+					evaluated.Add(1)
+					d := an.CircuitDelay()
+					if !best.found || better(d, best.delay) ||
+						(d == best.delay && lexLess(ids, best.ids)) {
+						best.delay = d
+						best.ids = append(best.ids[:0], ids...)
+						best.found = true
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						timedOut.Store(true)
+						return
+					}
+					// Next combination with idx[0] pinned.
+					i := k - 1
+					for i >= 1 && idx[i] == r-k+i {
+						i--
+					}
+					if i < 1 {
+						break
+					}
+					idx[i]++
+					for j := i + 1; j < k; j++ {
+						idx[j] = idx[j-1] + 1
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("bruteforce: %w", firstErr)
+	}
+
+	res := &Result{Evaluated: int(evaluated.Load()), TimedOut: timedOut.Load(), Elapsed: time.Since(start)}
+	for _, l := range locals {
+		if !l.found {
+			continue
+		}
+		if res.IDs == nil || better(l.delay, res.Delay) ||
+			(l.delay == res.Delay && lexLess(l.ids, res.IDs)) {
+			res.Delay = l.delay
+			res.IDs = append([]circuit.CouplingID(nil), l.ids...)
+		}
+	}
+	return res, nil
+}
+
+// lexLess reports whether a sorts lexicographically before b.
+func lexLess(a, b []circuit.CouplingID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

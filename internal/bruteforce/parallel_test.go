@@ -1,0 +1,112 @@
+package bruteforce
+
+import (
+	"testing"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "p", Gates: 20, Couplings: 12, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	for k := 1; k <= 3; k++ {
+		serial, err := Addition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 0} {
+			par, err := AdditionParallel(m, k, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Delay != serial.Delay {
+				t.Fatalf("k=%d workers=%d: delay %g != serial %g", k, workers, par.Delay, serial.Delay)
+			}
+			if len(par.IDs) != len(serial.IDs) {
+				t.Fatalf("k=%d: set size mismatch %v vs %v", k, par.IDs, serial.IDs)
+			}
+			for i := range par.IDs {
+				if par.IDs[i] != serial.IDs[i] {
+					t.Fatalf("k=%d workers=%d: nondeterministic set %v vs %v", k, workers, par.IDs, serial.IDs)
+				}
+			}
+			if par.Evaluated != serial.Evaluated {
+				t.Fatalf("k=%d: parallel evaluated %d, serial %d", k, par.Evaluated, serial.Evaluated)
+			}
+		}
+	}
+}
+
+func TestParallelEliminationMatchesSerial(t *testing.T) {
+	m := model(t)
+	serial, err := Elimination(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EliminationParallel(m, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Delay != serial.Delay {
+		t.Fatalf("delay %g != %g", par.Delay, serial.Delay)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	m := model(t)
+	if _, err := AdditionParallel(m, 0, 0, 2); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := AdditionParallel(m, 99, 0, 2); err == nil {
+		t.Fatal("k > r must error")
+	}
+}
+
+func TestParallelDeadline(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "p", Gates: 40, Couplings: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := AdditionParallel(m, 3, time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Skip("machine finished C(60,3) full noise runs within 1ms; nothing to assert")
+	}
+	if res.Evaluated <= 0 {
+		t.Fatal("timed-out search must still report progress")
+	}
+}
+
+func toIDs(xs []int) []circuit.CouplingID {
+	out := make([]circuit.CouplingID, len(xs))
+	for i, x := range xs {
+		out[i] = circuit.CouplingID(x)
+	}
+	return out
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{1, 3}, true},
+		{[]int{1, 3}, []int{1, 2}, false},
+		{[]int{1}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{1, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := lexLess(toIDs(tc.a), toIDs(tc.b)); got != tc.want {
+			t.Errorf("lexLess(%v,%v) = %v", tc.a, tc.b, got)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package cell provides the synthetic standard-cell library used by
+// the timing and noise engines.
+//
+// The DAC'07 flow used a commercial 0.13µm library; the top-k
+// algorithms only consume per-cell delay, output-slew and
+// driver-resistance numbers, so this package substitutes a compact
+// linear characterization calibrated to 0.13µm-scale magnitudes:
+//
+//	delay(load)  = D0 + KD·load
+//	slew(load)   = S0 + KS·load
+//
+// Units across the repository: time in nanoseconds (ns), capacitance
+// in femtofarads (fF), resistance in kilo-ohms (kΩ). With those units
+// an RC product is r·c/1000 ns (see RC).
+package cell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RC converts a resistance (kΩ) and capacitance (fF) product to a time
+// constant in nanoseconds.
+func RC(rKOhm, cFF float64) float64 { return rKOhm * cFF * 1e-3 }
+
+// Kind identifies a logic function.
+type Kind string
+
+// Supported logic functions.
+const (
+	Inv   Kind = "INV"
+	Buf   Kind = "BUF"
+	Nand2 Kind = "NAND2"
+	Nor2  Kind = "NOR2"
+	And2  Kind = "AND2"
+	Or2   Kind = "OR2"
+	Xor2  Kind = "XOR2"
+	Aoi21 Kind = "AOI21"
+)
+
+// Cell is one library cell (a logic function at a drive strength).
+type Cell struct {
+	Name      string  // e.g. "NAND2_X2"
+	Kind      Kind    // logic function
+	NumInputs int     // input pin count
+	D0        float64 // intrinsic delay, ns
+	KD        float64 // delay per unit load, ns/fF
+	S0        float64 // intrinsic output slew, ns
+	KS        float64 // output slew per unit load, ns/fF
+	Rdrv      float64 // equivalent (Thevenin) driver resistance, kΩ
+	Cin       float64 // input pin capacitance, fF
+}
+
+// Delay returns the pin-to-output delay driving load fF. The input
+// slew contributes a fixed fraction, the standard first-order
+// slew-degradation term of linear gate models.
+func (c *Cell) Delay(loadFF, inSlew float64) float64 {
+	return c.D0 + c.KD*loadFF + 0.25*inSlew
+}
+
+// OutputSlew returns the output transition time driving load fF.
+func (c *Cell) OutputSlew(loadFF, inSlew float64) float64 {
+	s := c.S0 + c.KS*loadFF + 0.1*inSlew
+	if s < 1e-3 {
+		s = 1e-3
+	}
+	return s
+}
+
+// Validate checks the characterization for physical plausibility.
+func (c *Cell) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("cell: empty name")
+	case c.NumInputs < 1 || c.NumInputs > 4:
+		return fmt.Errorf("cell %s: implausible input count %d", c.Name, c.NumInputs)
+	case c.D0 <= 0 || c.KD < 0:
+		return fmt.Errorf("cell %s: non-positive delay model (D0=%g KD=%g)", c.Name, c.D0, c.KD)
+	case c.S0 <= 0 || c.KS < 0:
+		return fmt.Errorf("cell %s: non-positive slew model (S0=%g KS=%g)", c.Name, c.S0, c.KS)
+	case c.Rdrv <= 0:
+		return fmt.Errorf("cell %s: non-positive drive resistance %g", c.Name, c.Rdrv)
+	case c.Cin <= 0:
+		return fmt.Errorf("cell %s: non-positive input capacitance %g", c.Name, c.Cin)
+	}
+	return nil
+}
+
+// Library is a named collection of cells.
+type Library struct {
+	Name   string
+	Vdd    float64 // supply voltage, V
+	byName map[string]*Cell
+}
+
+// NewLibrary creates an empty library.
+func NewLibrary(name string, vdd float64) *Library {
+	return &Library{Name: name, Vdd: vdd, byName: make(map[string]*Cell)}
+}
+
+// Add registers a cell, validating it first. Re-registering a name is
+// an error.
+func (l *Library) Add(c *Cell) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if _, dup := l.byName[c.Name]; dup {
+		return fmt.Errorf("cell: duplicate cell %q in library %q", c.Name, l.Name)
+	}
+	l.byName[c.Name] = c
+	return nil
+}
+
+// Cell looks a cell up by name.
+func (l *Library) Cell(name string) (*Cell, error) {
+	c, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("cell: no cell %q in library %q", name, l.Name)
+	}
+	return c, nil
+}
+
+// Names returns all cell names in sorted order.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.byName))
+	for n := range l.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of cells.
+func (l *Library) Len() int { return len(l.byName) }
+
+// kindSpec is the X1 characterization of each logic function; higher
+// strengths scale resistance and delay-per-load down and input cap up.
+type kindSpec struct {
+	kind   Kind
+	inputs int
+	d0     float64
+	kd     float64
+	s0     float64
+	ks     float64
+	rdrv   float64
+	cin    float64
+}
+
+var kindSpecs = []kindSpec{
+	{Inv, 1, 0.018, 0.0035, 0.030, 0.0050, 6.0, 2.0},
+	{Buf, 1, 0.034, 0.0030, 0.028, 0.0042, 5.0, 2.2},
+	{Nand2, 2, 0.026, 0.0042, 0.038, 0.0058, 7.0, 2.4},
+	{Nor2, 2, 0.030, 0.0048, 0.042, 0.0066, 8.0, 2.4},
+	{And2, 2, 0.042, 0.0036, 0.036, 0.0050, 6.0, 2.4},
+	{Or2, 2, 0.046, 0.0040, 0.040, 0.0056, 6.5, 2.4},
+	{Xor2, 2, 0.058, 0.0052, 0.048, 0.0068, 7.5, 3.2},
+	{Aoi21, 3, 0.040, 0.0050, 0.046, 0.0064, 8.5, 2.8},
+}
+
+// Strengths available in the default library.
+var Strengths = []int{1, 2, 4}
+
+// Default builds the synthetic 0.13µm-scale library: every logic
+// function of kindSpecs at drive strengths X1, X2 and X4.
+func Default() *Library {
+	lib := NewLibrary("synth013", 1.2)
+	for _, s := range kindSpecs {
+		for _, x := range Strengths {
+			f := float64(x)
+			c := &Cell{
+				Name:      fmt.Sprintf("%s_X%d", s.kind, x),
+				Kind:      s.kind,
+				NumInputs: s.inputs,
+				D0:        s.d0,
+				KD:        s.kd / f,
+				S0:        s.s0,
+				KS:        s.ks / f,
+				Rdrv:      s.rdrv / f,
+				Cin:       s.cin * f,
+			}
+			if err := lib.Add(c); err != nil {
+				panic(err) // static table: must be consistent
+			}
+		}
+	}
+	return lib
+}

@@ -1,0 +1,134 @@
+package cell
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRCUnits(t *testing.T) {
+	// 1 kΩ · 1000 fF = 1 ns.
+	if got := RC(1, 1000); got != 1 {
+		t.Fatalf("RC(1kΩ,1000fF) = %g ns, want 1", got)
+	}
+}
+
+func TestDefaultLibraryComplete(t *testing.T) {
+	lib := Default()
+	wantCells := len(kindSpecs) * len(Strengths)
+	if lib.Len() != wantCells {
+		t.Fatalf("library has %d cells, want %d", lib.Len(), wantCells)
+	}
+	if lib.Vdd != 1.2 {
+		t.Fatalf("Vdd = %g, want 1.2", lib.Vdd)
+	}
+	for _, name := range lib.Names() {
+		c, err := lib.Cell(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("default cell invalid: %v", err)
+		}
+	}
+}
+
+func TestStrengthScaling(t *testing.T) {
+	lib := Default()
+	x1, _ := lib.Cell("INV_X1")
+	x4, _ := lib.Cell("INV_X4")
+	if x4.Rdrv >= x1.Rdrv {
+		t.Fatalf("X4 must have lower drive resistance: X1=%g X4=%g", x1.Rdrv, x4.Rdrv)
+	}
+	if x4.Cin <= x1.Cin {
+		t.Fatalf("X4 must have higher input cap: X1=%g X4=%g", x1.Cin, x4.Cin)
+	}
+	if x4.KD >= x1.KD {
+		t.Fatalf("X4 must be less load-sensitive: X1=%g X4=%g", x1.KD, x4.KD)
+	}
+	// Intrinsic delay is strength-independent in this model.
+	if x4.D0 != x1.D0 {
+		t.Fatalf("intrinsic delay should match: X1=%g X4=%g", x1.D0, x4.D0)
+	}
+}
+
+func TestDelayMonotoneInLoad(t *testing.T) {
+	lib := Default()
+	c, _ := lib.Cell("NAND2_X2")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l1 := r.Float64() * 100
+		l2 := l1 + r.Float64()*100
+		sl := r.Float64() * 0.3
+		return c.Delay(l2, sl) >= c.Delay(l1, sl) &&
+			c.OutputSlew(l2, sl) >= c.OutputSlew(l1, sl)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayMonotoneInSlew(t *testing.T) {
+	lib := Default()
+	c, _ := lib.Cell("NOR2_X1")
+	if c.Delay(10, 0.3) <= c.Delay(10, 0.05) {
+		t.Fatal("slower input must not speed the gate up")
+	}
+}
+
+func TestOutputSlewFloor(t *testing.T) {
+	c := &Cell{Name: "t", Kind: Inv, NumInputs: 1, D0: 0.01, KD: 0, S0: 0.0005, KS: 0, Rdrv: 1, Cin: 1}
+	if got := c.OutputSlew(0, 0); got < 1e-3 {
+		t.Fatalf("output slew must be floored: %g", got)
+	}
+}
+
+func TestValidateRejectsBadCells(t *testing.T) {
+	bad := []*Cell{
+		{Name: "", Kind: Inv, NumInputs: 1, D0: 1, S0: 1, Rdrv: 1, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 0, D0: 1, S0: 1, Rdrv: 1, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 9, D0: 1, S0: 1, Rdrv: 1, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 1, D0: 0, S0: 1, Rdrv: 1, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 1, D0: 1, S0: 0, Rdrv: 1, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 1, D0: 1, S0: 1, Rdrv: 0, Cin: 1},
+		{Name: "x", Kind: Inv, NumInputs: 1, D0: 1, S0: 1, Rdrv: 1, Cin: 0},
+		{Name: "x", Kind: Inv, NumInputs: 1, D0: 1, KD: -1, S0: 1, Rdrv: 1, Cin: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+func TestLibraryDuplicateAndMissing(t *testing.T) {
+	lib := NewLibrary("t", 1.2)
+	c := &Cell{Name: "INV_X1", Kind: Inv, NumInputs: 1, D0: 0.01, S0: 0.02, Rdrv: 5, Cin: 2}
+	if err := lib.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(c); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+	if _, err := lib.Cell("NOPE"); err == nil {
+		t.Fatal("expected missing-cell error")
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	lib := NewLibrary("t", 1.2)
+	if err := lib.Add(&Cell{Name: "bad"}); err == nil {
+		t.Fatal("Add must validate")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	lib := Default()
+	names := lib.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names unsorted at %d: %s < %s", i, names[i], names[i-1])
+		}
+	}
+}

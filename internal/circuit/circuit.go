@@ -1,0 +1,398 @@
+// Package circuit models a gate-level netlist with coupled parasitics:
+// nets, library gates, ground capacitance, wire resistance, synthetic
+// placement coordinates, and crosstalk coupling capacitors. It is the
+// common substrate beneath the timing (sta), noise and top-k (core)
+// engines.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"topkagg/internal/cell"
+)
+
+// NetID identifies a net within one Circuit.
+type NetID int
+
+// GateID identifies a gate within one Circuit.
+type GateID int
+
+// CouplingID identifies one coupling capacitor within one Circuit.
+type CouplingID int
+
+// NoGate marks a net without a driving gate (a primary input).
+const NoGate GateID = -1
+
+// Net is a single electrical node.
+type Net struct {
+	ID     NetID
+	Name   string
+	Driver GateID   // NoGate for primary inputs
+	Loads  []GateID // gates with an input pin on this net
+	Cgnd   float64  // grounded wire capacitance, fF
+	Rwire  float64  // lumped wire resistance, kΩ
+	X, Y   float64  // synthetic placement, µm
+	IsPO   bool     // marked primary output
+}
+
+// Gate is an instance of a library cell.
+type Gate struct {
+	ID     GateID
+	Name   string
+	Cell   *cell.Cell
+	Inputs []NetID
+	Output NetID
+}
+
+// Coupling is one crosstalk coupling capacitor between two nets. Each
+// Coupling is the unit of the top-k problem: an "aggressor-victim
+// coupling" that can be considered (addition set) or fixed
+// (elimination set).
+type Coupling struct {
+	ID   CouplingID
+	A, B NetID
+	Cc   float64 // coupling capacitance, fF
+}
+
+// Other returns the net on the far side of the coupling from n.
+func (c *Coupling) Other(n NetID) NetID {
+	if c.A == n {
+		return c.B
+	}
+	return c.A
+}
+
+// Touches reports whether the coupling is incident on net n.
+func (c *Coupling) Touches(n NetID) bool { return c.A == n || c.B == n }
+
+// Circuit is a mutable gate-level netlist.
+type Circuit struct {
+	Name string
+	Lib  *cell.Library
+
+	nets      []*Net
+	gates     []*Gate
+	couplings []*Coupling
+	netByName map[string]NetID
+	coupleIdx map[NetID][]CouplingID
+}
+
+// New creates an empty circuit bound to a cell library.
+func New(name string, lib *cell.Library) *Circuit {
+	return &Circuit{
+		Name:      name,
+		Lib:       lib,
+		netByName: make(map[string]NetID),
+		coupleIdx: make(map[NetID][]CouplingID),
+	}
+}
+
+// EnsureNet returns the net with the given name, creating it (with
+// default parasitics) if needed.
+func (c *Circuit) EnsureNet(name string) NetID {
+	if id, ok := c.netByName[name]; ok {
+		return id
+	}
+	id := NetID(len(c.nets))
+	c.nets = append(c.nets, &Net{ID: id, Name: name, Driver: NoGate, Cgnd: 4.0, Rwire: 0.2})
+	c.netByName[name] = id
+	return id
+}
+
+// NetByName looks up a net by name.
+func (c *Circuit) NetByName(name string) (NetID, bool) {
+	id, ok := c.netByName[name]
+	return id, ok
+}
+
+// Net returns the net with the given ID.
+func (c *Circuit) Net(id NetID) *Net { return c.nets[id] }
+
+// Gate returns the gate with the given ID.
+func (c *Circuit) Gate(id GateID) *Gate { return c.gates[id] }
+
+// Coupling returns the coupling with the given ID.
+func (c *Circuit) Coupling(id CouplingID) *Coupling { return c.couplings[id] }
+
+// NumNets returns the net count.
+func (c *Circuit) NumNets() int { return len(c.nets) }
+
+// NumGates returns the gate count.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// NumCouplings returns the coupling-capacitor count.
+func (c *Circuit) NumCouplings() int { return len(c.couplings) }
+
+// Nets returns all nets in ID order. The slice is shared; do not
+// mutate its length.
+func (c *Circuit) Nets() []*Net { return c.nets }
+
+// Gates returns all gates in ID order.
+func (c *Circuit) Gates() []*Gate { return c.gates }
+
+// Couplings returns all couplings in ID order.
+func (c *Circuit) Couplings() []*Coupling { return c.couplings }
+
+// AddGate instantiates a library cell driving output from inputs.
+// The output net must not already have a driver.
+func (c *Circuit) AddGate(name, cellName string, inputs []string, output string) (*Gate, error) {
+	cl, err := c.Lib.Cell(cellName)
+	if err != nil {
+		return nil, fmt.Errorf("circuit %s: gate %s: %w", c.Name, name, err)
+	}
+	if len(inputs) != cl.NumInputs {
+		return nil, fmt.Errorf("circuit %s: gate %s: cell %s wants %d inputs, got %d",
+			c.Name, name, cellName, cl.NumInputs, len(inputs))
+	}
+	out := c.EnsureNet(output)
+	if c.nets[out].Driver != NoGate {
+		return nil, fmt.Errorf("circuit %s: net %s already driven by %s",
+			c.Name, output, c.gates[c.nets[out].Driver].Name)
+	}
+	g := &Gate{ID: GateID(len(c.gates)), Name: name, Cell: cl, Output: out}
+	for _, in := range inputs {
+		nid := c.EnsureNet(in)
+		g.Inputs = append(g.Inputs, nid)
+		c.nets[nid].Loads = append(c.nets[nid].Loads, g.ID)
+	}
+	c.gates = append(c.gates, g)
+	c.nets[out].Driver = g.ID
+	return g, nil
+}
+
+// AddCoupling adds a coupling capacitor of cc fF between nets a and b.
+func (c *Circuit) AddCoupling(a, b string, cc float64) (CouplingID, error) {
+	if a == b {
+		return 0, fmt.Errorf("circuit %s: self-coupling on net %s", c.Name, a)
+	}
+	if cc <= 0 {
+		return 0, fmt.Errorf("circuit %s: non-positive coupling %g between %s and %s", c.Name, cc, a, b)
+	}
+	na, nb := c.EnsureNet(a), c.EnsureNet(b)
+	id := CouplingID(len(c.couplings))
+	c.couplings = append(c.couplings, &Coupling{ID: id, A: na, B: nb, Cc: cc})
+	c.coupleIdx[na] = append(c.coupleIdx[na], id)
+	c.coupleIdx[nb] = append(c.coupleIdx[nb], id)
+	return id, nil
+}
+
+// CouplingsOf returns the IDs of all couplings incident on net n.
+func (c *Circuit) CouplingsOf(n NetID) []CouplingID { return c.coupleIdx[n] }
+
+// MarkPO marks a net as a primary output.
+func (c *Circuit) MarkPO(name string) error {
+	id, ok := c.netByName[name]
+	if !ok {
+		return fmt.Errorf("circuit %s: unknown output net %s", c.Name, name)
+	}
+	c.nets[id].IsPO = true
+	return nil
+}
+
+// PIs returns the primary inputs: nets without a driving gate, in ID
+// order.
+func (c *Circuit) PIs() []NetID {
+	var out []NetID
+	for _, n := range c.nets {
+		if n.Driver == NoGate {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// POs returns the primary outputs: nets marked IsPO, or — if none are
+// marked — all nets with no gate loads.
+func (c *Circuit) POs() []NetID {
+	var out []NetID
+	for _, n := range c.nets {
+		if n.IsPO {
+			out = append(out, n.ID)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for _, n := range c.nets {
+		if len(n.Loads) == 0 && n.Driver != NoGate {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// PinLoad returns the total gate input-pin capacitance on net n, fF.
+func (c *Circuit) PinLoad(n NetID) float64 {
+	var sum float64
+	for _, gid := range c.nets[n].Loads {
+		sum += c.gates[gid].Cell.Cin
+	}
+	return sum
+}
+
+// CouplingCap returns the total coupling capacitance incident on net
+// n, fF.
+func (c *Circuit) CouplingCap(n NetID) float64 {
+	var sum float64
+	for _, cid := range c.coupleIdx[n] {
+		sum += c.couplings[cid].Cc
+	}
+	return sum
+}
+
+// LoadCap returns the total capacitive load seen by the driver of net
+// n for baseline (noiseless) delay: ground cap + input pins + coupling
+// caps treated as grounded.
+func (c *Circuit) LoadCap(n NetID) float64 {
+	return c.nets[n].Cgnd + c.PinLoad(n) + c.CouplingCap(n)
+}
+
+// DriverRes returns the Thevenin resistance driving net n: the driver
+// cell's Rdrv plus the net's wire resistance. Primary inputs use a
+// default pad resistance.
+func (c *Circuit) DriverRes(n NetID) float64 {
+	const padRes = 1.0 // kΩ, synthetic input pad driver
+	net := c.nets[n]
+	r := padRes
+	if net.Driver != NoGate {
+		r = c.gates[net.Driver].Cell.Rdrv
+	}
+	return r + net.Rwire
+}
+
+// TopoGates returns gate IDs in topological order (every gate after
+// the drivers of all its inputs). It returns an error if the netlist
+// has a combinational cycle.
+func (c *Circuit) TopoGates() ([]GateID, error) {
+	indeg := make([]int, len(c.gates))
+	for _, g := range c.gates {
+		for _, in := range g.Inputs {
+			if c.nets[in].Driver != NoGate {
+				indeg[g.ID]++
+			}
+		}
+	}
+	queue := make([]GateID, 0, len(c.gates))
+	for _, g := range c.gates {
+		if indeg[g.ID] == 0 {
+			queue = append(queue, g.ID)
+		}
+	}
+	order := make([]GateID, 0, len(c.gates))
+	for len(queue) > 0 {
+		gid := queue[0]
+		queue = queue[1:]
+		order = append(order, gid)
+		for _, lid := range c.nets[c.gates[gid].Output].Loads {
+			indeg[lid]--
+			if indeg[lid] == 0 {
+				queue = append(queue, lid)
+			}
+		}
+	}
+	if len(order) != len(c.gates) {
+		return nil, fmt.Errorf("circuit %s: combinational cycle (%d of %d gates ordered)",
+			c.Name, len(order), len(c.gates))
+	}
+	return order, nil
+}
+
+// TopoNets returns net IDs in topological order: primary inputs first,
+// then gate outputs in gate topological order.
+func (c *Circuit) TopoNets() ([]NetID, error) {
+	order := make([]NetID, 0, len(c.nets))
+	order = append(order, c.PIs()...)
+	gates, err := c.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	for _, gid := range gates {
+		order = append(order, c.gates[gid].Output)
+	}
+	return order, nil
+}
+
+// FaninCone returns the set of nets in the transitive fanin of net n,
+// including n itself.
+func (c *Circuit) FaninCone(n NetID) map[NetID]bool {
+	seen := map[NetID]bool{n: true}
+	stack := []NetID{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := c.nets[cur].Driver
+		if d == NoGate {
+			continue
+		}
+		for _, in := range c.gates[d].Inputs {
+			if !seen[in] {
+				seen[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	return seen
+}
+
+// Stats summarizes circuit size the way the paper's Table 2 does.
+type Stats struct {
+	Gates     int
+	Nets      int
+	Couplings int
+}
+
+// Stats returns the circuit's size statistics. Following the paper's
+// convention, Nets counts gate-driven nets (internal + output nets),
+// not primary inputs.
+func (c *Circuit) Stats() Stats {
+	return Stats{
+		Gates:     len(c.gates),
+		Nets:      len(c.nets) - len(c.PIs()),
+		Couplings: len(c.couplings),
+	}
+}
+
+// Validate checks structural invariants: cells resolve, pin counts
+// match, coupling endpoints exist, and the gate graph is acyclic.
+func (c *Circuit) Validate() error {
+	for _, g := range c.gates {
+		if g.Cell == nil {
+			return fmt.Errorf("circuit %s: gate %s has no cell", c.Name, g.Name)
+		}
+		if len(g.Inputs) != g.Cell.NumInputs {
+			return fmt.Errorf("circuit %s: gate %s: %d inputs for cell %s (wants %d)",
+				c.Name, g.Name, len(g.Inputs), g.Cell.Name, g.Cell.NumInputs)
+		}
+		for _, in := range g.Inputs {
+			if int(in) < 0 || int(in) >= len(c.nets) {
+				return fmt.Errorf("circuit %s: gate %s references missing net %d", c.Name, g.Name, in)
+			}
+		}
+	}
+	for _, n := range c.nets {
+		if n.Cgnd < 0 || n.Rwire < 0 {
+			return fmt.Errorf("circuit %s: net %s has negative parasitics", c.Name, n.Name)
+		}
+	}
+	for _, cp := range c.couplings {
+		if cp.A == cp.B {
+			return fmt.Errorf("circuit %s: coupling %d is a self-loop", c.Name, cp.ID)
+		}
+	}
+	if _, err := c.TopoGates(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SortedNetNames returns all net names sorted; useful for
+// deterministic output.
+func (c *Circuit) SortedNetNames() []string {
+	out := make([]string, 0, len(c.netByName))
+	for n := range c.netByName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,269 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+// chain builds a -> INV g1 -> n1 -> INV g2 -> y.
+func chain(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("chain", cell.Default())
+	if _, err := c.AddGate("g1", "INV_X1", []string{"a"}, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", "INV_X1", []string{"n1"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkPO("y"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnsureNetIdempotent(t *testing.T) {
+	c := New("t", cell.Default())
+	a := c.EnsureNet("a")
+	b := c.EnsureNet("a")
+	if a != b {
+		t.Fatalf("EnsureNet created duplicate: %d vs %d", a, b)
+	}
+	if c.NumNets() != 1 {
+		t.Fatalf("expected 1 net, got %d", c.NumNets())
+	}
+}
+
+func TestAddGateWiring(t *testing.T) {
+	c := chain(t)
+	if c.NumGates() != 2 || c.NumNets() != 3 {
+		t.Fatalf("unexpected sizes: %d gates, %d nets", c.NumGates(), c.NumNets())
+	}
+	n1, _ := c.NetByName("n1")
+	if c.Net(n1).Driver != 0 {
+		t.Fatalf("n1 driver = %d, want gate 0", c.Net(n1).Driver)
+	}
+	if len(c.Net(n1).Loads) != 1 || c.Net(n1).Loads[0] != 1 {
+		t.Fatalf("n1 loads = %v, want [1]", c.Net(n1).Loads)
+	}
+	a, _ := c.NetByName("a")
+	if c.Net(a).Driver != NoGate {
+		t.Fatal("primary input must have no driver")
+	}
+}
+
+func TestAddGateErrors(t *testing.T) {
+	c := New("t", cell.Default())
+	if _, err := c.AddGate("g", "MISSING", []string{"a"}, "y"); err == nil {
+		t.Fatal("unknown cell must error")
+	}
+	if _, err := c.AddGate("g", "NAND2_X1", []string{"a"}, "y"); err == nil {
+		t.Fatal("wrong pin count must error")
+	}
+	if _, err := c.AddGate("g1", "INV_X1", []string{"a"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", "INV_X1", []string{"b"}, "y"); err == nil ||
+		!strings.Contains(err.Error(), "already driven") {
+		t.Fatalf("double driver must error, got %v", err)
+	}
+}
+
+func TestAddCouplingErrors(t *testing.T) {
+	c := New("t", cell.Default())
+	if _, err := c.AddCoupling("a", "a", 1); err == nil {
+		t.Fatal("self coupling must error")
+	}
+	if _, err := c.AddCoupling("a", "b", 0); err == nil {
+		t.Fatal("zero coupling must error")
+	}
+	id, err := c.AddCoupling("a", "b", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Coupling(id)
+	a, _ := c.NetByName("a")
+	b, _ := c.NetByName("b")
+	if cp.Other(a) != b || cp.Other(b) != a {
+		t.Fatal("Other must return far endpoint")
+	}
+	if !cp.Touches(a) || !cp.Touches(b) {
+		t.Fatal("Touches must be true on endpoints")
+	}
+	if len(c.CouplingsOf(a)) != 1 || len(c.CouplingsOf(b)) != 1 {
+		t.Fatal("coupling index missing entries")
+	}
+}
+
+func TestPIsPOs(t *testing.T) {
+	c := chain(t)
+	pis := c.PIs()
+	if len(pis) != 1 || c.Net(pis[0]).Name != "a" {
+		t.Fatalf("PIs = %v", pis)
+	}
+	pos := c.POs()
+	if len(pos) != 1 || c.Net(pos[0]).Name != "y" {
+		t.Fatalf("POs = %v", pos)
+	}
+}
+
+func TestPOsFallbackToSinks(t *testing.T) {
+	c := New("t", cell.Default())
+	if _, err := c.AddGate("g1", "INV_X1", []string{"a"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	pos := c.POs()
+	if len(pos) != 1 || c.Net(pos[0]).Name != "y" {
+		t.Fatalf("unmarked PO fallback failed: %v", pos)
+	}
+}
+
+func TestLoadCapComposition(t *testing.T) {
+	c := chain(t)
+	n1, _ := c.NetByName("n1")
+	if _, err := c.AddCoupling("n1", "a", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := c.Lib.Cell("INV_X1")
+	want := c.Net(n1).Cgnd + inv.Cin + 2.5
+	if got := c.LoadCap(n1); got != want {
+		t.Fatalf("LoadCap = %g, want %g", got, want)
+	}
+	if got := c.PinLoad(n1); got != inv.Cin {
+		t.Fatalf("PinLoad = %g, want %g", got, inv.Cin)
+	}
+	if got := c.CouplingCap(n1); got != 2.5 {
+		t.Fatalf("CouplingCap = %g, want 2.5", got)
+	}
+}
+
+func TestDriverRes(t *testing.T) {
+	c := chain(t)
+	a, _ := c.NetByName("a")
+	n1, _ := c.NetByName("n1")
+	inv, _ := c.Lib.Cell("INV_X1")
+	if got := c.DriverRes(n1); got != inv.Rdrv+c.Net(n1).Rwire {
+		t.Fatalf("driven net resistance = %g", got)
+	}
+	if got := c.DriverRes(a); got != 1.0+c.Net(a).Rwire {
+		t.Fatalf("PI pad resistance = %g", got)
+	}
+}
+
+func TestTopoGatesOrder(t *testing.T) {
+	c := New("t", cell.Default())
+	// Build out of order: g2 consumes g1's output but add g2 first.
+	if _, err := c.AddGate("g2", "INV_X1", []string{"n1"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g1", "INV_X1", []string{"a"}, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.TopoGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[GateID]int{}
+	for i, g := range order {
+		pos[g] = i
+	}
+	g1, g2 := GateID(1), GateID(0)
+	if pos[g1] > pos[g2] {
+		t.Fatalf("g1 must precede g2 in topo order: %v", order)
+	}
+}
+
+func TestTopoGatesDetectsCycle(t *testing.T) {
+	c := New("t", cell.Default())
+	if _, err := c.AddGate("g1", "NAND2_X1", []string{"a", "n2"}, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", "INV_X1", []string{"n1"}, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopoGates(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate must reject cyclic netlist")
+	}
+}
+
+func TestTopoNets(t *testing.T) {
+	c := chain(t)
+	order, err := c.TopoNets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("want 3 nets in order, got %v", order)
+	}
+	if c.Net(order[0]).Name != "a" {
+		t.Fatalf("PI must come first: %v", order)
+	}
+	if c.Net(order[2]).Name != "y" {
+		t.Fatalf("sink must come last: %v", order)
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	c := New("t", cell.Default())
+	// a,b -> NAND g1 -> n1; n1,c -> NAND g2 -> y; d -> INV g3 -> z.
+	mustGate := func(name, cn string, ins []string, out string) {
+		if _, err := c.AddGate(name, cn, ins, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate("g1", "NAND2_X1", []string{"a", "b"}, "n1")
+	mustGate("g2", "NAND2_X1", []string{"n1", "c"}, "y")
+	mustGate("g3", "INV_X1", []string{"d"}, "z")
+	y, _ := c.NetByName("y")
+	cone := c.FaninCone(y)
+	for _, want := range []string{"a", "b", "c", "n1", "y"} {
+		id, _ := c.NetByName(want)
+		if !cone[id] {
+			t.Errorf("cone missing %s", want)
+		}
+	}
+	z, _ := c.NetByName("z")
+	d, _ := c.NetByName("d")
+	if cone[z] || cone[d] {
+		t.Error("cone must not include unrelated logic")
+	}
+}
+
+func TestStatsExcludesPIs(t *testing.T) {
+	c := chain(t)
+	if _, err := c.AddCoupling("n1", "y", 1); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Gates != 2 || s.Nets != 2 || s.Couplings != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	c := chain(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateNegativeParasitics(t *testing.T) {
+	c := chain(t)
+	n1, _ := c.NetByName("n1")
+	c.Net(n1).Cgnd = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative parasitics must be rejected")
+	}
+}
+
+func TestSortedNetNames(t *testing.T) {
+	c := chain(t)
+	names := c.SortedNetNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "n1" || names[2] != "y" {
+		t.Fatalf("SortedNetNames = %v", names)
+	}
+}

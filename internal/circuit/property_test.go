@@ -1,0 +1,105 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topkagg/internal/cell"
+)
+
+// randCircuit builds a random valid layered circuit directly through
+// the circuit API (independent of the gen package).
+func randCircuit(r *rand.Rand) *Circuit {
+	lib := cell.Default()
+	c := New("prop", lib)
+	names := []string{"i0", "i1", "i2"}
+	for _, n := range names {
+		c.EnsureNet(n)
+	}
+	cells := []string{"INV_X1", "BUF_X1", "NAND2_X1", "NOR2_X2"}
+	nGates := 3 + r.Intn(12)
+	for g := 0; g < nGates; g++ {
+		cellName := cells[r.Intn(len(cells))]
+		cl, _ := lib.Cell(cellName)
+		ins := make([]string, cl.NumInputs)
+		for i := range ins {
+			ins[i] = names[r.Intn(len(names))]
+		}
+		out := "g" + string(rune('a'+g))
+		if _, err := c.AddGate(out, cellName, ins, out+"n"); err != nil {
+			continue
+		}
+		names = append(names, out+"n")
+	}
+	return c
+}
+
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randCircuit(r)
+		order, err := c.TopoNets()
+		if err != nil {
+			return false
+		}
+		pos := map[NetID]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, g := range c.Gates() {
+			for _, in := range g.Inputs {
+				if pos[in] >= pos[g.Output] {
+					return false
+				}
+			}
+		}
+		return len(order) == c.NumNets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFaninConeClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randCircuit(r)
+		for _, n := range c.Nets() {
+			cone := c.FaninCone(n.ID)
+			// Closure: every driver input of a cone member is in the cone.
+			for m := range cone {
+				d := c.Net(m).Driver
+				if d == NoGate {
+					continue
+				}
+				for _, in := range c.Gate(d).Inputs {
+					if !cone[in] {
+						return false
+					}
+				}
+			}
+			if !cone[n.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randCircuit(r)
+		s := c.Stats()
+		return s.Gates == c.NumGates() &&
+			s.Nets == c.NumNets()-len(c.PIs()) &&
+			s.Couplings == c.NumCouplings()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

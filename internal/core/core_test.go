@@ -1,0 +1,440 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/bruteforce"
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func model(t *testing.T, src string) *noise.Model {
+	t.Helper()
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noise.NewModel(c)
+}
+
+// threeCouplings: three independent two-inverter chains with three
+// couplings among the internal nets.
+const threeCouplings = `circuit t3
+output y z w
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+gate f1 INV_X1 d -> p1
+gate f2 INV_X1 p1 -> w
+couple n1 m1 3.0
+couple m1 p1 2.0
+couple n1 p1 1.0
+`
+
+func TestAdditionMatchesBruteForce(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKAddition(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 3 {
+		t.Fatalf("expected 3 cardinalities, got %d", len(res.PerK))
+	}
+	for k := 1; k <= 3; k++ {
+		bf, err := bruteforce.Addition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.PerK[k-1].Delay
+		if math.Abs(got-bf.Delay) > 1e-9 {
+			t.Errorf("k=%d: proposed delay %.9f != brute force %.9f (sets %v vs %v)",
+				k, got, bf.Delay, res.PerK[k-1].IDs, bf.IDs)
+		}
+	}
+}
+
+func TestEliminationMatchesBruteForce(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKElimination(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 3 {
+		t.Fatalf("expected 3 cardinalities, got %d", len(res.PerK))
+	}
+	for k := 1; k <= 3; k++ {
+		bf, err := bruteforce.Elimination(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.PerK[k-1].Delay
+		if math.Abs(got-bf.Delay) > 1e-9 {
+			t.Errorf("k=%d: proposed delay %.9f != brute force %.9f (sets %v vs %v)",
+				k, got, bf.Delay, res.PerK[k-1].IDs, bf.IDs)
+		}
+	}
+}
+
+func TestAdditionCurveMonotone(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKAddition(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.PerK); i++ {
+		if res.PerK[i].Delay < res.PerK[i-1].Delay-1e-9 {
+			t.Fatalf("addition delays must be nondecreasing: %v", res.PerK)
+		}
+	}
+	if res.Top().Delay > res.AllDelay+1e-9 {
+		t.Fatal("top-k addition delay cannot exceed the all-aggressor delay")
+	}
+	if res.PerK[0].Delay < res.BaseDelay-1e-9 {
+		t.Fatal("addition delay cannot undercut the noiseless delay")
+	}
+}
+
+func TestEliminationCurveMonotone(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKElimination(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.PerK); i++ {
+		if res.PerK[i].Delay > res.PerK[i-1].Delay+1e-9 {
+			t.Fatalf("elimination delays must be nonincreasing: %v", res.PerK)
+		}
+	}
+	// Removing all three couplings must land exactly on the noiseless
+	// delay (duality endpoint).
+	if math.Abs(res.PerK[2].Delay-res.BaseDelay) > 1e-9 {
+		t.Fatalf("full elimination must recover base delay: %g vs %g",
+			res.PerK[2].Delay, res.BaseDelay)
+	}
+}
+
+// TestNonMonotonicTopK reproduces the paper's Fig. 4: aggressors whose
+// noise pulses land after the victim's transition produce no delay
+// noise individually (each peak stays below Vdd/2) but a large delay
+// when switching together, so the top-2 set shares no member with the
+// top-1 set.
+func TestNonMonotonicTopK(t *testing.T) {
+	// Victim chain depth 2 (its t50 is early); aggressors a2/a3 are
+	// depth 4 (their windows sit after the victim's t50) with coupling
+	// caps big enough that the pair — but not either alone — pulls the
+	// settled victim below Vdd/2. Aggressor a1 overlaps the victim
+	// window with a small cap: small but nonzero noise alone.
+	src := `circuit fig4
+output y
+gate v1 INV_X1 a -> vn
+gate v2 INV_X1 vn -> y
+gate q1 INV_X1 b -> a1n
+gate q2 INV_X1 a1n -> a1q
+gate r1 INV_X1 d -> r1n
+gate r2 INV_X1 r1n -> r2n
+gate r3 INV_X1 r2n -> r3n
+gate r4 INV_X1 r3n -> a2q
+gate s1 INV_X1 e -> s1n
+gate s2 INV_X1 s1n -> s2n
+gate s3 INV_X1 s2n -> s3n
+gate s4 INV_X1 s3n -> a3q
+couple vn a1n 0.8
+couple vn a2q 5.0
+couple vn a3q 5.0
+`
+	m := model(t, src)
+	res, err := TopKAddition(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 2 {
+		t.Fatalf("want 2 cardinalities, got %d", len(res.PerK))
+	}
+	top1 := res.PerK[0].IDs
+	top2 := res.PerK[1].IDs
+	if len(top1) != 1 || top1[0] != 0 {
+		t.Fatalf("top-1 should be the overlapping aggressor a1 (coupling 0), got %v (delays %v)", top1, res.PerK)
+	}
+	for _, id := range top2 {
+		if id == 0 {
+			t.Fatalf("top-2 should drop a1 in favor of the a2+a3 pair, got %v", top2)
+		}
+	}
+	// Cross-check both cardinalities against brute force.
+	for k := 1; k <= 2; k++ {
+		bf, err := bruteforce.Addition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.PerK[k-1].Delay-bf.Delay) > 1e-9 {
+			t.Fatalf("k=%d disagrees with brute force: %g vs %g", k, res.PerK[k-1].Delay, bf.Delay)
+		}
+	}
+}
+
+// TestPseudoAggressorPropagation checks that a coupling on an upstream
+// net is found at the sink through pseudo-aggressor propagation.
+func TestPseudoAggressorPropagation(t *testing.T) {
+	src := `circuit up
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate h1 INV_X1 b -> m1
+couple n1 m1 4.0
+`
+	m := model(t, src)
+	res, err := TopKAddition(m, 1, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 1 || len(res.PerK[0].IDs) != 1 || res.PerK[0].IDs[0] != 0 {
+		t.Fatalf("upstream coupling must be selected via pseudo aggressors: %+v", res.PerK)
+	}
+	bf, err := bruteforce.Addition(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PerK[0].Delay-bf.Delay) > 1e-9 {
+		t.Fatalf("pseudo-propagated delay mismatch: %g vs %g", res.PerK[0].Delay, bf.Delay)
+	}
+	// Ablation: without pseudo aggressors the sink never sees the
+	// upstream coupling and no set is produced.
+	opt := Exact()
+	opt.NoPseudo = true
+	res2, err := TopKAddition(m, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.PerK) != 0 {
+		t.Fatalf("NoPseudo should find nothing at the sink here, got %+v", res2.PerK)
+	}
+}
+
+func TestHigherOrderAggressors(t *testing.T) {
+	// a1o couples the victim; a2m couples a1o (an indirect aggressor
+	// that widens a1o's window). The exact top-2 must match brute
+	// force, which naturally accounts for the widening.
+	src := `circuit ho
+output y
+gate v1 INV_X1 a -> v1n
+gate v2 INV_X1 v1n -> v2n
+gate v3 INV_X1 v2n -> y
+gate a1g INV_X1 b -> a1n
+gate a1h INV_X1 a1n -> a1o
+gate a2g INV_X1 d -> a2m
+couple a1o v2n 3.5
+couple a2m a1o 3.5
+`
+	m := model(t, src)
+	res, err := TopKAddition(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= min2(2, len(res.PerK)); k++ {
+		bf, err := bruteforce.Addition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PerK[k-1].Delay < bf.Delay-1e-9 {
+			t.Fatalf("k=%d: proposed %g below brute force %g", k, res.PerK[k-1].Delay, bf.Delay)
+		}
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestKValidation(t *testing.T) {
+	m := model(t, threeCouplings)
+	if _, err := TopKAddition(m, 0, Options{}); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := TopKElimination(m, -1, Options{}); err == nil {
+		t.Fatal("negative k must error")
+	}
+}
+
+func TestKBeyondCouplingsTruncates(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKAddition(m, 10, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) > 3 {
+		t.Fatalf("cannot produce sets beyond 3 couplings: %d", len(res.PerK))
+	}
+	if res.K != 10 {
+		t.Fatalf("requested K must be recorded: %d", res.K)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.listWidth() != DefaultListWidth || o.extend() != DefaultExtend ||
+		o.higherOrder() != DefaultHigherOrder || o.slackFrac() != DefaultSlackFrac {
+		t.Fatal("zero Options must select defaults")
+	}
+	ex := Exact()
+	if ex.listWidth() < 1<<30 || ex.extend() < 1<<30 || ex.higherOrder() < 1<<30 {
+		t.Fatal("Exact must lift the caps")
+	}
+	if ex.slackFrac() < 1 {
+		t.Fatal("Exact must include every net")
+	}
+	o = Options{MaxListWidth: 7, MaxExtend: 5, MaxHigherOrder: 2, SlackFrac: 0.5}
+	if o.listWidth() != 7 || o.extend() != 5 || o.higherOrder() != 2 || o.slackFrac() != 0.5 {
+		t.Fatal("explicit options must pass through")
+	}
+}
+
+func TestNoRescoreKeepsEstimates(t *testing.T) {
+	m := model(t, threeCouplings)
+	opt := Exact()
+	opt.NoRescore = true
+	res, err := TopKAddition(m, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.PerK {
+		if s.Delay != s.Estimate {
+			t.Fatalf("NoRescore must keep estimates: %+v", s)
+		}
+	}
+}
+
+func TestBeamStillFindsTopSetOnSmallCircuit(t *testing.T) {
+	m := model(t, threeCouplings)
+	exact, err := TopKAddition(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := Options{MaxListWidth: 2, MaxExtend: 2, MaxHigherOrder: 1, SlackFrac: 1}
+	beam, err := TopKAddition(m, 2, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beam.PerK) != len(exact.PerK) {
+		t.Fatalf("beam run truncated: %d vs %d", len(beam.PerK), len(exact.PerK))
+	}
+	// On this tiny circuit even a narrow beam must keep the optimum.
+	if math.Abs(beam.Top().Delay-exact.Top().Delay) > 1e-9 {
+		t.Fatalf("beam lost the optimum: %g vs %g", beam.Top().Delay, exact.Top().Delay)
+	}
+}
+
+func TestVictimSelection(t *testing.T) {
+	src := `circuit vs
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> n3
+gate g4 INV_X1 n3 -> y
+gate h1 INV_X1 b -> z
+couple n2 n3 1.0
+`
+	m := model(t, src)
+	e, err := newEngine(m, Options{SlackFrac: 0.1}, addition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := m.C.NetByName("z")
+	n2, _ := m.C.NetByName("n2")
+	if e.isVictim[z] {
+		t.Fatal("high-slack output must be excluded at tight SlackFrac")
+	}
+	if !e.isVictim[n2] {
+		t.Fatal("critical-path net must be a victim")
+	}
+	eAll, err := newEngine(m, Exact(), addition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eAll.victims) != m.C.NumNets() {
+		t.Fatalf("Exact must include all nets: %d vs %d", len(eAll.victims), m.C.NumNets())
+	}
+}
+
+func TestResultTopEmpty(t *testing.T) {
+	var r Result
+	if got := r.Top(); got.Delay != 0 || got.IDs != nil {
+		t.Fatalf("empty result Top = %+v", got)
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	s := &aggSet{ids: []circuit.CouplingID{1, 3, 5}}
+	if !s.contains(3) || s.contains(2) {
+		t.Fatal("contains broken")
+	}
+	got := s.withID(4)
+	want := []circuit.CouplingID{1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("withID = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("withID = %v, want %v", got, want)
+		}
+	}
+	if s.key() != "1,3,5" {
+		t.Fatalf("key = %q", s.key())
+	}
+	appended := s.withID(9)
+	if appended[len(appended)-1] != 9 {
+		t.Fatalf("withID append case = %v", appended)
+	}
+}
+
+func TestDedupeKeepsBestScore(t *testing.T) {
+	a := &aggSet{ids: []circuit.CouplingID{1, 2}, score: 0.5}
+	b := &aggSet{ids: []circuit.CouplingID{1, 2}, score: 0.7}
+	c := &aggSet{ids: []circuit.CouplingID{3}, score: 0.1}
+	out := dedupe([]*aggSet{a, b, c})
+	if len(out) != 2 {
+		t.Fatalf("dedupe kept %d", len(out))
+	}
+	for _, s := range out {
+		if s.key() == "1,2" && s.score != 0.7 {
+			t.Fatal("dedupe must keep the higher score")
+		}
+	}
+}
+
+func TestElapsedPerKMonotone(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKAddition(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ElapsedPerK) != len(res.PerK) {
+		t.Fatalf("ElapsedPerK length %d != PerK %d", len(res.ElapsedPerK), len(res.PerK))
+	}
+	for i := 1; i < len(res.ElapsedPerK); i++ {
+		if res.ElapsedPerK[i] < res.ElapsedPerK[i-1] {
+			t.Fatal("cumulative per-cardinality runtimes must be nondecreasing")
+		}
+	}
+	if res.Elapsed < res.ElapsedPerK[len(res.ElapsedPerK)-1] {
+		t.Fatal("total elapsed must cover the last cardinality")
+	}
+}
+
+func TestResultKRecorded(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKElimination(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 || res.Victims <= 0 {
+		t.Fatalf("metadata missing: %+v", res)
+	}
+}

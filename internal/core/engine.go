@@ -1,0 +1,1091 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+	"topkagg/internal/sta"
+	"topkagg/internal/waveform"
+)
+
+// mode distinguishes the two dual top-k problems.
+type mode int
+
+const (
+	addition mode = iota
+	elimination
+)
+
+// envTol is the simplification tolerance applied to combined
+// envelopes; small compared to any meaningful noise voltage.
+const envTol = 1e-9
+
+// primAgg is one primary aggressor coupling of a victim, with its
+// envelope expressed at that victim.
+type primAgg struct {
+	id    circuit.CouplingID
+	env   waveform.PWL
+	score float64
+}
+
+// engine carries the state of one top-k enumeration.
+type engine struct {
+	m    *noise.Model
+	c    *circuit.Circuit
+	opt  Options
+	mode mode
+
+	base *sta.Result     // noiseless timing
+	full *noise.Analysis // all-aggressors fixpoint
+
+	aggWin   []sta.Window  // windows used for primary envelopes
+	target   circuit.NetID // optional single answer net (-1 = circuit outputs)
+	victims  []circuit.NetID
+	levels   [][]circuit.NetID // victims grouped by topological level
+	isVictim []bool
+	domLo    []float64
+	domHi    []float64
+
+	prim    map[circuit.NetID][]primAgg
+	primIdx map[circuit.NetID]map[circuit.CouplingID]int
+	// Elimination scoring state, per victim: the total local
+	// (primary-aggressor) envelope, the propagated-arrival shift of the
+	// full noisy analysis, and the total arrival noise both together
+	// produce.
+	totalEnv  []waveform.PWL
+	propShift []float64
+	totalDN   []float64
+
+	// atoms1 holds, per victim, the final cardinality-1 irredundant
+	// list: the indivisible units ("aggressors" in the paper's sense —
+	// primaries, pseudo singletons, single-coupling narrowings) used to
+	// extend lower-cardinality sets.
+	atoms1 map[circuit.NetID][]*aggSet
+
+	prev map[circuit.NetID][]*aggSet // irredundant lists, cardinality i-1
+	cur  map[circuit.NetID][]*aggSet // irredundant lists, cardinality i
+	last map[circuit.NetID][]*aggSet // same-cardinality lists from the previous pass
+}
+
+// newEngine runs the preparatory analyses: noiseless timing, the
+// all-aggressor fixpoint, victim selection, dominance intervals and
+// primary-aggressor envelopes.
+func newEngine(m *noise.Model, opt Options, md mode) (*engine, error) {
+	e := &engine{m: m, c: m.C, opt: opt, mode: md, target: -1}
+	return e.finishInit()
+}
+
+// finishInit runs the preparatory analyses shared by the whole-circuit
+// and single-net constructors.
+func (e *engine) finishInit() (*engine, error) {
+	full, err := e.m.Run(e.opt.Active)
+	if err != nil {
+		return nil, err
+	}
+	e.full = full
+	e.base = full.Base
+	if e.mode == addition {
+		e.aggWin = e.base.Windows
+	} else {
+		e.aggWin = e.full.Timing.Windows
+	}
+	e.selectVictims()
+	e.prepareDominanceIntervals()
+	e.preparePrimaries()
+	if e.mode == elimination {
+		e.prepareTotals()
+	}
+	e.prev = map[circuit.NetID][]*aggSet{}
+	e.cur = map[circuit.NetID][]*aggSet{}
+	e.atoms1 = map[circuit.NetID][]*aggSet{}
+	return e, nil
+}
+
+// vw returns the noiseless reference window of a victim: the
+// transition the noise envelopes are superimposed on.
+func (e *engine) vw(v circuit.NetID) sta.Window { return e.base.Window(v) }
+
+// selectVictims picks the nets on critical and near-critical paths:
+// nets whose slack (required time minus latest arrival, measured on
+// noiseless timing) is within SlackFrac of the circuit delay.
+func (e *engine) selectVictims() {
+	margin := e.opt.slackFrac() * e.base.CircuitDelay()
+	slacks := e.base.Slacks(0)
+	var cone map[circuit.NetID]bool
+	if e.target >= 0 {
+		cone = e.c.FaninCone(e.target)
+	}
+	e.isVictim = make([]bool, e.c.NumNets())
+	for _, v := range e.base.TopoOrder() {
+		if e.opt.slackFrac() >= 1 || slacks[v] <= margin || cone[v] {
+			e.isVictim[v] = true
+			e.victims = append(e.victims, v)
+		}
+	}
+	// Group victims by topological level so each level's candidate
+	// generation can run concurrently: a net's level is one past the
+	// deepest of its driver's inputs, so all cross-level references
+	// (fanin pseudo sets) resolve to already-completed levels.
+	level := make([]int, e.c.NumNets())
+	for _, n := range e.base.TopoOrder() {
+		d := e.c.Net(n).Driver
+		if d == circuit.NoGate {
+			level[n] = 0
+			continue
+		}
+		l := 0
+		for _, in := range e.c.Gate(d).Inputs {
+			if level[in] >= l {
+				l = level[in] + 1
+			}
+		}
+		level[n] = l
+	}
+	maxL := 0
+	for _, v := range e.victims {
+		if level[v] > maxL {
+			maxL = level[v]
+		}
+	}
+	e.levels = make([][]circuit.NetID, maxL+1)
+	for _, v := range e.victims {
+		e.levels[level[v]] = append(e.levels[level[v]], v)
+	}
+}
+
+// prepareDominanceIntervals computes, per victim, the interval over
+// which envelope encapsulation must hold for dominance: from the
+// noiseless victim t50 to an upper bound obtained by assuming infinite
+// aggressor timing windows (paper Section 3.2), padded by the
+// propagated-noise headroom.
+func (e *engine) prepareDominanceIntervals() {
+	n := e.c.NumNets()
+	e.domLo = make([]float64, n)
+	e.domHi = make([]float64, n)
+	for _, v := range e.victims {
+		w := e.vw(v)
+		ub := e.m.DelayUpperBound(v, e.aggWin)
+		prop := e.full.Timing.Window(v).LAT - e.base.Window(v).LAT
+		e.domLo[v] = w.LAT
+		e.domHi[v] = w.LAT + ub + prop + w.Slew + 0.1
+	}
+}
+
+// preparePrimaries builds, per victim, the envelope of each incident
+// coupling, sorted by the delay noise it alone would cause.
+func (e *engine) preparePrimaries() {
+	e.prim = make(map[circuit.NetID][]primAgg, len(e.victims))
+	e.primIdx = make(map[circuit.NetID]map[circuit.CouplingID]int, len(e.victims))
+	for _, v := range e.victims {
+		ids := e.c.CouplingsOf(v)
+		if len(ids) == 0 {
+			continue
+		}
+		list := make([]primAgg, 0, len(ids))
+		for _, id := range ids {
+			if !e.opt.Active.Active(id) {
+				continue
+			}
+			cp := e.c.Coupling(id)
+			env := e.m.Envelope(v, cp, e.aggWin[cp.Other(v)])
+			list = append(list, primAgg{id: id, env: env, score: e.m.DelayNoise(e.vw(v), env)})
+		}
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].score != list[j].score {
+				return list[i].score > list[j].score
+			}
+			return list[i].id < list[j].id
+		})
+		e.prim[v] = list
+		idx := make(map[circuit.CouplingID]int, len(list))
+		for i, pa := range list {
+			idx[pa.id] = i
+		}
+		e.primIdx[v] = idx
+	}
+}
+
+// primEnvOf returns the primary envelope of coupling id at victim v
+// and whether id is a primary aggressor of v.
+func (e *engine) primEnvOf(v circuit.NetID, id circuit.CouplingID) (waveform.PWL, bool) {
+	i, ok := e.primIdx[v][id]
+	if !ok {
+		return waveform.PWL{}, false
+	}
+	return e.prim[v][i].env, true
+}
+
+// prepareTotals builds, for the elimination problem, each victim's
+// total local envelope (the sum of all primary envelopes with noisy
+// windows), the arrival shift propagated from its fanin, and the
+// total arrival noise both produce together. Candidate sets are scored
+// by how much of this total their removal takes away.
+func (e *engine) prepareTotals() {
+	n := e.c.NumNets()
+	e.totalEnv = make([]waveform.PWL, n)
+	e.propShift = make([]float64, n)
+	e.totalDN = make([]float64, n)
+	for _, v := range e.victims {
+		env := waveform.Zero()
+		for _, pa := range e.prim[v] {
+			env = waveform.Add(env, pa.env)
+		}
+		e.totalEnv[v] = env.Simplify(envTol)
+		e.propShift[v] = e.full.PropagatedShift(v)
+		e.totalDN[v] = e.m.DelayNoise(e.vw(v), e.withProp(v, e.totalEnv[v], 0))
+	}
+}
+
+// withProp combines a local envelope with the victim's propagated
+// pseudo envelope after reducing the propagated shift by the
+// candidate's inherited reduction. Shifts do not superpose linearly as
+// envelopes, which is why they are applied here rather than
+// subtracted pointwise.
+func (e *engine) withProp(v circuit.NetID, local waveform.PWL, shiftReduction float64) waveform.PWL {
+	p := e.propShift[v] - shiftReduction
+	if p <= waveform.Eps {
+		return local
+	}
+	return waveform.Add(local, e.pseudoEnvelope(v, p))
+}
+
+// pseudoEnvelope models a shift of the victim's own transition by dt
+// as a noise envelope: the difference between the noiseless transition
+// and the same transition delayed by dt (paper Section 3.1).
+func (e *engine) pseudoEnvelope(v circuit.NetID, dt float64) waveform.PWL {
+	r := e.m.VictimRamp(e.vw(v))
+	return waveform.Sub(r, r.Shift(dt))
+}
+
+// scoreSet evaluates a candidate at victim v according to the mode:
+// the delay noise its local envelope adds (addition), or the arrival
+// reduction its removal recovers (elimination), combining the local
+// envelope removal with the inherited propagated-shift reduction.
+func (e *engine) scoreSet(v circuit.NetID, env waveform.PWL, shift float64) float64 {
+	if e.mode == addition {
+		return e.m.DelayNoise(e.vw(v), env)
+	}
+	remaining := waveform.Sub(e.totalEnv[v], env).ClampMin(0)
+	return e.totalDN[v] - e.m.DelayNoise(e.vw(v), e.withProp(v, remaining, shift))
+}
+
+// propagateShift converts a latest-arrival shift dt at input net u
+// into the resulting output-arrival shift at net v, accounting for
+// masking by the other inputs of the driving gate. win supplies the
+// arrival times (noiseless for addition, noisy for elimination).
+//
+// For elimination, sibling inputs mask with their *noiseless* arrivals
+// rather than their current noisy ones: a removal set typically fixes
+// couplings across the whole fanin cone, so the reachable joint
+// reduction is bounded by where the siblings would land once their own
+// noise is also fixed. Masking against noisy siblings would freeze the
+// enumeration at the first reconvergence.
+func (e *engine) propagateShift(u, v circuit.NetID, dt float64, win []sta.Window) float64 {
+	g := e.c.Gate(e.c.Net(v).Driver)
+	load := e.c.LoadCap(v)
+	oldMax, newMax := math.Inf(-1), math.Inf(-1)
+	for _, in := range g.Inputs {
+		arr := win[in].LAT + g.Cell.Delay(load, win[in].Slew)
+		if arr > oldMax {
+			oldMax = arr
+		}
+		if in == u {
+			if e.mode == addition {
+				arr += dt
+			} else {
+				arr -= dt
+			}
+		}
+		if arr > newMax {
+			newMax = arr
+		}
+	}
+	var shift float64
+	if e.mode == addition {
+		shift = newMax - oldMax
+	} else {
+		shift = oldMax - newMax
+	}
+	if shift < 0 {
+		return 0
+	}
+	if e.mode == elimination && shift > dt {
+		shift = dt
+	}
+	return shift
+}
+
+// propagateShiftMulti converts simultaneous latest-arrival reductions
+// on several inputs of v's driver (red, by input net) into the joint
+// output-arrival reduction. Inputs without a reduction mask with their
+// noiseless arrivals, consistent with propagateShift's elimination
+// convention.
+func (e *engine) propagateShiftMulti(v circuit.NetID, red map[circuit.NetID]float64, win []sta.Window) float64 {
+	g := e.c.Gate(e.c.Net(v).Driver)
+	load := e.c.LoadCap(v)
+	oldMax, newMax := math.Inf(-1), math.Inf(-1)
+	maxRed := 0.0
+	for _, in := range g.Inputs {
+		arr := win[in].LAT + g.Cell.Delay(load, win[in].Slew)
+		if arr > oldMax {
+			oldMax = arr
+		}
+		if r, ok := red[in]; ok {
+			arr -= r
+			if r > maxRed {
+				maxRed = r
+			}
+		} else {
+			arr = e.base.Window(in).LAT + g.Cell.Delay(load, e.base.Window(in).Slew)
+		}
+		if arr > newMax {
+			newMax = arr
+		}
+	}
+	shift := oldMax - newMax
+	if shift < 0 {
+		return 0
+	}
+	if shift > maxRed {
+		shift = maxRed
+	}
+	return shift
+}
+
+// candidates builds the cardinality-i candidate list for victim v by
+// the paper's three rules: extension of lower-cardinality sets by
+// primary aggressors, pseudo input aggressors propagated from the
+// fanin, and higher-order aggressors (primaries with windows widened
+// by their own aggressors).
+func (e *engine) candidates(v circuit.NetID, i int) []*aggSet {
+	var cands []*aggSet
+
+	// Rule 1: singletons / extensions of I-list_{i-1} by one more
+	// cardinality-1 aggressor unit (a primary, a pseudo singleton or —
+	// in elimination — a single-coupling narrowing; see atoms1).
+	if i == 1 {
+		for _, pa := range e.prim[v] {
+			// pa.score is the raw delay noise of the primary alone;
+			// the candidate score must be mode-aware (for elimination,
+			// the *reduction* achieved by removing it).
+			cands = append(cands, &aggSet{
+				ids:   []circuit.CouplingID{pa.id},
+				env:   pa.env,
+				score: e.scoreSet(v, pa.env, 0),
+			})
+		}
+	} else {
+		ext := e.atoms1[v]
+		if n := e.opt.extend(); len(ext) > n {
+			ext = ext[:n]
+		}
+		for _, s := range e.prev[v] {
+			for _, a := range ext {
+				id := a.ids[0]
+				if s.contains(id) {
+					continue
+				}
+				env := waveform.Add(s.env, a.env).Simplify(envTol)
+				shift := s.shift + a.shift
+				cands = append(cands, &aggSet{
+					ids:   s.withID(id),
+					env:   env,
+					shift: shift,
+					score: e.scoreSet(v, env, shift),
+				})
+			}
+		}
+	}
+
+	// Rule 2: pseudo input aggressors of cardinality i, propagated
+	// from the fanin nets (already processed this iteration because
+	// victims run in topological order).
+	if !e.opt.NoPseudo {
+		if d := e.c.Net(v).Driver; d != circuit.NoGate {
+			win := e.base.Windows
+			if e.mode == elimination {
+				win = e.full.Timing.Windows
+			}
+			// One set can reach v through several inputs at once (a
+			// coupling attacking both sides of a reconvergence); in the
+			// elimination problem its arrival reductions then combine
+			// at the gate, so per-input reductions are gathered first
+			// and propagated jointly.
+			type reach struct {
+				s   *aggSet
+				red map[circuit.NetID]float64
+			}
+			byKey := map[string]*reach{}
+			var order []string
+			for _, u := range e.c.Gate(d).Inputs {
+				if !e.isVictim[u] {
+					continue
+				}
+				list := e.cur[u]
+				if len(list) == 0 {
+					list = e.last[u]
+				}
+				for _, s := range list {
+					if s.score <= waveform.Eps {
+						continue
+					}
+					k := s.key()
+					r, ok := byKey[k]
+					if !ok {
+						r = &reach{s: s, red: map[circuit.NetID]float64{}}
+						byKey[k] = r
+						order = append(order, k)
+					}
+					if s.score > r.red[u] {
+						r.red[u] = s.score
+					}
+				}
+			}
+			for _, k := range order {
+				r := byKey[k]
+				var shift float64
+				if e.mode == addition || len(r.red) == 1 {
+					// Single path (or additive noise, where the worst
+					// single path dominates): classic propagation.
+					for u, red := range r.red {
+						if sh := e.propagateShift(u, v, red, win); sh > shift {
+							shift = sh
+						}
+					}
+				} else {
+					shift = e.propagateShiftMulti(v, r.red, win)
+				}
+				if shift <= waveform.Eps {
+					continue
+				}
+				s := r.s
+				// Members of the upstream set that also couple v
+				// directly contribute their primary envelopes here as
+				// well (unless the "aggressor" is a fanin net whose
+				// effect the propagated shift already carries).
+				env := waveform.Zero()
+				for _, id := range s.ids {
+					if pe, ok := e.primEnvOf(v, id); ok {
+						if _, viaInput := r.red[e.c.Coupling(id).Other(v)]; !viaInput {
+							env = waveform.Add(env, pe)
+						}
+					}
+				}
+				var cand *aggSet
+				if e.mode == addition {
+					// Additive noise propagates as a pseudo noise
+					// envelope superimposed on the victim.
+					env = waveform.Add(env, e.pseudoEnvelope(v, shift)).Simplify(envTol)
+					cand = &aggSet{ids: copyIDs(s.ids), env: env, score: e.scoreSet(v, env, 0)}
+				} else {
+					// Arrival reductions are carried as an explicit
+					// shift; only direct envelopes stay local.
+					env = env.Simplify(envTol)
+					cand = &aggSet{ids: copyIDs(s.ids), env: env, shift: shift,
+						score: e.scoreSet(v, env, shift)}
+				}
+				cands = append(cands, cand)
+			}
+		}
+	}
+
+	// Rule 3: higher-order aggressors.
+	cands = append(cands, e.higherOrder(v, i)...)
+	return cands
+}
+
+// higherOrder produces cardinality-i sets in which a primary
+// aggressor's timing window is modified by the aggressor net's own
+// top sets: widened for addition (the indirect-aggressor effect of
+// paper Fig. 1), narrowed for elimination (fixing an indirect
+// aggressor shrinks the primary's envelope).
+func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
+	var out []*aggSet
+	lim := e.opt.higherOrder()
+	for _, pa := range e.prim[v] {
+		g := e.c.Coupling(pa.id).Other(v)
+		if !e.isVictim[g] {
+			continue
+		}
+		switch e.mode {
+		case addition:
+			if i < 2 {
+				continue
+			}
+			// {primary} ∪ T, |T| = i-1: T's noise on the aggressor net
+			// widens the aggressor window and thus the envelope on v.
+			lists := e.prev[g]
+			taken := 0
+			for _, t := range lists {
+				if taken >= lim {
+					break
+				}
+				if t.score <= waveform.Eps || t.contains(pa.id) {
+					continue
+				}
+				wid := e.aggWin[g]
+				wid.LAT += t.score
+				env := e.m.Envelope(v, e.c.Coupling(pa.id), wid)
+				// Members of T that also couple v directly add their
+				// own primary envelopes at v.
+				for _, id := range t.ids {
+					if pe, ok := e.primEnvOf(v, id); ok {
+						env = waveform.Add(env, pe)
+					}
+				}
+				env = env.Simplify(envTol)
+				out = append(out, &aggSet{
+					ids:   t.withID(pa.id),
+					env:   env,
+					score: e.scoreSet(v, env, 0),
+				})
+				taken++
+			}
+		case elimination:
+			// T alone, |T| = i: removing T narrows the aggressor's
+			// noisy window; the removable part of the primary envelope
+			// is the difference between wide and narrowed envelopes.
+			lists := e.cur[g]
+			if len(lists) == 0 {
+				lists = e.last[g]
+			}
+			taken := 0
+			for _, t := range lists {
+				if taken >= lim {
+					break
+				}
+				if t.score <= waveform.Eps || t.contains(pa.id) {
+					continue
+				}
+				nar := e.aggWin[g]
+				nar.LAT -= t.score
+				if nar.LAT < nar.EAT {
+					nar.LAT = nar.EAT
+				}
+				envNar := e.m.Envelope(v, e.c.Coupling(pa.id), nar)
+				env := waveform.Sub(pa.env, envNar).ClampMin(0)
+				// Members of T that couple v directly are themselves
+				// removed, taking their whole primary envelope with
+				// them.
+				for _, id := range t.ids {
+					if pe, ok := e.primEnvOf(v, id); ok {
+						env = waveform.Add(env, pe)
+					}
+				}
+				env = env.Simplify(envTol)
+				if env.IsZero() {
+					continue
+				}
+				out = append(out, &aggSet{
+					ids:   copyIDs(t.ids),
+					env:   env,
+					score: e.scoreSet(v, env, 0),
+				})
+				taken++
+			}
+		}
+	}
+	return out
+}
+
+// iterate computes the cardinality-i irredundant list of every victim
+// in one topological pass. Same-cardinality lookups that miss (the
+// referenced net comes later in topological order) fall back to
+// e.last, the previous pass of the same cardinality.
+func (e *engine) iterate(i int) {
+	e.cur = make(map[circuit.NetID][]*aggSet, len(e.victims))
+	workers := runtime.GOMAXPROCS(0)
+	for _, lvl := range e.levels {
+		if len(lvl) == 0 {
+			continue
+		}
+		// Same-level victims never read each other's current lists
+		// (cross-references fall back to e.last), so they can be
+		// processed concurrently; results land in per-victim slots and
+		// merge after the level completes.
+		type out struct {
+			atoms, kept []*aggSet
+		}
+		outs := make([]out, len(lvl))
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		n := workers
+		if n > len(lvl) {
+			n = len(lvl)
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1) - 1)
+					if j >= len(lvl) {
+						return
+					}
+					v := lvl[j]
+					cands := dedupe(e.candidates(v, i))
+					// Drop candidates that did not reach the requested
+					// cardinality (duplicate-extension artifacts).
+					filtered := cands[:0]
+					for _, c := range cands {
+						if len(c.ids) == i {
+							filtered = append(filtered, c)
+						}
+					}
+					sortByScore(filtered)
+					if i == 1 {
+						// The cardinality-1 units are the extension
+						// alphabet for rule 1 at higher cardinalities.
+						// They are recorded before pruning: Theorem 1
+						// justifies dropping a dominated set Q from the
+						// I-list only for extensions by aggressors
+						// outside the dominating set P, so Q must stay
+						// available as an *extension* of sets containing
+						// members of P.
+						outs[j].atoms = filtered
+					}
+					outs[j].kept = prune(filtered, e.domLo[v], e.domHi[v], e.opt.listWidth(), e.opt.NoDominance)
+				}
+			}()
+		}
+		wg.Wait()
+		for j, v := range lvl {
+			if i == 1 {
+				e.atoms1[v] = outs[j].atoms
+			}
+			e.cur[v] = outs[j].kept
+		}
+	}
+}
+
+// advance produces the final cardinality-i lists. Elimination runs two
+// passes so that higher-order references to nets later in topological
+// order resolve; addition's cross-references (prev-cardinality lists)
+// are already complete after one pass.
+func (e *engine) advance(i int) {
+	passes := 1
+	if e.mode == elimination {
+		passes = 2
+	}
+	e.last = nil
+	for p := 0; p < passes; p++ {
+		e.iterate(i)
+		e.last = e.cur
+	}
+	e.last = nil
+	e.prev = e.cur
+}
+
+// bestAt returns the best cardinality-i set over the primary outputs'
+// current lists together with its estimated circuit delay. The
+// estimate accounts for the other outputs: adding noise at one output
+// cannot lower the circuit delay below the noiseless maximum, and
+// removing noise at one output cannot lower it below the remaining
+// outputs' noisy arrivals.
+func (e *engine) bestAt(pos []circuit.NetID) (*aggSet, circuit.NetID, float64, bool) {
+	var best *aggSet
+	var bestPO circuit.NetID
+	bestEst := 0.0
+	bestRaw := 0.0
+	for _, po := range pos {
+		if !e.isVictim[po] {
+			continue
+		}
+		for _, s := range e.cur[po] {
+			est, raw := e.estimate(po, pos, s.score)
+			better := false
+			switch {
+			case best == nil:
+				better = true
+			case e.mode == addition:
+				better = est > bestEst+waveform.Eps ||
+					(est > bestEst-waveform.Eps && raw > bestRaw+waveform.Eps)
+			default:
+				better = est < bestEst-waveform.Eps ||
+					(est < bestEst+waveform.Eps && raw < bestRaw-waveform.Eps)
+			}
+			if better {
+				best, bestPO, bestEst, bestRaw = s, po, est, raw
+			}
+		}
+	}
+	return best, bestPO, bestEst, best != nil
+}
+
+// estimate converts a set's score at output po into an estimated
+// circuit delay (and the raw per-output figure used for tie-breaks).
+func (e *engine) estimate(po circuit.NetID, pos []circuit.NetID, score float64) (est, raw float64) {
+	if e.mode == addition {
+		raw = e.base.Window(po).LAT + score
+		if e.target >= 0 {
+			// Per-net analysis reports the net's own arrival, not the
+			// circuit delay.
+			return raw, raw
+		}
+		return math.Max(e.base.CircuitDelay(), raw), raw
+	}
+	raw = e.full.Timing.Window(po).LAT - score
+	return math.Max(e.othersNoisyMax(po, pos), raw), raw
+}
+
+// extendChain grows the previous winning set by the strongest
+// cardinality-1 unit at the same output that it does not already
+// contain, yielding a valid candidate one cardinality up.
+func (e *engine) extendChain(chain *aggSet, po circuit.NetID, pos []circuit.NetID) (*aggSet, circuit.NetID, float64, bool) {
+	if chain == nil {
+		return nil, 0, 0, false
+	}
+	for _, a := range e.atoms1[po] {
+		id := a.ids[0]
+		if chain.contains(id) {
+			continue
+		}
+		env := waveform.Add(chain.env, a.env).Simplify(envTol)
+		shift := chain.shift + a.shift
+		s := &aggSet{ids: chain.withID(id), env: env, shift: shift,
+			score: e.scoreSet(po, env, shift)}
+		est, _ := e.estimate(po, pos, s.score)
+		return s, po, est, true
+	}
+	// All local units are in the set already: pad with any other
+	// coupling. A coupling with no effect at this output keeps the
+	// score (and the estimate) exactly where it was, which is the best
+	// a larger set can guarantee.
+	for id := circuit.CouplingID(0); int(id) < e.c.NumCouplings(); id++ {
+		if chain.contains(id) {
+			continue
+		}
+		s := &aggSet{ids: chain.withID(id), env: chain.env, shift: chain.shift, score: chain.score}
+		est, _ := e.estimate(po, pos, s.score)
+		return s, po, est, true
+	}
+	return nil, 0, 0, false
+}
+
+// bestVerified gathers the strongest candidates at the targets (plus
+// the chain extension), re-evaluates each with the incremental
+// reference engine, and returns the one with the best *measured*
+// circuit delay. Returns a nil set when no candidate exists.
+func (e *engine) bestVerified(pos []circuit.NetID, chain *aggSet, chainPO circuit.NetID) (*aggSet, circuit.NetID, float64, error) {
+	type cand struct {
+		s   *aggSet
+		po  circuit.NetID
+		est float64
+	}
+	var cands []cand
+	for _, po := range pos {
+		if !e.isVictim[po] {
+			continue
+		}
+		for _, s := range e.cur[po] {
+			est, _ := e.estimate(po, pos, s.score)
+			cands = append(cands, cand{s, po, est})
+		}
+	}
+	// Several alternative chain extensions compete under verification:
+	// the measured winner may extend by an atom the estimates rank low.
+	if chain != nil {
+		taken := 0
+		for _, a := range e.atoms1[chainPO] {
+			if taken >= e.opt.VerifyTop {
+				break
+			}
+			if chain.contains(a.ids[0]) {
+				continue
+			}
+			env := waveform.Add(chain.env, a.env).Simplify(envTol)
+			shift := chain.shift + a.shift
+			cs := &aggSet{ids: chain.withID(a.ids[0]), env: env, shift: shift,
+				score: e.scoreSet(chainPO, env, shift)}
+			est, _ := e.estimate(chainPO, pos, cs.score)
+			cands = append(cands, cand{cs, chainPO, est})
+			taken++
+		}
+	}
+	if c, cpo, cest, cok := e.extendChain(chain, chainPO, pos); cok {
+		cands = append(cands, cand{c, cpo, cest})
+	}
+	if len(cands) == 0 {
+		return nil, 0, 0, nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if e.mode == addition {
+			return cands[i].est > cands[j].est
+		}
+		return cands[i].est < cands[j].est
+	})
+	// Dedupe by set identity, then cap.
+	seen := map[string]bool{}
+	uniq := cands[:0]
+	for _, c := range cands {
+		k := c.s.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, c)
+	}
+	cands = uniq
+	if len(cands) > 2*e.opt.VerifyTop {
+		cands = cands[:2*e.opt.VerifyTop]
+	}
+	prevMask := e.opt.Active
+	if prevMask == nil {
+		prevMask = noise.AllMask(e.c)
+	}
+	var best *cand
+	bestDelay := 0.0
+	for i := range cands {
+		c := &cands[i]
+		var mask noise.Mask
+		if e.mode == addition {
+			mask = noise.MaskOf(e.c, c.s.ids)
+		} else {
+			mask = prevMask.Clone()
+			for _, id := range c.s.ids {
+				mask[id] = false
+			}
+		}
+		var (
+			an  *noise.Analysis
+			err error
+		)
+		if e.mode == elimination {
+			an, _, err = e.m.RunIncremental(e.full, prevMask, mask)
+		} else {
+			an, err = e.m.Run(mask)
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		d := an.CircuitDelay()
+		if e.target >= 0 {
+			d = an.Timing.Window(e.target).LAT
+		}
+		if best == nil || (e.mode == addition && d > bestDelay) || (e.mode == elimination && d < bestDelay) {
+			best, bestDelay = c, d
+		}
+	}
+	return best.s, best.po, bestDelay, nil
+}
+
+// othersNoisyMax returns the largest noisy arrival over the outputs
+// other than po.
+func (e *engine) othersNoisyMax(po circuit.NetID, pos []circuit.NetID) float64 {
+	m := math.Inf(-1)
+	for _, other := range pos {
+		if other == po {
+			continue
+		}
+		if l := e.full.Timing.Window(other).LAT; l > m {
+			m = l
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// run executes the full enumeration up to cardinality k and returns
+// the per-cardinality selections.
+func (e *engine) run(k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	start := time.Now()
+	res := &Result{
+		K:         k,
+		Victims:   len(e.victims),
+		BaseDelay: e.base.CircuitDelay(),
+		AllDelay:  e.full.CircuitDelay(),
+	}
+	if e.target >= 0 {
+		// Per-net analysis: endpoints are the target's own arrivals.
+		res.BaseDelay = e.base.Window(e.target).LAT
+		res.AllDelay = e.full.Timing.Window(e.target).LAT
+	}
+	targets := e.targets()
+	// chain carries the best selection forward: extending the previous
+	// winner by one more unit is always a valid cardinality-i set, so
+	// the reported per-cardinality estimates never regress even when
+	// beam pruning loses the previous winner's supersets.
+	var chain *aggSet
+	var chainPO circuit.NetID
+	for i := 1; i <= k; i++ {
+		e.advance(i)
+		s, po, est, ok := e.bestAt(targets)
+		if c, cpo, cest, cok := e.extendChain(chain, chainPO, targets); cok {
+			if !ok || (e.mode == addition && cest > est) || (e.mode == elimination && cest < est) {
+				s, po, est, ok = c, cpo, cest, true
+			}
+		}
+		if !ok {
+			break // cardinality exceeds what the coupling graph offers
+		}
+		if e.opt.VerifyTop > 0 {
+			vs, vpo, vest, err := e.bestVerified(targets, chain, chainPO)
+			if err != nil {
+				return nil, err
+			}
+			if vs != nil {
+				s, po, est = vs, vpo, vest
+			}
+		}
+		chain, chainPO = s, po
+		res.PerK = append(res.PerK, Selected{IDs: copyIDs(s.ids), Estimate: est, Delay: est})
+		res.ElapsedPerK = append(res.ElapsedPerK, time.Since(start))
+	}
+	res.Elapsed = time.Since(start)
+	if !e.opt.NoRescore {
+		if err := e.rescore(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// targets returns the nets whose lists the final answer is read from:
+// every primary output, since for addition any output can become
+// critical and for elimination removal sets discovered on any output
+// cone remain valid (their true effect is settled by rescoring).
+func (e *engine) targets() []circuit.NetID {
+	if e.target >= 0 {
+		return []circuit.NetID{e.target}
+	}
+	return e.c.POs()
+}
+
+// rescore re-evaluates every selected set with the reference iterative
+// noise engine, replacing the enumeration's estimates by measured
+// circuit delays. The curve is kept monotone: if a larger set measures
+// worse than a smaller one (the enumeration's estimate was optimistic
+// for it), the smaller set padded with an arbitrary extra coupling is
+// the better cardinality-k answer — the reference model is monotone in
+// the active-coupling mask, so padding can only help.
+func (e *engine) rescore(res *Result) error {
+	eval := func(ids []circuit.CouplingID) (float64, error) {
+		var mask noise.Mask
+		if e.mode == addition {
+			mask = noise.MaskOf(e.c, ids)
+		} else {
+			mask = noise.WithoutMask(e.c, ids)
+		}
+		an, err := e.m.Run(mask)
+		if err != nil {
+			return 0, err
+		}
+		if e.target >= 0 {
+			return an.Timing.Window(e.target).LAT, nil
+		}
+		return an.CircuitDelay(), nil
+	}
+	worse := func(d, prev float64) bool {
+		if e.mode == addition {
+			return d < prev
+		}
+		return d > prev
+	}
+	for i := range res.PerK {
+		d, err := eval(res.PerK[i].IDs)
+		if err != nil {
+			return err
+		}
+		if i > 0 && worse(d, res.PerK[i-1].Delay) {
+			padded := e.padIDs(res.PerK[i-1].IDs, len(res.PerK[i].IDs))
+			pd, err := eval(padded)
+			if err != nil {
+				return err
+			}
+			if !worse(pd, d) {
+				res.PerK[i].IDs = padded
+				d = pd
+			}
+			// Guard against residual non-monotonicity from fixpoint
+			// tolerance: never report a regression.
+			if worse(d, res.PerK[i-1].Delay) {
+				d = res.PerK[i-1].Delay
+			}
+		}
+		res.PerK[i].Delay = d
+	}
+	return nil
+}
+
+// padIDs extends ids to the requested cardinality with the
+// lowest-numbered couplings not already present.
+func (e *engine) padIDs(ids []circuit.CouplingID, n int) []circuit.CouplingID {
+	out := copyIDs(ids)
+	present := make(map[circuit.CouplingID]bool, len(ids))
+	for _, id := range ids {
+		present[id] = true
+	}
+	for id := circuit.CouplingID(0); len(out) < n && int(id) < e.c.NumCouplings(); id++ {
+		if !present[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopKAdditionAt computes the top-k addition sets for one designated
+// victim net instead of the circuit outputs: which k couplings most
+// delay this net's latest arrival. The net's full fanin cone is
+// enumerated regardless of slack.
+func TopKAdditionAt(m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
+	e, err := newEngineAt(m, net, opt, addition)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(k)
+}
+
+// TopKEliminationAt computes the top-k elimination sets for one
+// designated victim net: which k couplings to fix for the largest
+// recovery of this net's noisy arrival.
+func TopKEliminationAt(m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
+	e, err := newEngineAt(m, net, opt, elimination)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(k)
+}
+
+func newEngineAt(m *noise.Model, net circuit.NetID, opt Options, md mode) (*engine, error) {
+	if int(net) < 0 || int(net) >= m.C.NumNets() {
+		return nil, fmt.Errorf("core: no net %d in circuit %s", net, m.C.Name)
+	}
+	e := &engine{m: m, c: m.C, opt: opt, mode: md, target: net}
+	return e.finishInit()
+}
+
+// TopKAddition computes, for every cardinality 1..k, the set of
+// coupling capacitors whose activation adds the most circuit delay to
+// the noiseless design (the paper's top-k aggressors addition set).
+func TopKAddition(m *noise.Model, k int, opt Options) (*Result, error) {
+	e, err := newEngine(m, opt, addition)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(k)
+}
+
+// TopKElimination computes, for every cardinality 1..k, the set of
+// coupling capacitors whose removal (shielding/spacing) recovers the
+// most circuit delay from the fully noisy design (the paper's top-k
+// aggressors elimination set).
+func TopKElimination(m *noise.Model, k int, opt Options) (*Result, error) {
+	e, err := newEngine(m, opt, elimination)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(k)
+}

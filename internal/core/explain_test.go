@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+func TestExplainAddition(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKAddition(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Top()
+	ex, err := ExplainAddition(m, top.IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.Delay-top.Delay) > 1e-9 {
+		t.Fatalf("explanation delay %g != selection delay %g", ex.Delay, top.Delay)
+	}
+	if len(ex.Contributions) != len(top.IDs) {
+		t.Fatalf("want %d contributions, got %d", len(top.IDs), len(ex.Contributions))
+	}
+	// Sorted descending.
+	for i := 1; i < len(ex.Contributions); i++ {
+		if ex.Contributions[i].Marginal > ex.Contributions[i-1].Marginal+1e-12 {
+			t.Fatal("contributions must be sorted largest first")
+		}
+	}
+	// Solo effects + synergy exactly decompose the total effect.
+	total := ex.Delay - ex.Baseline
+	sum := ex.Synergy
+	for _, c := range ex.Contributions {
+		sum += c.Solo
+	}
+	if math.Abs(sum-total) > 1e-6 {
+		t.Fatalf("decomposition broken: %g vs %g", sum, total)
+	}
+}
+
+func TestExplainElimination(t *testing.T) {
+	m := model(t, threeCouplings)
+	res, err := TopKElimination(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Top()
+	ex, err := ExplainElimination(m, top.IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Baseline < ex.Delay-1e-9 {
+		t.Fatalf("elimination baseline (all couplings) must be the slower state: %g vs %g",
+			ex.Baseline, ex.Delay)
+	}
+	for _, c := range ex.Contributions {
+		if c.Marginal < 0 {
+			t.Fatalf("negative marginal: %+v", c)
+		}
+	}
+}
+
+func TestExplainFig4Synergy(t *testing.T) {
+	// On the Fig.-4 construction, the winning pair works only in
+	// combination: individual marginals are ~zero and the synergy term
+	// carries (almost) the whole effect.
+	src := `circuit fig4
+output y
+gate v1 INV_X1 a -> vn
+gate v2 INV_X1 vn -> y
+gate r1 INV_X1 d -> r1n
+gate r2 INV_X1 r1n -> r2n
+gate r3 INV_X1 r2n -> r3n
+gate r4 INV_X1 r3n -> a2q
+gate s1 INV_X1 e -> s1n
+gate s2 INV_X1 s1n -> s2n
+gate s3 INV_X1 s2n -> s3n
+gate s4 INV_X1 s3n -> a3q
+couple vn a2q 5.0
+couple vn a3q 5.0
+`
+	m := model(t, src)
+	ex, err := ExplainAddition(m, []circuit.CouplingID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ex.Delay - ex.Baseline
+	if total <= 0 {
+		t.Fatal("the pair must produce delay noise")
+	}
+	if ex.Synergy < 0.9*total {
+		t.Fatalf("Fig.-4 pair must be nearly pure synergy: synergy=%g total=%g", ex.Synergy, total)
+	}
+}
+
+func TestExplainEmptySet(t *testing.T) {
+	m := model(t, threeCouplings)
+	if _, err := ExplainAddition(m, nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+	_ = noise.Mask(nil)
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/filter"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestActiveMaskRestrictsEnumeration checks the filter→enumerate flow:
+// running top-k over only the filter-surviving couplings matches the
+// unfiltered run's delays (exact timing filter only).
+func TestActiveMaskRestrictsEnumeration(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	fr, err := filter.FalseAggressors(m, filter.Options{PeakFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.False) == 0 {
+		t.Skip("no removable couplings on this benchmark")
+	}
+	plain, err := TopKAddition(m, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := TopKAddition(m, 5, Options{Active: fr.Active})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.PerK) != len(plain.PerK) {
+		t.Fatalf("filtered run truncated: %d vs %d", len(filtered.PerK), len(plain.PerK))
+	}
+	for i := range plain.PerK {
+		if d := math.Abs(plain.PerK[i].Delay - filtered.PerK[i].Delay); d > 1e-6 {
+			t.Fatalf("k=%d: filtered delay differs by %g", i+1, d)
+		}
+	}
+	// The filtered enumeration must not select a false coupling.
+	for _, s := range filtered.PerK {
+		for _, id := range s.IDs {
+			if !fr.Active.Active(id) {
+				t.Fatalf("filtered run selected false coupling %d", id)
+			}
+		}
+	}
+}
+
+func TestActiveMaskEmptySelectsNothing(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := TopKAddition(m, 3, Options{Active: noise.NewMask(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 0 {
+		t.Fatalf("empty active mask must yield no sets: %+v", res.PerK)
+	}
+	if math.Abs(res.AllDelay-res.BaseDelay) > 1e-9 {
+		t.Fatal("with nothing active, noisy == noiseless")
+	}
+}

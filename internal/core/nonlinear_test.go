@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/bruteforce"
+	"topkagg/internal/noise"
+)
+
+// TestNonlinearDriverTopKMatchesBruteForce checks that the top-k
+// machinery is model-agnostic: under the saturating-CSM driver
+// (the paper's future-work extension) the proposed algorithm still
+// agrees with brute force, since both consume the same pulse model.
+func TestNonlinearDriverTopKMatchesBruteForce(t *testing.T) {
+	m := model(t, threeCouplings)
+	m.Driver = noise.SaturatingCSM{Alpha: 1.0}
+	res, err := TopKAddition(m, 2, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 2; k++ {
+		bf, err := bruteforce.Addition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.PerK[k-1].Delay-bf.Delay) > 1e-9 {
+			t.Fatalf("k=%d: nonlinear proposed %g != brute force %g", k, res.PerK[k-1].Delay, bf.Delay)
+		}
+	}
+}
+
+// TestNonlinearDriverStrictlyWorse confirms the models actually
+// differ on this circuit (the extension is not a no-op).
+func TestNonlinearDriverStrictlyWorse(t *testing.T) {
+	lin := model(t, threeCouplings)
+	csm := model(t, threeCouplings)
+	csm.Driver = noise.SaturatingCSM{Alpha: 1.5}
+	rl, err := TopKAddition(lin, 1, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := TopKAddition(csm, 1, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Top().Delay <= rl.Top().Delay {
+		t.Fatalf("saturating driver should worsen the top-1 delay: %g vs %g",
+			rc.Top().Delay, rl.Top().Delay)
+	}
+}

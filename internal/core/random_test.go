@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/bruteforce"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestRandomCircuitsMatchBruteForce is the randomized form of the
+// paper's Table-1 validation across a batch of generated circuits with
+// different topologies and coupling patterns: with exact options
+// (no caps + verified selection) the enumeration must reproduce the
+// brute-force optimum for k = 1 and 2 on every seed, for both the
+// addition and the elimination problem.
+func TestRandomCircuitsMatchBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c, err := gen.Build(gen.Spec{Name: "rnd", Gates: 14, Couplings: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := noise.NewModel(c)
+
+		add, err := TopKAddition(m, 2, Exact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 2 && k <= len(add.PerK); k++ {
+			bf, err := bruteforce.Addition(m, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(add.PerK[k-1].Delay - bf.Delay); d > 1e-9 {
+				t.Errorf("seed %d addition k=%d: proposed %.9f vs brute force %.9f (sets %v vs %v)",
+					seed, k, add.PerK[k-1].Delay, bf.Delay, add.PerK[k-1].IDs, bf.IDs)
+			}
+		}
+
+		del, err := TopKElimination(m, 2, Exact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 2 && k <= len(del.PerK); k++ {
+			bf, err := bruteforce.Elimination(m, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := del.PerK[k-1].Delay
+			if d := math.Abs(got - bf.Delay); d > 1e-9 {
+				t.Errorf("seed %d elimination k=%d: proposed %.9f vs brute force %.9f (sets %v vs %v)",
+					seed, k, got, bf.Delay, del.PerK[k-1].IDs, bf.IDs)
+			}
+		}
+	}
+}
+
+// TestRandomCurveInvariants checks the structural invariants of the
+// per-cardinality curves on a batch of random circuits with default
+// (beamed) options: bracketing by the endpoints and monotonicity.
+func TestRandomCurveInvariants(t *testing.T) {
+	for seed := int64(11); seed <= 16; seed++ {
+		c, err := gen.Build(gen.Spec{Name: "rnd", Gates: 30, Couplings: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := noise.NewModel(c)
+		add, err := TopKAddition(m, 6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := add.BaseDelay
+		for i, s := range add.PerK {
+			if s.Delay < prev-1e-9 {
+				t.Errorf("seed %d: addition curve dips at k=%d", seed, i+1)
+			}
+			if s.Delay > add.AllDelay+1e-9 {
+				t.Errorf("seed %d: addition exceeds all-aggressor delay at k=%d", seed, i+1)
+			}
+			prev = s.Delay
+		}
+		del, err := TopKElimination(m, 6, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = del.AllDelay
+		for i, s := range del.PerK {
+			if s.Delay > prev+1e-9 {
+				t.Errorf("seed %d: elimination curve rises at k=%d", seed, i+1)
+			}
+			if s.Delay < del.BaseDelay-1e-9 {
+				t.Errorf("seed %d: elimination undercuts noiseless delay at k=%d", seed, i+1)
+			}
+			prev = s.Delay
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/waveform"
+)
+
+// aggSet is one candidate aggressor set at a specific victim net: the
+// coupling IDs it contains, its combined noise envelope expressed at
+// that victim, and its score there (delay noise for the addition
+// problem, delay-noise reduction for elimination).
+type aggSet struct {
+	ids []circuit.CouplingID // sorted, unique
+	env waveform.PWL         // combined local envelope at the current victim
+	// shift is the arrival-time reduction inherited from the fanin
+	// (elimination only): propagated shifts do not superpose linearly
+	// as envelopes, so they are carried explicitly and applied to the
+	// victim's propagated-noise pseudo envelope during scoring.
+	shift float64
+	score float64
+}
+
+// key returns a canonical identity string for deduplication.
+func (s *aggSet) key() string {
+	var sb strings.Builder
+	for i, id := range s.ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(id)))
+	}
+	return sb.String()
+}
+
+// contains reports whether the set already holds coupling id.
+func (s *aggSet) contains(id circuit.CouplingID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// withID returns a new sorted ID slice extending s by id. The caller
+// must ensure id is not already present.
+func (s *aggSet) withID(id circuit.CouplingID) []circuit.CouplingID {
+	out := make([]circuit.CouplingID, 0, len(s.ids)+1)
+	ins := false
+	for _, x := range s.ids {
+		if !ins && id < x {
+			out = append(out, id)
+			ins = true
+		}
+		out = append(out, x)
+	}
+	if !ins {
+		out = append(out, id)
+	}
+	return out
+}
+
+// copyIDs returns a defensive copy of an ID slice.
+func copyIDs(ids []circuit.CouplingID) []circuit.CouplingID {
+	out := make([]circuit.CouplingID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// dedupe collapses candidates with identical ID sets, keeping the
+// higher score (identical sets can be generated through different
+// construction rules with different envelope models; the higher score
+// is the sharper estimate).
+func dedupe(cands []*aggSet) []*aggSet {
+	byKey := make(map[string]*aggSet, len(cands))
+	order := make([]string, 0, len(cands))
+	for _, c := range cands {
+		k := c.key()
+		if prev, ok := byKey[k]; ok {
+			if c.score > prev.score {
+				byKey[k] = c
+			}
+			continue
+		}
+		byKey[k] = c
+		order = append(order, k)
+	}
+	out := make([]*aggSet, 0, len(byKey))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// sortByScore orders candidates by descending score, breaking ties by
+// canonical key so the enumeration is deterministic.
+func sortByScore(cands []*aggSet) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].key() < cands[j].key()
+	})
+}
+
+// prune reduces a candidate list to an irredundant list: dominated
+// sets — whose envelope is encapsulated by a kept set's envelope over
+// the dominance interval [lo, hi] and whose inherited shift does not
+// exceed the kept set's — are removed, and the result is beam-capped
+// at width. Candidates must already be score-sorted descending;
+// because domination implies a score at least as high, checking each
+// candidate only against already-kept sets is sufficient.
+func prune(cands []*aggSet, lo, hi float64, width int, noDominance bool) []*aggSet {
+	kept := make([]*aggSet, 0, min(len(cands), width))
+	for _, c := range cands {
+		if len(kept) >= width {
+			break
+		}
+		if !noDominance {
+			dominated := false
+			_, cPeak := c.env.Peak()
+			for _, p := range kept {
+				if p.shift < c.shift-waveform.Eps {
+					continue // smaller inherited shift cannot dominate
+				}
+				if _, pPeak := p.env.Peak(); pPeak < cPeak-waveform.Eps {
+					continue // quick reject: cannot encapsulate a higher peak
+				}
+				if waveform.Encapsulates(p.env, c.env, lo, hi, waveform.Eps) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}

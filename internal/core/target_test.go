@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/noise"
+)
+
+// targetSrc: the sink y sees almost no noise, but internal net n1 is
+// heavily attacked; per-net analysis of m-chain's z must pick the
+// couplings on its own cone, not y's.
+const targetSrc = `circuit tgt
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+gate f1 INV_X1 d -> p1
+couple n1 p1 3.0
+couple m1 p1 2.5
+`
+
+func TestTopKAdditionAt(t *testing.T) {
+	m := model(t, targetSrc)
+	z, _ := m.C.NetByName("z")
+	res, err := TopKAdditionAt(m, z, 1, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 1 {
+		t.Fatalf("want one selection, got %d", len(res.PerK))
+	}
+	// Coupling 1 (m1-p1) is the one attacking z's cone.
+	if len(res.PerK[0].IDs) != 1 || res.PerK[0].IDs[0] != 1 {
+		t.Fatalf("per-net analysis picked %v, want [1]", res.PerK[0].IDs)
+	}
+	// Endpoints are z's arrivals, verified against the reference runs.
+	quiet, err := m.Run(noise.NewMask(m.C))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BaseDelay-quiet.Timing.Window(z).LAT) > 1e-9 {
+		t.Fatalf("BaseDelay = %g, want z quiet arrival %g", res.BaseDelay, quiet.Timing.Window(z).LAT)
+	}
+	if res.PerK[0].Delay <= res.BaseDelay {
+		t.Fatal("selected coupling must delay z")
+	}
+	if res.PerK[0].Delay > res.AllDelay+1e-9 {
+		t.Fatal("per-net delay cannot exceed z's all-aggressor arrival")
+	}
+}
+
+func TestTopKEliminationAt(t *testing.T) {
+	m := model(t, targetSrc)
+	z, _ := m.C.NetByName("z")
+	res, err := TopKEliminationAt(m, z, 1, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) != 1 || res.PerK[0].IDs[0] != 1 {
+		t.Fatalf("per-net elimination picked %+v, want coupling 1", res.PerK)
+	}
+	if res.PerK[0].Delay >= res.AllDelay {
+		t.Fatal("fixing the attacking coupling must recover z's arrival")
+	}
+}
+
+func TestTopKAtValidation(t *testing.T) {
+	m := model(t, targetSrc)
+	if _, err := TopKAdditionAt(m, -1, 1, Exact()); err == nil {
+		t.Fatal("negative net must error")
+	}
+	if _, err := TopKEliminationAt(m, 9999, 1, Exact()); err == nil {
+		t.Fatal("out-of-range net must error")
+	}
+}

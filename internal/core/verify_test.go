@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestVerifyTopNeverWorsens checks that verified selection never
+// reports a worse measured curve than estimate-only selection.
+func TestVerifyTopNeverWorsens(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	plain, err := TopKElimination(m, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := TopKElimination(m, 8, Options{VerifyTop: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verified.PerK) != len(plain.PerK) {
+		t.Fatalf("cardinalities differ: %d vs %d", len(verified.PerK), len(plain.PerK))
+	}
+	for i := range plain.PerK {
+		if verified.PerK[i].Delay > plain.PerK[i].Delay+1e-9 {
+			t.Fatalf("k=%d: verified selection worse (%.6f vs %.6f)",
+				i+1, verified.PerK[i].Delay, plain.PerK[i].Delay)
+		}
+	}
+}
+
+// TestVerifyTopMatchesBruteForceSmall re-runs the exactness check with
+// verification enabled: it must not break correctness.
+func TestVerifyTopMatchesBruteForceSmall(t *testing.T) {
+	m := model(t, threeCouplings)
+	opt := Exact()
+	opt.VerifyTop = 4
+	res, err := TopKAddition(m, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TopKAddition(m, 3, Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.PerK {
+		if res.PerK[i].Delay < plain.PerK[i].Delay-1e-9 {
+			t.Fatalf("k=%d: verified addition lost delay: %g vs %g",
+				i+1, res.PerK[i].Delay, plain.PerK[i].Delay)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"topkagg/internal/gen"
+)
+
+func TestTable1Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.BFMaxK = 2
+	cfg.BFBudget = 30 * time.Second
+	tab, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tab.Rows))
+	}
+	// On this tiny circuit brute force must finish and agree with the
+	// proposed algorithm at k=1 and k=2.
+	for _, row := range tab.Rows {
+		bf, prop := row[1], row[4]
+		if bf == "timeout" {
+			t.Fatalf("quick Table 1 brute force timed out: %v", row)
+		}
+		if bf != prop {
+			t.Fatalf("brute force %s != proposed %s in row %v", bf, prop, row)
+		}
+	}
+	text := tab.String()
+	if !strings.Contains(text, "Table 1") || !strings.Contains(text, "bf runtime") {
+		t.Fatalf("rendering missing pieces:\n%s", text)
+	}
+}
+
+func TestTable2AdditionQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"i1"}
+	cfg.DelayKs = []int{2, 5}
+	cfg.RuntimeKs = []int{1, 5}
+	tab, err := Table2(cfg, Addition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	// Layout: ckt gates couplings all k=2 k=5 noagg t1 t5
+	if row[0] != "i1" || row[1] != "59" || row[2] != "232" {
+		t.Fatalf("row identity wrong: %v", row)
+	}
+	all, k2, k5, no := atof(t, row[3]), atof(t, row[4]), atof(t, row[5]), atof(t, row[6])
+	if !(no <= k2+1e-9 && k2 <= k5+1e-9 && k5 <= all+1e-9) {
+		t.Fatalf("addition delays out of order: no=%g k2=%g k5=%g all=%g", no, k2, k5, all)
+	}
+}
+
+func TestTable2EliminationQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"i1"}
+	cfg.DelayKs = []int{2, 5}
+	cfg.RuntimeKs = []int{1}
+	tab, err := Table2(cfg, Elimination)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	all, k2, k5, base := atof(t, row[3]), atof(t, row[4]), atof(t, row[5]), atof(t, row[6])
+	if !(base <= k5+1e-9 && k5 <= k2+1e-9 && k2 <= all+1e-9) {
+		t.Fatalf("elimination delays out of order: base=%g k5=%g k2=%g all=%g", base, k5, k2, all)
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Fig10Circuits = []string{"i1"}
+	cfg.Fig10K = 6
+	series, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("want 2 series (addition+elimination), got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 6 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+	}
+	add, del := series[0], series[1]
+	// The curves converge toward each other: addition rises,
+	// elimination falls, elimination stays above addition start etc.
+	if add.Y[len(add.Y)-1] < add.Y[0]-1e-9 {
+		t.Fatalf("addition curve must not fall: %v", add.Y)
+	}
+	if del.Y[len(del.Y)-1] > del.Y[0]+1e-9 {
+		t.Fatalf("elimination curve must not rise: %v", del.Y)
+	}
+	for i := range add.Y {
+		if add.Y[i] > del.Y[i]+1e-6 {
+			t.Fatalf("addition(k) must stay below elimination(k): k=%d %g vs %g", i+1, add.Y[i], del.Y[i])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	if len(cfg.circuits()) != 10 {
+		t.Fatal("default circuits must be the ten paper benchmarks")
+	}
+	if got := cfg.delayKs(); len(got) != 6 || got[0] != 5 || got[5] != 50 {
+		t.Fatalf("default delay ks = %v", got)
+	}
+	if got := cfg.runtimeKs(); len(got) != 8 {
+		t.Fatalf("default runtime ks = %v", got)
+	}
+	if cfg.bfMaxK() != 4 || cfg.bfBudget() != DefaultBFBudget {
+		t.Fatal("default brute-force controls wrong")
+	}
+	if cfg.fig10K() != 75 || len(cfg.fig10Circuits()) != 2 {
+		t.Fatal("default fig10 controls wrong")
+	}
+	if cfg.table1Spec().Gates != 30 {
+		t.Fatalf("default table1 spec = %+v", cfg.table1Spec())
+	}
+}
+
+func TestDefaultOptScaling(t *testing.T) {
+	small := DefaultOpt(100)
+	big := DefaultOpt(3000)
+	if small.MaxListWidth != 0 {
+		t.Fatal("small circuits use default width")
+	}
+	if big.MaxListWidth >= 16 || big.SlackFrac >= 0.2 {
+		t.Fatalf("big circuits must tighten pruning: %+v", big)
+	}
+	if !small.NoRescore || !big.NoRescore {
+		t.Fatal("harness options must skip core rescoring (exp rescsores itself)")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Addition.String() != "addition" || Elimination.String() != "elimination" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := build("zzz"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, err := gen.BuildPaper("i2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFilterStatsQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"i1"}
+	tab, err := FilterStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "i1" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if tab.Rows[0][1] != "232" {
+		t.Fatalf("coupling count wrong: %v", tab.Rows[0])
+	}
+}
+
+func TestCoverageQuick(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"i1"}
+	tab, err := Coverage(cfg, 0.2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// q50 <= q95 <= q99 <= all.
+	q50, q95 := atof(t, tab.Rows[0][3]), atof(t, tab.Rows[0][4])
+	q99, all := atof(t, tab.Rows[0][5]), atof(t, tab.Rows[0][9])
+	if !(q50 <= q95 && q95 <= q99 && q99 <= all) {
+		t.Fatalf("quantiles out of order: %v", tab.Rows[0])
+	}
+}
+
+func TestSeedRobustness(t *testing.T) {
+	tab, err := SeedRobustness(gen.Spec{Name: "s", Gates: 25, Couplings: 40}, []int64{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		base, all := atof(t, row[1]), atof(t, row[2])
+		add, del := atof(t, row[4]), atof(t, row[5])
+		if !(base <= add && add <= all) {
+			t.Fatalf("addition out of bracket: %v", row)
+		}
+		if !(base <= del && del <= all) {
+			t.Fatalf("elimination out of bracket: %v", row)
+		}
+	}
+}
+
+func TestTable2RuntimesNondecreasing(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"i1"}
+	cfg.DelayKs = []int{2}
+	cfg.RuntimeKs = []int{1, 2, 5, 10}
+	tab, err := Table2(cfg, Addition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	// Runtime columns are the last four cells.
+	start := len(row) - 4
+	prev := -1.0
+	for _, cell := range row[start:] {
+		v := atof(t, cell)
+		if v < prev {
+			t.Fatalf("runtime columns must be nondecreasing in k: %v", row[start:])
+		}
+		prev = v
+	}
+}
+
+func TestExperimentsRejectUnknownCircuit(t *testing.T) {
+	cfg := Quick()
+	cfg.Circuits = []string{"bogus"}
+	if _, err := Table2(cfg, Addition); err == nil {
+		t.Fatal("unknown circuit must error")
+	}
+	if _, err := FilterStats(cfg); err == nil {
+		t.Fatal("unknown circuit must error in filterstats")
+	}
+	if _, err := Coverage(cfg, 0.2, 5); err == nil {
+		t.Fatal("unknown circuit must error in coverage")
+	}
+	cfg.Fig10Circuits = []string{"bogus"}
+	if _, err := Fig10(cfg); err == nil {
+		t.Fatal("unknown circuit must error in fig10")
+	}
+}

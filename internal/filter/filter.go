@@ -1,0 +1,202 @@
+// Package filter implements false-aggressor pruning: identifying
+// coupling capacitors (and individual aggressor→victim directions)
+// that can never contribute delay noise and can therefore be dropped
+// before the much more expensive top-k enumeration. The paper cites
+// this line of work ([10], [11]) as standard preprocessing beneath its
+// own analysis.
+//
+// Classification works per direction — one coupling is two potential
+// noise injections, aggressor A onto victim B and vice versa:
+//
+//   - Early-false (sound): the aggressor's envelope ends before the
+//     victim's earliest possible transition; it can never shift any
+//     crossing.
+//   - Late-false (sound): the envelope starts after the victim's
+//     all-aggressor noisy settle time. Crossings only move earlier
+//     when couplings are removed, so an envelope beyond the worst-case
+//     settle can never participate.
+//   - Unobservable (sound): delay noise on the victim can never reach
+//     a primary output, where observability is closed transitively
+//     over live coupling directions (the indirect-aggressor mechanism
+//     of paper Fig. 1).
+//   - Magnitude (heuristic): the envelope peak is below a threshold
+//     fraction of Vdd; electrically irrelevant but, summed over many
+//     couplings, not strictly sound. Disable with PeakFrac < 0 for
+//     exact filtering.
+//
+// A coupling is removable outright when both of its directions are
+// false.
+package filter
+
+import (
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+// Options tune the filters.
+type Options struct {
+	// PeakFrac is the magnitude threshold: directions whose pulse peak
+	// is below PeakFrac·Vdd are false. Zero selects DefaultPeakFrac;
+	// negative disables the (heuristic) magnitude filter.
+	PeakFrac float64
+	// Guard pads the timing tests (ns), covering slew-model slack.
+	// Zero selects DefaultGuard.
+	Guard float64
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultPeakFrac = 0.005
+	DefaultGuard    = 0.02
+)
+
+func (o Options) peakFrac() float64 {
+	switch {
+	case o.PeakFrac < 0:
+		return 0
+	case o.PeakFrac == 0:
+		return DefaultPeakFrac
+	default:
+		return o.PeakFrac
+	}
+}
+
+func (o Options) guard() float64 {
+	if o.Guard == 0 {
+		return DefaultGuard
+	}
+	return o.Guard
+}
+
+// Direction identifies one aggressor→victim noise injection.
+type Direction struct {
+	Coupling circuit.CouplingID
+	Victim   circuit.NetID
+}
+
+// Result reports the classification.
+type Result struct {
+	// FalseDirections lists every direction that can never produce
+	// delay noise.
+	FalseDirections []Direction
+	// False lists couplings with both directions false (fully
+	// removable).
+	False []circuit.CouplingID
+	// Active is the complement mask over couplings.
+	Active noise.Mask
+	// Why false, per direction count.
+	EarlyFiltered        int
+	LateFiltered         int
+	UnobservableFiltered int
+	MagnitudeFiltered    int
+}
+
+// FalseAggressors classifies every coupling direction of the model's
+// circuit, using the all-aggressor fixpoint windows as the sound
+// worst case.
+func FalseAggressors(m *noise.Model, opt Options) (*Result, error) {
+	an, err := m.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Active: noise.AllMask(m.C)}
+	peakMin := opt.peakFrac() * m.Vdd
+	guard := opt.guard()
+
+	type dirClass struct {
+		timingFalse bool
+		early       bool
+		magFalse    bool
+	}
+	// classify the timing/magnitude status of one direction.
+	classify := func(victim circuit.NetID, cp *circuit.Coupling) dirClass {
+		agg := cp.Other(victim)
+		env := m.Envelope(victim, cp, an.Timing.Windows[agg])
+		if env.IsZero() {
+			return dirClass{timingFalse: true, early: true}
+		}
+		var dc dirClass
+		base := an.Base.Window(victim)
+		noisy := an.Timing.Window(victim)
+		if env.End() < base.EAT-guard {
+			dc.timingFalse = true
+			dc.early = true
+		}
+		settle := noisy.LAT + noisy.Slew/2 + guard
+		if env.Start() > settle {
+			dc.timingFalse = true
+		}
+		if _, pv := env.Peak(); pv < peakMin {
+			dc.magFalse = true
+		}
+		return dc
+	}
+
+	classes := make(map[Direction]dirClass, 2*m.C.NumCouplings())
+	for _, cp := range m.C.Couplings() {
+		for _, victim := range []circuit.NetID{cp.A, cp.B} {
+			classes[Direction{cp.ID, victim}] = classify(victim, cp)
+		}
+	}
+
+	// Observability: output fanin cones, closed over directions that
+	// are still timing-live (noise on the far net matters because it
+	// widens a live envelope).
+	obs := make(map[circuit.NetID]bool)
+	addCone := func(n circuit.NetID) bool {
+		grew := false
+		for x := range m.C.FaninCone(n) {
+			if !obs[x] {
+				obs[x] = true
+				grew = true
+			}
+		}
+		return grew
+	}
+	for _, po := range m.C.POs() {
+		addCone(po)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, cp := range m.C.Couplings() {
+			for _, victim := range []circuit.NetID{cp.A, cp.B} {
+				agg := cp.Other(victim)
+				if obs[victim] && !obs[agg] && !classes[Direction{cp.ID, victim}].timingFalse {
+					if addCone(agg) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, cp := range m.C.Couplings() {
+		liveDirs := 0
+		for _, victim := range []circuit.NetID{cp.A, cp.B} {
+			d := Direction{cp.ID, victim}
+			dc := classes[d]
+			switch {
+			case dc.timingFalse:
+				if dc.early {
+					res.EarlyFiltered++
+				} else {
+					res.LateFiltered++
+				}
+				res.FalseDirections = append(res.FalseDirections, d)
+			case !obs[victim]:
+				res.UnobservableFiltered++
+				res.FalseDirections = append(res.FalseDirections, d)
+			case dc.magFalse:
+				res.MagnitudeFiltered++
+				res.FalseDirections = append(res.FalseDirections, d)
+			default:
+				liveDirs++
+			}
+		}
+		if liveDirs == 0 {
+			res.False = append(res.False, cp.ID)
+			res.Active[cp.ID] = false
+		}
+	}
+	return res, nil
+}

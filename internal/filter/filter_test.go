@@ -1,0 +1,206 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func model(t *testing.T, src string) *noise.Model {
+	t.Helper()
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noise.NewModel(c)
+}
+
+func TestMagnitudeFilterDropsTinyCouplings(t *testing.T) {
+	m := model(t, `circuit t
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 3.0
+couple n1 m1 0.001
+`)
+	res, err := FalseAggressors(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active[0] != true {
+		t.Fatal("strong coupling must survive")
+	}
+	if res.Active[1] != false || res.MagnitudeFiltered != 2 {
+		t.Fatalf("femto-scale coupling must be magnitude-filtered in both directions: %+v", res)
+	}
+}
+
+func TestTimingFilterDropsDisjointWindows(t *testing.T) {
+	// The aggressor (depth 1, strong driver) switches long before the
+	// victim's earliest transition (deep chain with heavy loads): its
+	// envelope decays before the victim's window — early-false. The
+	// reverse direction — the deep net's envelope landing on the
+	// settled aggressor net — is late-false because the aggressor's
+	// large ground cap keeps the glitch sub-threshold, so its noisy
+	// settle stays at its quiet arrival. Both directions false ⇒ the
+	// coupling is removable.
+	m := model(t, `circuit t
+output y
+gate v1 INV_X1 a -> v1n
+gate v2 INV_X1 v1n -> v2n
+gate v3 INV_X1 v2n -> v3n
+gate v4 INV_X1 v3n -> v4n
+gate v5 INV_X1 v4n -> v5n
+gate v6 INV_X1 v5n -> y
+net v1n cg=30
+net v2n cg=30
+net v3n cg=30
+gate a1 INV_X4 b -> agg
+net agg cg=20 rw=0.05
+couple v5n agg 2.0
+`)
+	res, err := FalseAggressors(m, Options{Guard: 0.01, PeakFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EarlyFiltered != 1 {
+		t.Fatalf("deep-victim direction must be early-false: %+v", res)
+	}
+	if res.LateFiltered != 1 {
+		t.Fatalf("settled-aggressor direction must be late-false: %+v", res)
+	}
+	if res.Active[0] {
+		t.Fatalf("coupling with both directions false must be removable: %+v", res)
+	}
+	// Soundness on this exact construction.
+	full, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := m.Run(res.Active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.CircuitDelay()-without.CircuitDelay()) > 1e-9 {
+		t.Fatal("removing the false coupling changed the delay")
+	}
+}
+
+func TestTimingFilterIsExact(t *testing.T) {
+	// With the heuristic magnitude filter disabled, removing the
+	// filtered couplings must not change the noisy circuit delay at
+	// all.
+	c, err := gen.Build(gen.Spec{Name: "f", Gates: 60, Couplings: 150, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := FalseAggressors(m, Options{PeakFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := m.Run(res.Active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(full.CircuitDelay() - filtered.CircuitDelay()); d > 1e-9 {
+		t.Fatalf("exact filtering changed noisy delay by %g ns (false=%d)", d, len(res.False))
+	}
+}
+
+func TestFullFilteringNearlySound(t *testing.T) {
+	// The magnitude filter is a documented heuristic: its total impact
+	// on the noisy delay must stay below half a percent.
+	c, err := gen.Build(gen.Spec{Name: "f", Gates: 60, Couplings: 150, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := FalseAggressors(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := m.Run(res.Active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(full.CircuitDelay() - filtered.CircuitDelay()); d > 0.005*full.CircuitDelay() {
+		t.Fatalf("heuristic filtering changed noisy delay by %g ns (false=%d)", d, len(res.False))
+	}
+}
+
+func TestFilterCounts(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "f", Gates: 60, Couplings: 150, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := FalseAggressors(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FalseDirections) != res.EarlyFiltered+res.LateFiltered+res.UnobservableFiltered+res.MagnitudeFiltered {
+		t.Fatalf("direction counts inconsistent: %+v", res)
+	}
+	if res.Active.Count()+len(res.False) != c.NumCouplings() {
+		t.Fatal("active + false must cover all couplings")
+	}
+	// Every fully-false coupling must contribute exactly two false
+	// directions.
+	perCoupling := map[int]int{}
+	for _, d := range res.FalseDirections {
+		perCoupling[int(d.Coupling)]++
+	}
+	for _, id := range res.False {
+		if perCoupling[int(id)] != 2 {
+			t.Fatalf("removable coupling %d has %d false directions", id, perCoupling[int(id)])
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.peakFrac() != DefaultPeakFrac || o.guard() != DefaultGuard {
+		t.Fatal("defaults not applied")
+	}
+	if (Options{PeakFrac: -1}).peakFrac() != 0 {
+		t.Fatal("negative PeakFrac must disable the magnitude filter")
+	}
+	if (Options{PeakFrac: 0.1, Guard: 0.2}).peakFrac() != 0.1 {
+		t.Fatal("explicit PeakFrac must pass through")
+	}
+}
+
+func TestMagnitudeFilterDisabled(t *testing.T) {
+	m := model(t, `circuit t
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 0.001
+`)
+	res, err := FalseAggressors(m, Options{PeakFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MagnitudeFiltered != 0 {
+		t.Fatal("disabled magnitude filter must not fire")
+	}
+	_ = circuit.CouplingID(0)
+}

@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"testing"
+
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+	"topkagg/internal/sta"
+)
+
+func TestBuildMatchesSpec(t *testing.T) {
+	spec := Spec{Name: "t", Gates: 80, Couplings: 150, Seed: 7}
+	c, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 80 {
+		t.Fatalf("gates = %d, want 80", c.NumGates())
+	}
+	if c.NumCouplings() != 150 {
+		t.Fatalf("couplings = %d, want 150", c.NumCouplings())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs()) == 0 {
+		t.Fatal("generated circuit must have outputs")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Spec{Name: "t", Gates: 60, Couplings: 90, Seed: 42}
+	c1, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.String(c1) != netlist.String(c2) {
+		t.Fatal("same spec+seed must generate identical circuits")
+	}
+	spec.Seed = 43
+	c3, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.String(c1) == netlist.String(c3) {
+		t.Fatal("different seeds should generate different circuits")
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	if _, err := Build(Spec{Gates: 1, Couplings: 0}); err == nil {
+		t.Fatal("too few gates must error")
+	}
+	if _, err := Build(Spec{Gates: 10, Couplings: -1}); err == nil {
+		t.Fatal("negative couplings must error")
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	specs := Paper()
+	if len(specs) != 10 {
+		t.Fatalf("want 10 paper benchmarks, got %d", len(specs))
+	}
+	// Spot-check against Table 2.
+	if specs[0].Name != "i1" || specs[0].Gates != 59 || specs[0].Couplings != 232 {
+		t.Fatalf("i1 spec wrong: %+v", specs[0])
+	}
+	if specs[9].Name != "i10" || specs[9].Gates != 3379 || specs[9].Couplings != 18318 {
+		t.Fatalf("i10 spec wrong: %+v", specs[9])
+	}
+	if _, err := PaperSpec("i3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PaperSpec("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestPaperSmallCircuitsAnalyzable(t *testing.T) {
+	for _, name := range []string{"i1", "i3"} {
+		c, err := BuildPaper(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sta.Analyze(c, sta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := r.CircuitDelay()
+		if d <= 0.05 || d > 10 {
+			t.Fatalf("%s: circuit delay %g ns implausible", name, d)
+		}
+		m := noise.NewModel(c)
+		an, err := m.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !an.Converged {
+			t.Fatalf("%s: noise fixpoint did not converge", name)
+		}
+		if an.CircuitDelay() <= d {
+			t.Fatalf("%s: crosstalk must increase delay (%g vs %g)", name, an.CircuitDelay(), d)
+		}
+	}
+}
+
+func TestCouplingLocality(t *testing.T) {
+	c, err := Build(Spec{Name: "t", Gates: 120, Couplings: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range c.Couplings() {
+		a, b := c.Net(cp.A), c.Net(cp.B)
+		dx := a.X - b.X
+		dy := a.Y - b.Y
+		if dx*dx+dy*dy > 200*200 {
+			t.Fatalf("coupling %d spans implausible distance", cp.ID)
+		}
+		if cp.Cc <= 0 {
+			t.Fatalf("coupling %d non-positive", cp.ID)
+		}
+	}
+}
+
+func TestGeneratedDepthCreatesWindows(t *testing.T) {
+	c, err := Build(Spec{Name: "t", Gates: 150, Couplings: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sta.Analyze(c, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconvergent fanin should open nonzero timing windows somewhere.
+	found := false
+	for _, n := range c.Nets() {
+		if r.Window(n.ID).Width() > 0.01 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("expected at least one net with a non-degenerate timing window")
+	}
+}
+
+func TestAllPaperBenchmarksBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all ten benchmarks")
+	}
+	for _, spec := range Paper() {
+		c, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if c.NumGates() != spec.Gates {
+			t.Errorf("%s: gates %d != %d", spec.Name, c.NumGates(), spec.Gates)
+		}
+		if c.NumCouplings() != spec.Couplings {
+			t.Errorf("%s: couplings %d != %d", spec.Name, c.NumCouplings(), spec.Couplings)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if len(c.POs()) != 1 {
+			t.Errorf("%s: want a single timing sink, got %d", spec.Name, len(c.POs()))
+		}
+		// The sink must be reachable from at least one primary input
+		// through a chain of depth > 1.
+		r, err := sta.Analyze(c, sta.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(r.CriticalPath()) < 4 {
+			t.Errorf("%s: critical path implausibly short (%d nets)", spec.Name, len(r.CriticalPath()))
+		}
+	}
+}
+
+func TestGeneratorEmitsOnlyLibraryCells(t *testing.T) {
+	c, err := Build(Spec{Name: "t", Gates: 100, Couplings: 50, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gates() {
+		if _, err := c.Lib.Cell(g.Cell.Name); err != nil {
+			t.Fatalf("gate %s uses unknown cell %s", g.Name, g.Cell.Name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package kselect implements the paper's future-work item of "finding
+// a 'good' value of k for reasonably fixing noise violations in a
+// design": given the per-cardinality delay curve of a top-k run, it
+// locates the knee beyond which growing the aggressor set buys
+// negligible further delay change.
+package kselect
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params tune the knee detection.
+type Params struct {
+	// Frac is the marginal-improvement threshold as a fraction of the
+	// total noiseless-to-all-aggressor delay span. Zero selects
+	// DefaultFrac.
+	Frac float64
+	// Window is how many consecutive cardinalities must stay below the
+	// threshold for the curve to count as settled. Zero selects
+	// DefaultWindow.
+	Window int
+}
+
+// Defaults for the zero Params value.
+const (
+	DefaultFrac   = 0.01
+	DefaultWindow = 3
+)
+
+func (p Params) frac() float64 {
+	if p.Frac <= 0 {
+		return DefaultFrac
+	}
+	return p.Frac
+}
+
+func (p Params) window() int {
+	if p.Window <= 0 {
+		return DefaultWindow
+	}
+	return p.Window
+}
+
+// GoodK returns the smallest cardinality k (1-based) such that every
+// marginal delay change over the next Window cardinalities stays below
+// Frac of the total delay span |all - base|. It returns an error when
+// the curve is empty or the span is degenerate; if the curve never
+// settles (still improving at its end), it returns len(curve) and
+// settled = false.
+func GoodK(curve []float64, base, all float64, p Params) (k int, settled bool, err error) {
+	if len(curve) == 0 {
+		return 0, false, fmt.Errorf("kselect: empty delay curve")
+	}
+	span := math.Abs(all - base)
+	if span <= 0 {
+		// No crosstalk at all: k = 1 trivially suffices.
+		return 1, true, nil
+	}
+	thresh := p.frac() * span
+	w := p.window()
+	// marginal[i] is the improvement from cardinality i to i+1.
+	for k := 1; k <= len(curve); k++ {
+		ok := true
+		checked := 0
+		for j := k; j < len(curve) && checked < w; j++ {
+			if math.Abs(curve[j]-curve[j-1]) >= thresh {
+				ok = false
+				break
+			}
+			checked++
+		}
+		if ok && checked == w {
+			return k, true, nil
+		}
+	}
+	return len(curve), false, nil
+}
+
+// Knee is a convenience over GoodK that extracts the delay curve from
+// per-cardinality delays and reports the delay at the chosen k.
+func Knee(delays []float64, base, all float64, p Params) (k int, atK float64, settled bool, err error) {
+	k, settled, err = GoodK(delays, base, all, p)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return k, delays[k-1], settled, nil
+}

@@ -1,0 +1,102 @@
+package kselect
+
+import (
+	"testing"
+)
+
+func TestGoodKFindsKnee(t *testing.T) {
+	// Rapid gains for four steps, then a flat tail.
+	curve := []float64{1.10, 1.15, 1.19, 1.22, 1.221, 1.2215, 1.2216, 1.2217, 1.2217}
+	k, settled, err := GoodK(curve, 1.0, 1.25, Params{Frac: 0.01, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled {
+		t.Fatal("curve clearly settles")
+	}
+	if k != 4 {
+		t.Fatalf("knee at k=%d, want 4", k)
+	}
+}
+
+func TestGoodKNeverSettles(t *testing.T) {
+	curve := []float64{1.0, 1.1, 1.2, 1.3, 1.4}
+	k, settled, err := GoodK(curve, 1.0, 2.0, Params{Frac: 0.01, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled {
+		t.Fatal("steadily improving curve must not settle")
+	}
+	if k != len(curve) {
+		t.Fatalf("unsettled curve must return its full length, got %d", k)
+	}
+}
+
+func TestGoodKDecreasingCurve(t *testing.T) {
+	// Elimination-style: falling then flat.
+	curve := []float64{1.20, 1.15, 1.12, 1.119, 1.1185, 1.1185, 1.1184}
+	k, settled, err := GoodK(curve, 1.0, 1.25, Params{Frac: 0.02, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled || k != 3 {
+		t.Fatalf("k=%d settled=%v, want 3/true", k, settled)
+	}
+}
+
+func TestGoodKDegenerateSpan(t *testing.T) {
+	k, settled, err := GoodK([]float64{1, 1, 1}, 2, 2, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || !settled {
+		t.Fatalf("no-crosstalk case must return k=1: %d %v", k, settled)
+	}
+}
+
+func TestGoodKEmptyCurve(t *testing.T) {
+	if _, _, err := GoodK(nil, 0, 1, Params{}); err == nil {
+		t.Fatal("empty curve must error")
+	}
+}
+
+func TestGoodKWindowLongerThanTail(t *testing.T) {
+	// The flat tail is shorter than the window: cannot confirm settling.
+	curve := []float64{1.0, 1.2, 1.201}
+	k, settled, err := GoodK(curve, 1.0, 1.5, Params{Frac: 0.01, Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if settled {
+		t.Fatal("window longer than tail cannot settle")
+	}
+	if k != len(curve) {
+		t.Fatalf("k = %d", k)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	curve := []float64{1.1, 1.2, 1.201, 1.2011, 1.2012, 1.2012}
+	k, atK, settled, err := Knee(curve, 1.0, 1.25, Params{Frac: 0.05, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled || k != 2 || atK != 1.2 {
+		t.Fatalf("Knee = (%d, %g, %v)", k, atK, settled)
+	}
+	if _, _, _, err := Knee(nil, 0, 1, Params{}); err == nil {
+		t.Fatal("empty curve must error")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.frac() != DefaultFrac || p.window() != DefaultWindow {
+		t.Fatal("zero params must select defaults")
+	}
+	p = Params{Frac: 0.1, Window: 7}
+	if p.frac() != 0.1 || p.window() != 7 {
+		t.Fatal("explicit params must pass through")
+	}
+}

@@ -1,0 +1,395 @@
+// Package liberty reads and writes a practical subset of the Liberty
+// (.lib) standard-cell library format, mapped onto this repository's
+// linear characterization.
+//
+// The subset uses Liberty's classic generic-CMOS linear delay model:
+//
+//	library (synth013) {
+//	  time_unit : "1ns";
+//	  capacitive_load_unit (1, ff);
+//	  nom_voltage : 1.2;
+//	  cell (INV_X1) {
+//	    pin (A) { direction : input; capacitance : 2.0; }
+//	    pin (Y) {
+//	      direction : output;
+//	      drive_resistance : 6.0;
+//	      timing () {
+//	        related_pin : "A";
+//	        intrinsic_rise : 0.018;
+//	        rise_resistance : 0.0035;
+//	        slope_rise : 0.030;
+//	        transition_resistance : 0.005;
+//	      }
+//	    }
+//	  }
+//	}
+//
+// Attribute mapping (see cell.Cell): intrinsic_rise → D0,
+// rise_resistance → KD, slope_rise → S0, and the two extensions this
+// library needs for noise analysis — transition_resistance → KS
+// (output slew per load) and drive_resistance → Rdrv (the holding
+// resistance of the output stage). Input pin capacitance → Cin.
+// Units must be ns / fF (/ implied kΩ), matching the repository's
+// conventions.
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"topkagg/internal/cell"
+)
+
+// Parse reads a Liberty-subset library.
+func Parse(r io.Reader) (*cell.Library, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: read: %w", err)
+	}
+	toks, err := tokenize(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("liberty: trailing content after library group")
+	}
+	if g.name != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.name)
+	}
+	return buildLibrary(g)
+}
+
+// ParseString is Parse over in-memory source.
+func ParseString(s string) (*cell.Library, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// group is one parsed Liberty group: name(args) { attrs... groups... }.
+type group struct {
+	name   string
+	args   []string
+	attrs  map[string]string
+	groups []*group
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("liberty: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// group parses NAME ( args ) { body }.
+func (p *parser) group() (*group, error) {
+	g := &group{attrs: map[string]string{}}
+	g.name = p.next()
+	if g.name == "" {
+		return nil, fmt.Errorf("liberty: unexpected end of input")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" && p.peek() != "" {
+		t := p.next()
+		if t != "," {
+			g.args = append(g.args, t)
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "":
+			return nil, fmt.Errorf("liberty: unterminated group %s", g.name)
+		case "}":
+			p.next()
+			return g, nil
+		}
+		name := p.next()
+		switch p.peek() {
+		case ":": // simple attribute
+			p.next()
+			var vals []string
+			for p.peek() != ";" && p.peek() != "" {
+				vals = append(vals, p.next())
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			g.attrs[name] = strings.Join(vals, " ")
+		case "(": // complex attribute or nested group
+			// Look ahead past the closing paren: '{' means group.
+			save := p.pos
+			depth := 0
+			for p.pos < len(p.toks) {
+				switch p.toks[p.pos] {
+				case "(":
+					depth++
+				case ")":
+					depth--
+				}
+				p.pos++
+				if depth == 0 {
+					break
+				}
+			}
+			isGroup := p.peek() == "{"
+			p.pos = save
+			if isGroup {
+				p.pos-- // back to the group name
+				sub, err := p.group()
+				if err != nil {
+					return nil, err
+				}
+				g.groups = append(g.groups, sub)
+			} else {
+				// complex attribute: name(args);
+				p.next() // "("
+				var vals []string
+				for p.peek() != ")" && p.peek() != "" {
+					t := p.next()
+					if t != "," {
+						vals = append(vals, t)
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if p.peek() == ";" {
+					p.next()
+				}
+				g.attrs[name] = strings.Join(vals, " ")
+			}
+		default:
+			return nil, fmt.Errorf("liberty: unexpected token %q after %q", p.peek(), name)
+		}
+	}
+}
+
+// tokenize splits source into identifiers/numbers/strings and the
+// punctuation ( ) { } : ; ,  — comments removed, quotes stripped.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\':
+			i++
+		case strings.HasPrefix(s[i:], "/*"):
+			j := strings.Index(s[i+2:], "*/")
+			if j < 0 {
+				return nil, fmt.Errorf("liberty: unterminated comment")
+			}
+			i += j + 4
+		case strings.HasPrefix(s[i:], "//"):
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("liberty: unterminated string")
+			}
+			toks = append(toks, s[i+1:i+1+j])
+			i += j + 2
+		case strings.ContainsRune("(){}:;,", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune("(){}:;, \t\n\r\"\\", rune(s[j])) &&
+				!strings.HasPrefix(s[j:], "/*") && !strings.HasPrefix(s[j:], "//") {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// buildLibrary converts the parsed library group to a cell.Library.
+func buildLibrary(lib *group) (*cell.Library, error) {
+	if len(lib.args) != 1 {
+		return nil, fmt.Errorf("liberty: library wants one name, got %v", lib.args)
+	}
+	vdd := 1.2
+	if v, ok := lib.attrs["nom_voltage"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: nom_voltage %q: %v", v, err)
+		}
+		vdd = f
+	}
+	if tu, ok := lib.attrs["time_unit"]; ok && tu != "1ns" {
+		return nil, fmt.Errorf("liberty: unsupported time_unit %q (want 1ns)", tu)
+	}
+	if cu, ok := lib.attrs["capacitive_load_unit"]; ok && !strings.EqualFold(cu, "1 ff") {
+		return nil, fmt.Errorf("liberty: unsupported capacitive_load_unit %q (want 1 ff)", cu)
+	}
+	out := cell.NewLibrary(lib.args[0], vdd)
+	for _, g := range lib.groups {
+		if g.name != "cell" {
+			continue
+		}
+		c, err := buildCell(g)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Add(c); err != nil {
+			return nil, fmt.Errorf("liberty: %w", err)
+		}
+	}
+	if out.Len() == 0 {
+		return nil, fmt.Errorf("liberty: library %s has no cells", lib.args[0])
+	}
+	return out, nil
+}
+
+func buildCell(g *group) (*cell.Cell, error) {
+	if len(g.args) != 1 {
+		return nil, fmt.Errorf("liberty: cell wants one name, got %v", g.args)
+	}
+	c := &cell.Cell{Name: g.args[0]}
+	c.Kind = cell.Kind(strings.SplitN(c.Name, "_", 2)[0])
+	attr := func(m map[string]string, key string, dst *float64) error {
+		v, ok := m[key]
+		if !ok {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("liberty: cell %s: %s = %q: %v", c.Name, key, v, err)
+		}
+		*dst = f
+		return nil
+	}
+	var cins []float64
+	for _, pg := range g.groups {
+		if pg.name != "pin" {
+			continue
+		}
+		switch pg.attrs["direction"] {
+		case "input":
+			var cin float64
+			if err := attr(pg.attrs, "capacitance", &cin); err != nil {
+				return nil, err
+			}
+			cins = append(cins, cin)
+		case "output":
+			if err := attr(pg.attrs, "drive_resistance", &c.Rdrv); err != nil {
+				return nil, err
+			}
+			for _, tg := range pg.groups {
+				if tg.name != "timing" {
+					continue
+				}
+				if err := attr(tg.attrs, "intrinsic_rise", &c.D0); err != nil {
+					return nil, err
+				}
+				if err := attr(tg.attrs, "rise_resistance", &c.KD); err != nil {
+					return nil, err
+				}
+				if err := attr(tg.attrs, "slope_rise", &c.S0); err != nil {
+					return nil, err
+				}
+				if err := attr(tg.attrs, "transition_resistance", &c.KS); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("liberty: cell %s: pin %v has no direction", c.Name, pg.args)
+		}
+	}
+	c.NumInputs = len(cins)
+	if len(cins) > 0 {
+		// The repository's model uses one input capacitance per cell;
+		// Liberty allows per-pin values — average them.
+		sum := 0.0
+		for _, x := range cins {
+			sum += x
+		}
+		c.Cin = sum / float64(len(cins))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	return c, nil
+}
+
+// Write emits a cell.Library as Liberty-subset text.
+func Write(w io.Writer, lib *cell.Library) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "library (%s) {\n", lib.Name)
+	sb.WriteString("  time_unit : \"1ns\";\n")
+	sb.WriteString("  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(&sb, "  nom_voltage : %g;\n", lib.Vdd)
+	names := lib.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		c, err := lib.Cell(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "  cell (%s) {\n", c.Name)
+		for i := 0; i < c.NumInputs; i++ {
+			pin := string(rune('A' + i))
+			fmt.Fprintf(&sb, "    pin (%s) { direction : input; capacitance : %g; }\n", pin, c.Cin)
+		}
+		fmt.Fprintf(&sb, "    pin (Y) {\n")
+		sb.WriteString("      direction : output;\n")
+		fmt.Fprintf(&sb, "      drive_resistance : %g;\n", c.Rdrv)
+		sb.WriteString("      timing () {\n")
+		sb.WriteString("        related_pin : \"A\";\n")
+		fmt.Fprintf(&sb, "        intrinsic_rise : %g;\n", c.D0)
+		fmt.Fprintf(&sb, "        rise_resistance : %g;\n", c.KD)
+		fmt.Fprintf(&sb, "        slope_rise : %g;\n", c.S0)
+		fmt.Fprintf(&sb, "        transition_resistance : %g;\n", c.KS)
+		sb.WriteString("      }\n")
+		sb.WriteString("    }\n")
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the library as Liberty text.
+func String(lib *cell.Library) string {
+	var sb strings.Builder
+	if err := Write(&sb, lib); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+const sample = `
+/* a small library */
+library (demo) {
+  time_unit : "1ns";
+  capacitive_load_unit (1, ff);
+  nom_voltage : 1.2;
+  cell (INV_X1) {
+    pin (A) { direction : input; capacitance : 2.0; }
+    pin (Y) {
+      direction : output;
+      drive_resistance : 6.0;
+      timing () {
+        related_pin : "A";
+        intrinsic_rise : 0.018;
+        rise_resistance : 0.0035;
+        slope_rise : 0.030;
+        transition_resistance : 0.005;
+      }
+    }
+  }
+  cell (NAND2_X2) {
+    pin (A) { direction : input; capacitance : 4.8; }
+    pin (B) { direction : input; capacitance : 4.8; }
+    pin (Y) {
+      direction : output;
+      drive_resistance : 3.5;
+      timing () {
+        related_pin : "A";
+        intrinsic_rise : 0.026;
+        rise_resistance : 0.0021;
+        slope_rise : 0.038;
+        transition_resistance : 0.0029;
+      }
+    }
+  }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	lib, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "demo" || lib.Vdd != 1.2 || lib.Len() != 2 {
+		t.Fatalf("library header wrong: %s %g %d", lib.Name, lib.Vdd, lib.Len())
+	}
+	inv, err := lib.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.NumInputs != 1 || inv.D0 != 0.018 || inv.KD != 0.0035 ||
+		inv.S0 != 0.030 || inv.KS != 0.005 || inv.Rdrv != 6 || inv.Cin != 2 {
+		t.Fatalf("INV_X1 characterization wrong: %+v", inv)
+	}
+	if inv.Kind != cell.Inv {
+		t.Fatalf("kind = %q", inv.Kind)
+	}
+	nand, err := lib.Cell("NAND2_X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nand.NumInputs != 2 || nand.Cin != 4.8 {
+		t.Fatalf("NAND2_X2 pins wrong: %+v", nand)
+	}
+}
+
+func TestRoundTripDefaultLibrary(t *testing.T) {
+	orig := cell.Default()
+	text := String(orig)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse of emitted library: %v\n%s", err, text[:400])
+	}
+	if back.Len() != orig.Len() || back.Vdd != orig.Vdd {
+		t.Fatalf("library shape changed: %d/%g vs %d/%g", back.Len(), back.Vdd, orig.Len(), orig.Vdd)
+	}
+	for _, name := range orig.Names() {
+		a, _ := orig.Cell(name)
+		b, err := back.Cell(name)
+		if err != nil {
+			t.Fatalf("cell %s lost: %v", name, err)
+		}
+		if a.Name != b.Name || a.Kind != b.Kind || a.NumInputs != b.NumInputs {
+			t.Fatalf("cell %s identity changed: %+v vs %+v", name, a, b)
+		}
+		for _, pair := range [][2]float64{
+			{a.D0, b.D0}, {a.KD, b.KD}, {a.S0, b.S0},
+			{a.KS, b.KS}, {a.Rdrv, b.Rdrv}, {a.Cin, b.Cin},
+		} {
+			if d := pair[0] - pair[1]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("cell %s values drifted: %+v vs %+v", name, a, b)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"not a library", "cell (x) { }", "want library"},
+		{"no cells", "library (l) { }", "no cells"},
+		{"bad time unit", `library (l) { time_unit : "1ps"; cell (INV_X1) {} }`, "unsupported time_unit"},
+		{"bad cap unit", `library (l) { capacitive_load_unit (1, pf); cell (INV_X1) {} }`, "unsupported capacitive_load_unit"},
+		{"bad voltage", `library (l) { nom_voltage : abc; }`, "nom_voltage"},
+		{"unterminated", `library (l) {`, "unterminated"},
+		{"unterminated comment", `library (l) { /* `, "unterminated comment"},
+		{"unterminated string", `library (l) { time_unit : "1ns`, "unterminated string"},
+		{"pin no direction", `library (l) { cell (INV_X1) { pin (A) { capacitance : 1; } } }`, "no direction"},
+		{"bad attr value", `library (l) { cell (INV_X1) { pin (A) { direction : input; capacitance : zz; } } }`, "capacitance"},
+		{"invalid cell", `library (l) { cell (INV_X1) { pin (A) { direction : input; capacitance : 1; } } }`, "cell INV_X1"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWriterShape(t *testing.T) {
+	text := String(cell.Default())
+	for _, want := range []string{
+		"library (synth013) {",
+		`time_unit : "1ns";`,
+		"capacitive_load_unit (1, ff);",
+		"nom_voltage : 1.2;",
+		"cell (INV_X1) {",
+		"pin (A) { direction : input;",
+		"drive_resistance :",
+		"transition_resistance :",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("emitted liberty missing %q", want)
+		}
+	}
+}
+
+func TestTokenizerQuotesAndComments(t *testing.T) {
+	toks, err := tokenize(`a : "x y"; // line
+/* block */ b ( 1 , 2 ) ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(toks, "|")
+	want := "a|:|x y|;|b|(|1|,|2|)|;"
+	if joined != want {
+		t.Fatalf("tokens = %q, want %q", joined, want)
+	}
+}

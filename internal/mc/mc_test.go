@@ -1,0 +1,152 @@
+package mc
+
+import (
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/core"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func model(t *testing.T) *noise.Model {
+	t.Helper()
+	c, err := gen.Build(gen.Spec{Name: "mc", Gates: 40, Couplings: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noise.NewModel(c)
+}
+
+func TestRunDistributionBracketed(t *testing.T) {
+	m := model(t)
+	res, err := Run(m, Config{Activity: 0.3, Samples: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delays) != 40 {
+		t.Fatalf("samples = %d", len(res.Delays))
+	}
+	for _, d := range res.Delays {
+		if d < res.Base-1e-9 || d > res.All+1e-9 {
+			t.Fatalf("sample %g outside [base %g, all %g]", d, res.Base, res.All)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(res.Delays); i++ {
+		if res.Delays[i] < res.Delays[i-1] {
+			t.Fatal("delays must be sorted")
+		}
+	}
+	// Quantiles are monotone and bracket the mean.
+	q10, q50, q95 := res.Quantile(0.10), res.Quantile(0.50), res.Quantile(0.95)
+	if !(q10 <= q50 && q50 <= q95) {
+		t.Fatalf("quantiles out of order: %g %g %g", q10, q50, q95)
+	}
+	mean := res.Mean()
+	if mean < res.Delays[0] || mean > res.Delays[len(res.Delays)-1] {
+		t.Fatal("mean outside sample range")
+	}
+	// Mean active couplings ≈ activity × total.
+	expect := 0.3 * float64(m.C.NumCouplings())
+	if res.MeanActive < 0.5*expect || res.MeanActive > 1.5*expect {
+		t.Fatalf("mean active %g far from expectation %g", res.MeanActive, expect)
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	m := model(t)
+	a, err := Run(m, Config{Samples: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, Config{Samples: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Delays {
+		if a.Delays[i] != b.Delays[i] {
+			t.Fatal("same seed must reproduce the distribution")
+		}
+	}
+	c, err := Run(m, Config{Samples: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Delays {
+		if a.Delays[i] != c.Delays[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestActivityScalesNoise(t *testing.T) {
+	m := model(t)
+	lo, err := Run(m, Config{Activity: 0.05, Samples: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(m, Config{Activity: 0.8, Samples: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Mean() <= lo.Mean() {
+		t.Fatalf("more switching must mean more delay: %g vs %g", hi.Mean(), lo.Mean())
+	}
+}
+
+// TestTopKCoversRealisticActivity is the paper's probabilistic
+// argument made concrete: a modest top-k addition analysis already
+// bounds the 95th percentile of realistic switching scenarios with k
+// far below the coupling count.
+func TestTopKCoversRealisticActivity(t *testing.T) {
+	m := model(t)
+	res, err := Run(m, Config{Activity: 0.2, Samples: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := core.TopKAddition(m, 20, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := make([]float64, len(top.PerK))
+	for i, s := range top.PerK {
+		curve[i] = s.Delay
+	}
+	k, ok := res.CoverageK(curve, 0.95)
+	if !ok {
+		t.Fatalf("top-20 analysis failed to cover the 95th percentile (%g vs curve end %g)",
+			res.Quantile(0.95), curve[len(curve)-1])
+	}
+	if k >= m.C.NumCouplings()/2 {
+		t.Fatalf("coverage k=%d suspiciously close to the full coupling count %d", k, m.C.NumCouplings())
+	}
+	t.Logf("95%%-quantile %.4f covered by top-%d (of %d couplings)", res.Quantile(0.95), k, m.C.NumCouplings())
+}
+
+func TestRunValidation(t *testing.T) {
+	src := "circuit q\noutput y\ngate g1 INV_X1 a -> y\n"
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(noise.NewModel(c), Config{}); err == nil {
+		t.Fatal("coupling-free circuit must error")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	r := &Result{Delays: []float64{1, 2, 3, 4}}
+	if r.Quantile(0) != 1 || r.Quantile(1) != 4 {
+		t.Fatal("quantile extremes wrong")
+	}
+	empty := &Result{}
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty result must be zero-valued")
+	}
+}

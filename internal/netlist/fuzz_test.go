@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and
+// that anything it accepts survives a canonical-form round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("circuit x\n")
+	f.Add("gate g INV_X1 a -> y\n")
+	f.Add("net n cg=1 rw=2 x=3 y=4\n")
+	f.Add("couple a b 1.5\n")
+	f.Add("# comment only\n")
+	f.Add("circuit \x00\nnet \xff\n")
+	f.Add("gate g NAND2_X1 a a -> a\n")
+	lib := cell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src, lib)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		text := String(c)
+		c2, err := ParseString(text, lib)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, text)
+		}
+		if String(c2) != text {
+			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", text, String(c2))
+		}
+	})
+}

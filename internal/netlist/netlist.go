@@ -1,0 +1,203 @@
+// Package netlist reads and writes the plain-text circuit format used
+// by the command-line tools and examples.
+//
+// The format is line-oriented; '#' starts a comment. Keywords:
+//
+//	circuit NAME
+//	input  NET...
+//	output NET...
+//	net    NAME [cg=F] [rw=F] [x=F] [y=F]
+//	gate   NAME CELL IN... -> OUT
+//	couple NETA NETB CC
+//
+// Nets referenced by gate or couple lines are created implicitly with
+// default parasitics; a net line (before or after first use) overrides
+// attributes. All values use the repository units: ns, fF, kΩ, µm.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+)
+
+// Parse reads a circuit in the text format, resolving cells against
+// lib. The returned circuit is validated.
+func Parse(r io.Reader, lib *cell.Library) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	c := circuit.New("unnamed", lib)
+	var outputs []string
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netlist: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch kw := fields[0]; kw {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fail("circuit wants one name")
+			}
+			c.Name = fields[1]
+		case "input":
+			for _, n := range fields[1:] {
+				c.EnsureNet(n)
+			}
+		case "output":
+			outputs = append(outputs, fields[1:]...)
+		case "net":
+			if len(fields) < 2 {
+				return nil, fail("net wants a name")
+			}
+			id := c.EnsureNet(fields[1])
+			net := c.Net(id)
+			for _, attr := range fields[2:] {
+				k, vs, ok := strings.Cut(attr, "=")
+				if !ok {
+					return nil, fail("net attribute %q is not key=value", attr)
+				}
+				v, err := strconv.ParseFloat(vs, 64)
+				if err != nil {
+					return nil, fail("net attribute %q: %v", attr, err)
+				}
+				switch k {
+				case "cg":
+					net.Cgnd = v
+				case "rw":
+					net.Rwire = v
+				case "x":
+					net.X = v
+				case "y":
+					net.Y = v
+				default:
+					return nil, fail("unknown net attribute %q", k)
+				}
+			}
+		case "gate":
+			// gate NAME CELL IN... -> OUT
+			if len(fields) < 5 {
+				return nil, fail("gate wants NAME CELL IN... -> OUT")
+			}
+			arrow := -1
+			for i, f := range fields {
+				if f == "->" {
+					arrow = i
+				}
+			}
+			if arrow != len(fields)-2 || arrow < 3 {
+				return nil, fail("gate wants exactly one -> before the output")
+			}
+			name, cellName := fields[1], fields[2]
+			ins := fields[3:arrow]
+			out := fields[len(fields)-1]
+			if _, err := c.AddGate(name, cellName, ins, out); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "couple":
+			if len(fields) != 4 {
+				return nil, fail("couple wants NETA NETB CC")
+			}
+			cc, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fail("couple capacitance %q: %v", fields[3], err)
+			}
+			if _, err := c.AddCoupling(fields[1], fields[2], cc); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown keyword %q", kw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+	for _, o := range outputs {
+		if err := c.MarkPO(o); err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return c, nil
+}
+
+// ParseString is Parse over an in-memory netlist.
+func ParseString(s string, lib *cell.Library) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s), lib)
+}
+
+// Write emits the circuit in canonical text form: header, primary
+// inputs, outputs, every net with its parasitics, gates in ID order,
+// couplings in ID order. Parse(Write(c)) reproduces c.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	if pis := c.PIs(); len(pis) > 0 {
+		fmt.Fprint(bw, "input")
+		for _, id := range pis {
+			fmt.Fprintf(bw, " %s", c.Net(id).Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	var pos []circuit.NetID
+	for _, n := range c.Nets() {
+		if n.IsPO {
+			pos = append(pos, n.ID)
+		}
+	}
+	if len(pos) > 0 {
+		fmt.Fprint(bw, "output")
+		for _, id := range pos {
+			fmt.Fprintf(bw, " %s", c.Net(id).Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	// Emit net declarations in the order a re-parse creates nets —
+	// primary inputs first (the input line above), then the rest — so
+	// the canonical form is a fixpoint of Parse∘Write.
+	for _, n := range c.Nets() {
+		if n.Driver == circuit.NoGate {
+			fmt.Fprintf(bw, "net %s cg=%g rw=%g x=%g y=%g\n", n.Name, n.Cgnd, n.Rwire, n.X, n.Y)
+		}
+	}
+	for _, n := range c.Nets() {
+		if n.Driver != circuit.NoGate {
+			fmt.Fprintf(bw, "net %s cg=%g rw=%g x=%g y=%g\n", n.Name, n.Cgnd, n.Rwire, n.X, n.Y)
+		}
+	}
+	for _, g := range c.Gates() {
+		fmt.Fprintf(bw, "gate %s %s", g.Name, g.Cell.Name)
+		for _, in := range g.Inputs {
+			fmt.Fprintf(bw, " %s", c.Net(in).Name)
+		}
+		fmt.Fprintf(bw, " -> %s\n", c.Net(g.Output).Name)
+	}
+	for _, cp := range c.Couplings() {
+		fmt.Fprintf(bw, "couple %s %s %g\n", c.Net(cp.A).Name, c.Net(cp.B).Name, cp.Cc)
+	}
+	return bw.Flush()
+}
+
+// String renders the circuit in canonical text form.
+func String(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}

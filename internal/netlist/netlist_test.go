@@ -1,0 +1,144 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+const sample = `
+# small coupled chain
+circuit demo
+input a b
+output y
+net n1 cg=5.5 rw=0.4 x=10 y=20
+gate g1 NAND2_X1 a b -> n1
+gate g2 INV_X2 n1 -> y
+couple n1 b 1.8
+couple n1 y 0.9
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString(sample, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if c.NumGates() != 2 || c.NumCouplings() != 2 {
+		t.Fatalf("sizes: %d gates, %d couplings", c.NumGates(), c.NumCouplings())
+	}
+	n1, ok := c.NetByName("n1")
+	if !ok {
+		t.Fatal("n1 missing")
+	}
+	net := c.Net(n1)
+	if net.Cgnd != 5.5 || net.Rwire != 0.4 || net.X != 10 || net.Y != 20 {
+		t.Fatalf("net attributes not applied: %+v", net)
+	}
+	pos := c.POs()
+	if len(pos) != 1 || c.Net(pos[0]).Name != "y" {
+		t.Fatalf("POs = %v", pos)
+	}
+}
+
+func TestParseNetAttrAfterUse(t *testing.T) {
+	src := `circuit t
+gate g1 INV_X1 a -> y
+net y cg=9
+`
+	c, err := ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.NetByName("y")
+	if c.Net(y).Cgnd != 9 {
+		t.Fatal("late net line must override attributes")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "circuit t # trailing\n# full line\ngate g1 INV_X1 a -> y # another\n"
+	if _, err := ParseString(src, cell.Default()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown keyword", "bogus x\n", "unknown keyword"},
+		{"circuit arity", "circuit a b\n", "one name"},
+		{"net no name", "net\n", "wants a name"},
+		{"bad attr form", "net n cg\n", "not key=value"},
+		{"bad attr value", "net n cg=abc\n", "invalid syntax"},
+		{"unknown attr", "net n zz=1\n", "unknown net attribute"},
+		{"gate short", "gate g INV_X1 a\n", "gate wants"},
+		{"gate no arrow", "gate g INV_X1 a b y\n", "->"},
+		{"gate bad cell", "gate g NOPE a -> y\n", "no cell"},
+		{"gate pin count", "gate g NAND2_X1 a -> y\n", "wants 2 inputs"},
+		{"couple arity", "couple a b\n", "couple wants"},
+		{"couple bad cc", "couple a b x\n", "invalid syntax"},
+		{"couple self", "couple a a 1\n", "self-coupling"},
+		{"unknown output", "output q\n", "unknown output net"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src, cell.Default())
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	src := "circuit t\n\nbogus\n"
+	_, err := ParseString(src, cell.Default())
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := cell.Default()
+	c1, err := ParseString(sample, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := String(c1)
+	c2, err := ParseString(text, lib)
+	if err != nil {
+		t.Fatalf("re-parse of canonical form failed: %v\n%s", err, text)
+	}
+	if String(c2) != text {
+		t.Fatalf("canonical form not a fixpoint:\n--- first\n%s\n--- second\n%s", text, String(c2))
+	}
+	if c2.NumGates() != c1.NumGates() || c2.NumCouplings() != c1.NumCouplings() ||
+		c2.NumNets() != c1.NumNets() {
+		t.Fatal("round trip changed circuit size")
+	}
+}
+
+func TestWriteContainsEverything(t *testing.T) {
+	c, err := ParseString(sample, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := String(c)
+	for _, want := range []string{"circuit demo", "input a b", "output y",
+		"gate g1 NAND2_X1 a b -> n1", "couple n1 b 1.8", "net n1 cg=5.5 rw=0.4"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("canonical form missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseValidatesCycles(t *testing.T) {
+	src := `circuit t
+gate g1 NAND2_X1 a n2 -> n1
+gate g2 INV_X1 n1 -> n2
+`
+	if _, err := ParseString(src, cell.Default()); err == nil {
+		t.Fatal("cyclic netlist must fail validation")
+	}
+}

@@ -1,0 +1,53 @@
+package noise
+
+import (
+	"sort"
+
+	"topkagg/internal/circuit"
+)
+
+// DevganPeak returns the classic Devgan upper bound on the coupled
+// noise peak (Devgan, ICCAD'97): for a monotone aggressor transition,
+// the victim glitch can never exceed
+//
+//	Vmax = Rv · Cc · (dV/dt)_aggressor ≈ Rv · Cc · Vdd / slew.
+//
+// It requires no alignment information at all, which makes it the
+// standard first-pass screen: couplings whose Devgan bound is already
+// negligible need no envelope analysis. The bound is loose for fast
+// victims (it ignores the victim RC's self-limiting), so it upper-
+// bounds this package's pulse model peak for every coupling.
+func (m *Model) DevganPeak(victim circuit.NetID, cp *circuit.Coupling, aggSlew float64) float64 {
+	rv := m.C.DriverRes(victim)
+	if aggSlew < 1e-3 {
+		aggSlew = 1e-3
+	}
+	v := rv * cp.Cc * 1e-3 * m.Vdd / aggSlew // kΩ·fF → ns
+	if v > m.Vdd {
+		v = m.Vdd // a passive network cannot exceed the supply
+	}
+	return v
+}
+
+// DevganScreen ranks every coupling by its worst-direction Devgan
+// bound and returns the couplings whose bound is below frac·Vdd —
+// candidates for dropping before any detailed analysis. win supplies
+// aggressor slews (use a timing result's Windows).
+func (m *Model) DevganScreen(win []float64, frac float64) []circuit.CouplingID {
+	var out []circuit.CouplingID
+	thresh := frac * m.Vdd
+	for _, cp := range m.C.Couplings() {
+		worst := 0.0
+		for _, victim := range []circuit.NetID{cp.A, cp.B} {
+			agg := cp.Other(victim)
+			if v := m.DevganPeak(victim, cp, win[agg]); v > worst {
+				worst = v
+			}
+		}
+		if worst < thresh {
+			out = append(out, cp.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,85 @@
+package noise
+
+import (
+	"testing"
+)
+
+func TestDevganBoundsPulseModel(t *testing.T) {
+	// The Devgan metric must upper-bound the detailed pulse peak for
+	// every coupling direction on a real circuit.
+	m := smallModel(t, 71)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, cp := range m.C.Couplings() {
+		for _, victim := range []int{int(cp.A), int(cp.B)} {
+			v := m.C.Net(m.C.Nets()[victim].ID).ID
+			agg := cp.Other(v)
+			slew := an.Timing.Windows[agg].Slew
+			devgan := m.DevganPeak(v, cp, slew)
+			pulse := m.PulseParams(v, cp, slew)
+			if pulse.Vp > devgan+1e-9 {
+				t.Fatalf("coupling %d victim %s: pulse peak %g exceeds Devgan bound %g",
+					cp.ID, m.C.Net(v).Name, pulse.Vp, devgan)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("too few directions checked: %d", checked)
+	}
+}
+
+func TestDevganCappedAtVdd(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	// An absurdly fast edge would push R·C·Vdd/slew beyond Vdd.
+	if got := m.DevganPeak(n1, c.Coupling(0), 1e-9); got > m.Vdd {
+		t.Fatalf("Devgan bound must cap at Vdd: %g", got)
+	}
+}
+
+func TestDevganScreen(t *testing.T) {
+	c := parse(t, `circuit d
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 3.0
+couple n1 m1 0.01
+`)
+	m := NewModel(c)
+	slews := make([]float64, c.NumNets())
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slews {
+		slews[i] = an.Timing.Windows[i].Slew
+	}
+	screened := m.DevganScreen(slews, 0.02)
+	if len(screened) != 1 || screened[0] != 1 {
+		t.Fatalf("only the 0.01 fF coupling should screen out: %v", screened)
+	}
+	// Screening soundness: dropping screened couplings barely moves
+	// the noisy delay.
+	mask := AllMask(c)
+	for _, id := range screened {
+		mask[id] = false
+	}
+	full, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := m.Run(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := full.CircuitDelay() - without.CircuitDelay(); d > 0.001*full.CircuitDelay() {
+		t.Fatalf("screened couplings changed delay by %g", d)
+	}
+}

@@ -1,0 +1,133 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/netlist"
+)
+
+func TestLinearTheveninResIndependentOfAmplitude(t *testing.T) {
+	d := LinearThevenin{}
+	if d.EffectiveRes(5, 0, 1.2) != 5 || d.EffectiveRes(5, 0.9, 1.2) != 5 {
+		t.Fatal("linear model must ignore amplitude")
+	}
+	if d.Name() != "linear-thevenin" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestSaturatingCSMRises(t *testing.T) {
+	d := SaturatingCSM{Alpha: 1.0}
+	r0 := d.EffectiveRes(5, 0, 1.2)
+	r1 := d.EffectiveRes(5, 0.6, 1.2)
+	if r0 != 5 {
+		t.Fatalf("zero-amplitude resistance = %g", r0)
+	}
+	if r1 <= r0 {
+		t.Fatal("saturating driver must weaken with amplitude")
+	}
+	// Negative amplitudes clamp to the small-signal value.
+	if d.EffectiveRes(5, -1, 1.2) != 5 {
+		t.Fatal("negative amplitude must clamp")
+	}
+	if d.Name() != "saturating-csm" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestNonlinearAlphaZeroMatchesLinear(t *testing.T) {
+	c := parse(t, coupledPair)
+	lin := NewModel(c)
+	csm := NewModel(c)
+	csm.Driver = SaturatingCSM{Alpha: 0}
+	n1, _ := c.NetByName("n1")
+	cp := c.Coupling(0)
+	pl := lin.PulseParams(n1, cp, 0.05)
+	pc := csm.PulseParams(n1, cp, 0.05)
+	if math.Abs(pl.Vp-pc.Vp) > 1e-9 || math.Abs(pl.Fall-pc.Fall) > 1e-9 {
+		t.Fatalf("alpha=0 must equal linear: %+v vs %+v", pl, pc)
+	}
+}
+
+func TestNonlinearPeakGrowsWithAlpha(t *testing.T) {
+	c := parse(t, coupledPair)
+	n1, _ := c.NetByName("n1")
+	cp := c.Coupling(0)
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.5, 1.0, 2.0} {
+		m := NewModel(c)
+		m.Driver = SaturatingCSM{Alpha: alpha}
+		p := m.PulseParams(n1, cp, 0.05)
+		if p.Vp <= prev {
+			t.Fatalf("peak must grow with saturation: alpha=%g vp=%g prev=%g", alpha, p.Vp, prev)
+		}
+		if p.Vp > m.Vdd {
+			t.Fatalf("peak clamped at Vdd: %g", p.Vp)
+		}
+		prev = p.Vp
+	}
+}
+
+func TestQuickNonlinearPeakSelfConsistent(t *testing.T) {
+	c := parse(t, coupledPair)
+	n1, _ := c.NetByName("n1")
+	cp := c.Coupling(0)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := r.Float64() * 1.5
+		m := NewModel(c)
+		m.Driver = SaturatingCSM{Alpha: alpha}
+		tr := 0.01 + r.Float64()*0.3
+		p := m.PulseParams(n1, cp, tr)
+		// Verify the fixed point: recomputing the linear peak at the
+		// converged effective resistance reproduces Vp.
+		rv := c.DriverRes(n1)
+		cv := c.Net(n1).Cgnd + c.PinLoad(n1)
+		rEff := m.Driver.EffectiveRes(rv, p.Vp, m.Vdd)
+		tau := rEff * (cp.Cc + cv) * 1e-3
+		want := m.Vdd * (rEff * cp.Cc * 1e-3 / tr) * (1 - math.Exp(-tr/tau))
+		if want > m.Vdd {
+			want = m.Vdd
+		}
+		return math.Abs(want-p.Vp) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonlinearEndToEnd(t *testing.T) {
+	// The whole pipeline (fixpoint + delay) must run under the
+	// nonlinear driver and yield at least as much crosstalk delay as
+	// the linear model (saturation only amplifies noise).
+	src := coupledPair
+	c1, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := NewModel(c1)
+	linAn, err := lin.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csm := NewModel(c1)
+	csm.Driver = SaturatingCSM{Alpha: 1.0}
+	csmAn, err := csm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csmAn.Converged {
+		t.Fatal("nonlinear fixpoint must converge")
+	}
+	if csmAn.CircuitDelay() < linAn.CircuitDelay()-1e-9 {
+		t.Fatalf("saturating driver must not reduce noisy delay: %g vs %g",
+			csmAn.CircuitDelay(), linAn.CircuitDelay())
+	}
+	if csmAn.Base.CircuitDelay() != linAn.Base.CircuitDelay() {
+		t.Fatal("driver model must not affect noiseless timing")
+	}
+}

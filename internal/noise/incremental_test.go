@@ -1,0 +1,161 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+)
+
+func TestIncrementalNoChangeReturnsPrev(t *testing.T) {
+	m := smallModel(t, 31)
+	mask := AllMask(m.C)
+	prev, err := m.Run(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, st, err := m.RunIncremental(prev, mask, mask.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an != prev || st.Affected != 0 || st.Full {
+		t.Fatalf("no-change must short-circuit: %+v", st)
+	}
+}
+
+func TestIncrementalNilPrevFallsBack(t *testing.T) {
+	m := smallModel(t, 31)
+	mask := AllMask(m.C)
+	an, st, err := m.RunIncremental(nil, nil, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full || an == nil {
+		t.Fatal("nil prev must run fully")
+	}
+}
+
+func TestIncrementalMatchesFullOnSingleFix(t *testing.T) {
+	m := smallModel(t, 33)
+	all := AllMask(m.C)
+	prev, err := m.Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < m.C.NumCouplings(); id += 7 {
+		mask := all.Clone()
+		mask[id] = false
+		want, err := m.Run(mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := m.RunIncremental(prev, all, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sub-picosecond tolerance: the ascent is mildly
+		// iteration-order dependent (see RunIncremental docs).
+		if d := math.Abs(got.CircuitDelay() - want.CircuitDelay()); d > 1e-4 {
+			t.Fatalf("fix %d: incremental delay off by %g", id, d)
+		}
+		for _, n := range m.C.Nets() {
+			if d := math.Abs(got.NetNoise[n.ID] - want.NetNoise[n.ID]); d > 1e-4 {
+				t.Fatalf("fix %d: net %s noise off by %g", id, n.Name, d)
+			}
+		}
+	}
+}
+
+func TestQuickIncrementalMatchesFull(t *testing.T) {
+	// Sparse circuit so change cones stay small and the incremental
+	// path (not the fallback) is exercised.
+	c, err := gen.Build(gen.Spec{Name: "inc", Gates: 50, Couplings: 25, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	all := AllMask(c)
+	prev, err := m.Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawIncremental := false
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mask := all.Clone()
+		// Toggle 1-2 couplings.
+		for i := 0; i < 1+r.Intn(2); i++ {
+			mask[r.Intn(len(mask))] = r.Intn(2) == 0
+		}
+		want, err := m.Run(mask)
+		if err != nil {
+			return false
+		}
+		got, st, err := m.RunIncremental(prev, all, mask)
+		if err != nil {
+			return false
+		}
+		if !st.Full && st.Affected > 0 {
+			sawIncremental = true
+		}
+		return math.Abs(got.CircuitDelay()-want.CircuitDelay()) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawIncremental {
+		t.Fatal("test never exercised the incremental path; shrink the circuit's coupling density")
+	}
+}
+
+func TestIncrementalConeSmallerThanCircuit(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "inc", Gates: 80, Couplings: 30, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	all := AllMask(c)
+	prev, err := m.Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := all.Clone()
+	mask[0] = false
+	_, st, err := m.RunIncremental(prev, all, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Full {
+		t.Skip("cone covered the circuit on this seed")
+	}
+	if st.Affected <= 0 || st.Affected >= c.NumNets() {
+		t.Fatalf("affected = %d of %d nets", st.Affected, c.NumNets())
+	}
+}
+
+func TestDelayDelta(t *testing.T) {
+	m := smallModel(t, 47)
+	all := AllMask(m.C)
+	prev, err := m.Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixing (removing) any coupling cannot increase delay.
+	delta, an, err := m.DelayDelta(prev, all, []circuit.CouplingID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta > 1e-9 {
+		t.Fatalf("fixing a coupling increased delay by %g", delta)
+	}
+	if an == nil {
+		t.Fatal("analysis missing")
+	}
+	// DelayDelta with a nil prevMask treats it as all-active.
+	if _, _, err := m.DelayDelta(prev, nil, []circuit.CouplingID{1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/waveform"
+)
+
+// TestMonteCarloEnvelopeIsWorstCase validates the framework's central
+// soundness claim by simulation: for random aggressor alignments
+// inside their timing windows, the delay obtained from the summed
+// *pulses* never exceeds the delay obtained from the summed
+// *envelopes*. This is the property that lets the paper replace the
+// exponential alignment search with a single superposition.
+func TestMonteCarloEnvelopeIsWorstCase(t *testing.T) {
+	m := smallModel(t, 61)
+	r := rand.New(rand.NewSource(17))
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, net := range m.C.Nets() {
+		ids := m.C.CouplingsOf(net.ID)
+		if len(ids) == 0 {
+			continue
+		}
+		vw := an.Base.Window(net.ID)
+		envCombined := waveform.Zero()
+		for _, id := range ids {
+			cp := m.C.Coupling(id)
+			envCombined = waveform.Add(envCombined, m.Envelope(net.ID, cp, an.Timing.Windows[cp.Other(net.ID)]))
+		}
+		worst := m.DelayNoise(vw, envCombined)
+		// 40 random simultaneous alignments.
+		for trial := 0; trial < 40; trial++ {
+			pulses := waveform.Zero()
+			for _, id := range ids {
+				cp := m.C.Coupling(id)
+				agg := cp.Other(net.ID)
+				w := an.Timing.Windows[agg]
+				ta := w.EAT + r.Float64()*(w.LAT-w.EAT)
+				pulses = waveform.Add(pulses, m.PulseAt(net.ID, cp, w.Slew, ta))
+			}
+			got := m.DelayNoise(vw, pulses)
+			if got > worst+1e-9 {
+				t.Fatalf("net %s: sampled alignment produced %g > envelope worst case %g",
+					net.Name, got, worst)
+			}
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("too few coupled nets exercised: %d", checked)
+	}
+}
+
+// TestMonteCarloSingleAggressorTightness checks the envelope bound is
+// not vacuous: for a single aggressor, some alignment gets close to
+// the envelope's worst case.
+func TestMonteCarloSingleAggressorTightness(t *testing.T) {
+	m := smallModel(t, 67)
+	r := rand.New(rand.NewSource(19))
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tried := 0
+	for _, cp := range m.C.Couplings() {
+		for _, victim := range []circuit.NetID{cp.A, cp.B} {
+			agg := cp.Other(victim)
+			vw := an.Base.Window(victim)
+			aw := an.Timing.Windows[agg]
+			env := m.Envelope(victim, cp, aw)
+			worst := m.DelayNoise(vw, env)
+			if worst < 1e-4 {
+				continue // no meaningful noise in this direction
+			}
+			best := 0.0
+			for trial := 0; trial < 200; trial++ {
+				ta := aw.EAT + r.Float64()*(aw.LAT-aw.EAT)
+				if d := m.DelayNoise(vw, m.PulseAt(victim, cp, aw.Slew, ta)); d > best {
+					best = d
+				}
+			}
+			// The best sampled alignment should realize a substantial
+			// fraction of the bound (the trapezoid adds the plateau
+			// between the two extreme pulse positions, so exact
+			// equality is not expected).
+			if best < 0.25*worst {
+				t.Fatalf("victim %s aggressor %s: bound %g but best sampled alignment only %g",
+					m.C.Net(victim).Name, m.C.Net(agg).Name, worst, best)
+			}
+			tried++
+			if tried > 25 {
+				return
+			}
+		}
+	}
+	if tried == 0 {
+		t.Skip("no direction with meaningful single-aggressor noise")
+	}
+}

@@ -1,0 +1,326 @@
+// Package noise implements the linear noise-analysis framework of the
+// DAC'07 paper (its Section 2): triangular noise pulses from a
+// Thevenin/charge-sharing model, trapezoidal noise envelopes spanning
+// aggressor timing windows, worst-case delay noise by superimposing
+// envelopes on the latest victim transition, and the iterative
+// timing-window/delay-noise fixpoint of Sapatnekar-style noise-aware
+// STA.
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/sta"
+	"topkagg/internal/waveform"
+)
+
+// Mask selects the subset of coupling capacitors considered active in
+// a noise scenario, indexed by CouplingID.
+type Mask []bool
+
+// NewMask returns an all-inactive mask sized for circuit c.
+func NewMask(c *circuit.Circuit) Mask { return make(Mask, c.NumCouplings()) }
+
+// AllMask returns a mask with every coupling active.
+func AllMask(c *circuit.Circuit) Mask {
+	m := NewMask(c)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// MaskOf returns a mask with exactly the given couplings active.
+func MaskOf(c *circuit.Circuit, ids []circuit.CouplingID) Mask {
+	m := NewMask(c)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// WithoutMask returns a mask with every coupling active except the
+// given ones.
+func WithoutMask(c *circuit.Circuit, ids []circuit.CouplingID) Mask {
+	m := AllMask(c)
+	for _, id := range ids {
+		m[id] = false
+	}
+	return m
+}
+
+// Active reports whether coupling id is active. A nil Mask means all
+// couplings are active.
+func (m Mask) Active(id circuit.CouplingID) bool {
+	if m == nil {
+		return true
+	}
+	return m[id]
+}
+
+// Count returns the number of active couplings.
+func (m Mask) Count() int {
+	n := 0
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of the mask.
+func (m Mask) Clone() Mask {
+	out := make(Mask, len(m))
+	copy(out, m)
+	return out
+}
+
+// Model binds the noise framework to a circuit.
+type Model struct {
+	C   *circuit.Circuit
+	Vdd float64
+
+	// MaxIterations bounds the timing-window/delay-noise fixpoint
+	// iteration. Industrial designs converge in 3-4 iterations; the
+	// default (32) is a generous safety bound.
+	MaxIterations int
+	// Tol is the convergence tolerance on per-net delay noise, ns.
+	Tol float64
+	// PIArrival optionally overrides primary-input windows.
+	PIArrival func(circuit.NetID) sta.Window
+	// Driver selects the victim holding-driver model for pulse peaks.
+	// Nil means the paper's linear Thevenin model; SaturatingCSM
+	// provides the paper's future-work nonlinear extension.
+	Driver DriverModel
+}
+
+// NewModel creates a model with default iteration controls, taking
+// Vdd from the circuit's library.
+func NewModel(c *circuit.Circuit) *Model {
+	return &Model{C: c, Vdd: c.Lib.Vdd, MaxIterations: 32, Tol: 1e-6}
+}
+
+// Pulse describes the triangular noise pulse one coupling injects on a
+// victim when the aggressor switches once.
+type Pulse struct {
+	Vp   float64 // peak voltage, V
+	Rise float64 // time from pulse start to peak, ns
+	Fall float64 // decay time from peak back to zero, ns
+}
+
+// PulseParams computes the noise pulse that coupling cp injects on
+// victim when the aggressor side transitions with the given slew.
+//
+// The peak follows the standard linear (Thevenin driver + lumped RC)
+// model: Vp = Vdd · (Rv·Cc/tr) · (1 − exp(−tr/τ)) with τ = Rv·(Cc+Cv),
+// which saturates at the charge-sharing limit Vdd·Cc/(Cc+Cv) for fast
+// aggressors. The pulse tracks the aggressor edge on the way up and
+// decays with the victim RC constant.
+func (m *Model) PulseParams(victim circuit.NetID, cp *circuit.Coupling, aggSlew float64) Pulse {
+	rv := m.C.DriverRes(victim)
+	cv := m.C.Net(victim).Cgnd + m.C.PinLoad(victim)
+	tr := math.Max(aggSlew, 1e-3)
+	vp, rEff := m.solvePeak(rv, cp.Cc, cv, tr)
+	tau := cell.RC(rEff, cp.Cc+cv)
+	return Pulse{
+		Vp:   vp,
+		Rise: tr / 2,
+		Fall: math.Max(2*tau, 1e-3),
+	}
+}
+
+// PulseAt returns the pulse waveform for an aggressor switching with
+// its 50% crossing at time ta.
+func (m *Model) PulseAt(victim circuit.NetID, cp *circuit.Coupling, aggSlew, ta float64) waveform.PWL {
+	p := m.PulseParams(victim, cp, aggSlew)
+	return waveform.TrianglePulse(ta-p.Rise, p.Rise, p.Fall, p.Vp)
+}
+
+// Envelope returns the trapezoidal noise envelope coupling cp induces
+// on victim, given the aggressor's timing window: the pulse placed at
+// the window's EAT and LAT with the peaks connected (paper Fig. 2).
+func (m *Model) Envelope(victim circuit.NetID, cp *circuit.Coupling, aggWin sta.Window) waveform.PWL {
+	p := m.PulseParams(victim, cp, aggWin.Slew)
+	if p.Vp <= 0 {
+		return waveform.Zero()
+	}
+	return waveform.Trapezoid(aggWin.EAT-p.Rise, p.Rise, aggWin.LAT, p.Fall, p.Vp)
+}
+
+// InfiniteEnvelope returns the envelope of coupling cp with an
+// unbounded aggressor timing window, relative to the victim's own
+// window: the flat top spans the victim's whole transition region.
+// This is the construction the paper uses to upper-bound delay noise
+// when computing the dominance interval.
+func (m *Model) InfiniteEnvelope(victim circuit.NetID, cp *circuit.Coupling, victimWin sta.Window, aggSlew float64) waveform.PWL {
+	p := m.PulseParams(victim, cp, aggSlew)
+	if p.Vp <= 0 {
+		return waveform.Zero()
+	}
+	span := 4*victimWin.Slew + p.Fall + 1.0
+	start := victimWin.LAT - victimWin.Slew - span
+	end := victimWin.LAT + span
+	return waveform.Trapezoid(start-p.Rise, p.Rise, end, p.Fall, p.Vp)
+}
+
+// VictimRamp returns the noiseless latest victim transition: a rising
+// saturated ramp with its 50% crossing at the window's LAT.
+func (m *Model) VictimRamp(w sta.Window) waveform.PWL {
+	return waveform.RisingRamp(w.LAT, math.Max(w.Slew, 1e-3), m.Vdd)
+}
+
+// DelayNoise returns the worst-case increase of the victim's t50 when
+// the combined noise envelope env is superimposed on (subtracted from,
+// for a rising victim) the latest victim transition.
+func (m *Model) DelayNoise(victimWin sta.Window, env waveform.PWL) float64 {
+	if env.IsZero() {
+		return 0
+	}
+	ramp := m.VictimRamp(victimWin)
+	noisy := waveform.Sub(ramp, env)
+	t, ok := noisy.LatestTimeAtOrBelow(m.Vdd / 2)
+	if !ok {
+		// Envelope holds the victim below threshold past its span;
+		// the transition completes once the envelope decays.
+		t = env.End()
+	}
+	d := t - victimWin.LAT
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// CombinedEnvelope sums the envelopes of the given couplings on the
+// victim, using each aggressor's window from win.
+func (m *Model) CombinedEnvelope(victim circuit.NetID, ids []circuit.CouplingID, win []sta.Window) waveform.PWL {
+	env := waveform.Zero()
+	for _, id := range ids {
+		cp := m.C.Coupling(id)
+		agg := cp.Other(victim)
+		env = waveform.Add(env, m.Envelope(victim, cp, win[agg]))
+	}
+	return env
+}
+
+// Analysis is the result of one noise-aware timing run.
+type Analysis struct {
+	// Base is the noiseless timing.
+	Base *sta.Result
+	// Timing is the converged noisy timing (windows include delay
+	// noise in their LAT).
+	Timing *sta.Result
+	// NetNoise is each net's own worst-case delay noise at the
+	// fixpoint (the ExtraLAT injected into Timing), indexed by NetID.
+	NetNoise []float64
+	// Iterations is the number of fixpoint iterations performed.
+	Iterations int
+	// Converged reports whether the fixpoint settled within tolerance.
+	Converged bool
+}
+
+// CircuitDelay returns the noisy circuit delay.
+func (a *Analysis) CircuitDelay() float64 { return a.Timing.CircuitDelay() }
+
+// PropagatedShift returns the part of net n's latest-arrival shift
+// that was inherited from its fanin rather than injected on n itself.
+func (a *Analysis) PropagatedShift(n circuit.NetID) float64 {
+	s := a.Timing.Window(n).LAT - a.Base.Window(n).LAT - a.NetNoise[n]
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Run performs the iterative delay-noise/timing-window analysis with
+// the given set of active couplings (nil mask = all active).
+//
+// The iteration starts from noiseless windows (the optimistic
+// fixpoint start of [3],[5]); each pass recomputes every victim's
+// worst-case delay noise from its aggressors' current windows, injects
+// it into the victim's latest arrival, and repeats until no net's
+// noise moves by more than Tol. Envelope widths grow monotonically
+// with window widths, so the iteration is monotone and converges.
+func (m *Model) Run(active Mask) (*Analysis, error) {
+	opt := sta.Options{PIArrival: m.PIArrival}
+	base, err := sta.Analyze(m.C, opt)
+	if err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
+	extra := make([]float64, m.C.NumNets())
+	cur := base
+	an := &Analysis{Base: base, Timing: base, NetNoise: extra}
+	for iter := 1; iter <= m.MaxIterations; iter++ {
+		an.Iterations = iter
+		next := make([]float64, m.C.NumNets())
+		maxDelta := 0.0
+		for _, net := range m.C.Nets() {
+			v := net.ID
+			ids := m.activeCouplingsOf(v, active)
+			if len(ids) == 0 {
+				continue
+			}
+			env := m.CombinedEnvelope(v, ids, cur.Windows)
+			// The reference victim transition includes noise propagated
+			// from the fanin but not the victim's own injected noise
+			// (which is exactly what we are recomputing here).
+			vw := cur.Window(v)
+			vw.LAT -= extra[v]
+			n := m.DelayNoise(vw, env)
+			// Keep per-net noise monotone across iterations: arrival
+			// shifts can move a victim past an aggressor envelope and
+			// make the raw recomputation oscillate, but delay noise
+			// once observed is never un-observed (the fixpoint lattice
+			// of Zhou [4] is ascended from below).
+			if n < extra[v] {
+				n = extra[v]
+			}
+			next[v] = n
+			if d := n - extra[v]; d > maxDelta {
+				maxDelta = d
+			}
+		}
+		extra = next
+		cur, err = sta.Analyze(m.C, sta.Options{PIArrival: m.PIArrival, ExtraLAT: extra})
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		an.Timing = cur
+		an.NetNoise = extra
+		if maxDelta <= m.Tol {
+			an.Converged = true
+			break
+		}
+	}
+	return an, nil
+}
+
+// activeCouplingsOf returns the active couplings incident on net v.
+func (m *Model) activeCouplingsOf(v circuit.NetID, active Mask) []circuit.CouplingID {
+	all := m.C.CouplingsOf(v)
+	out := make([]circuit.CouplingID, 0, len(all))
+	for _, id := range all {
+		if active.Active(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DelayUpperBound returns an upper bound on the delay noise of net v
+// assuming every incident coupling has an infinite timing window; this
+// bounds the dominance interval of the top-k algorithm.
+func (m *Model) DelayUpperBound(v circuit.NetID, win []sta.Window) float64 {
+	env := waveform.Zero()
+	vw := win[v]
+	for _, id := range m.C.CouplingsOf(v) {
+		cp := m.C.Coupling(id)
+		agg := cp.Other(v)
+		env = waveform.Add(env, m.InfiniteEnvelope(v, cp, vw, win[agg].Slew))
+	}
+	return m.DelayNoise(vw, env)
+}

@@ -1,0 +1,394 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+	"topkagg/internal/sta"
+	"topkagg/internal/waveform"
+)
+
+func parse(t *testing.T, src string) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// coupledPair: two independent inverter chains with one coupling cap
+// between their internal nets.
+const coupledPair = `circuit pair
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 3.0
+`
+
+func TestMaskHelpers(t *testing.T) {
+	c := parse(t, coupledPair)
+	if got := NewMask(c).Count(); got != 0 {
+		t.Fatalf("NewMask count = %d", got)
+	}
+	if got := AllMask(c).Count(); got != 1 {
+		t.Fatalf("AllMask count = %d", got)
+	}
+	m := MaskOf(c, []circuit.CouplingID{0})
+	if !m.Active(0) || m.Count() != 1 {
+		t.Fatal("MaskOf broken")
+	}
+	w := WithoutMask(c, []circuit.CouplingID{0})
+	if w.Active(0) || w.Count() != 0 {
+		t.Fatal("WithoutMask broken")
+	}
+	var nilMask Mask
+	if !nilMask.Active(0) {
+		t.Fatal("nil mask must mean all-active")
+	}
+	cl := m.Clone()
+	cl[0] = false
+	if !m.Active(0) {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestPulsePeakPhysics(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	cp := c.Coupling(0)
+
+	p := m.PulseParams(n1, cp, 0.05)
+	if p.Vp <= 0 || p.Vp >= m.Vdd {
+		t.Fatalf("pulse peak out of range: %g", p.Vp)
+	}
+	// Fast aggressor edges saturate at the charge-sharing limit.
+	pFast := m.PulseParams(n1, cp, 1e-4)
+	cv := c.Net(n1).Cgnd + c.PinLoad(n1)
+	limit := m.Vdd * cp.Cc / (cp.Cc + cv)
+	if pFast.Vp > limit+1e-9 {
+		t.Fatalf("peak %g exceeds charge-sharing limit %g", pFast.Vp, limit)
+	}
+	if math.Abs(pFast.Vp-limit)/limit > 0.05 {
+		t.Fatalf("fast edge should approach limit: %g vs %g", pFast.Vp, limit)
+	}
+	// Slow aggressor edges couple less noise.
+	pSlow := m.PulseParams(n1, cp, 1.0)
+	if pSlow.Vp >= p.Vp {
+		t.Fatalf("slower edge must couple less: %g vs %g", pSlow.Vp, p.Vp)
+	}
+}
+
+func TestPulsePeakGrowsWithCoupling(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	small := &circuit.Coupling{A: c.Coupling(0).A, B: c.Coupling(0).B, Cc: 1}
+	big := &circuit.Coupling{A: c.Coupling(0).A, B: c.Coupling(0).B, Cc: 5}
+	if m.PulseParams(n1, big, 0.05).Vp <= m.PulseParams(n1, small, 0.05).Vp {
+		t.Fatal("bigger Cc must couple more noise")
+	}
+}
+
+func TestEnvelopeTracksWindow(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	cp := c.Coupling(0)
+	narrow := m.Envelope(n1, cp, sta.Window{EAT: 1, LAT: 1, Slew: 0.05})
+	wide := m.Envelope(n1, cp, sta.Window{EAT: 1, LAT: 2, Slew: 0.05})
+	if wide.Width() <= narrow.Width() {
+		t.Fatal("wider aggressor window must widen the envelope")
+	}
+	// Peaks are equal: window width changes duration, not magnitude.
+	_, pvN := narrow.Peak()
+	_, pvW := wide.Peak()
+	if math.Abs(pvN-pvW) > 1e-9 {
+		t.Fatalf("envelope peaks differ: %g vs %g", pvN, pvW)
+	}
+	// The envelope must encapsulate the pulse placed anywhere in the
+	// window (that is its definition).
+	for _, ta := range []float64{1, 1.3, 1.7, 2} {
+		pulse := m.PulseAt(n1, cp, 0.05, ta)
+		if !waveform.Encapsulates(wide, pulse, 0, 10, 1e-9) {
+			t.Fatalf("envelope does not bound pulse at ta=%g", ta)
+		}
+	}
+}
+
+func TestDelayNoiseAnalytic(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c) // Vdd = 1.2
+	vw := sta.Window{EAT: 5, LAT: 5, Slew: 0.2}
+	env := waveform.Trapezoid(4, 0.1, 6, 0.1, 0.3)
+	got := m.DelayNoise(vw, env)
+	want := vw.Slew * 0.3 / m.Vdd // flat noise level shifts t50 linearly
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("analytic delay noise: got %g want %g", got, want)
+	}
+}
+
+func TestDelayNoiseZeroCases(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	vw := sta.Window{LAT: 5, Slew: 0.1}
+	if m.DelayNoise(vw, waveform.Zero()) != 0 {
+		t.Fatal("zero envelope must give zero noise")
+	}
+	// Envelope entirely before the victim transition (the Fig. 4
+	// "restricted to the left" situation) produces no delay noise.
+	early := waveform.TrianglePulse(1, 0.2, 0.2, 0.6)
+	if m.DelayNoise(vw, early) != 0 {
+		t.Fatal("early envelope must give zero noise")
+	}
+}
+
+func TestDelayNoiseMonotoneInEnvelope(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	vw := sta.Window{LAT: 5, Slew: 0.2}
+	small := waveform.TrianglePulse(4.8, 0.2, 0.3, 0.2)
+	big := waveform.Add(small, waveform.TrianglePulse(4.9, 0.2, 0.3, 0.2))
+	if m.DelayNoise(vw, big) < m.DelayNoise(vw, small) {
+		t.Fatal("larger envelope must not reduce delay noise")
+	}
+}
+
+func TestDelayNoiseHugeEnvelopeCapped(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	vw := sta.Window{LAT: 5, Slew: 0.1}
+	huge := waveform.Trapezoid(4, 0.1, 8, 0.1, 2.0) // above Vdd
+	got := m.DelayNoise(vw, huge)
+	if got <= 0 || got > 8.2-5+1e-9 {
+		t.Fatalf("huge envelope noise out of bounds: %g", got)
+	}
+}
+
+func TestRunNoCouplingsMatchesBase(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	an, err := m.Run(NewMask(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged || an.Iterations != 1 {
+		t.Fatalf("empty mask must converge immediately: %+v", an)
+	}
+	if an.CircuitDelay() != an.Base.CircuitDelay() {
+		t.Fatal("no active couplings must not change delay")
+	}
+}
+
+func TestRunAddsDelay(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	noisy, err := m.Run(nil) // all active
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noisy.Converged {
+		t.Fatal("fixpoint must converge")
+	}
+	if noisy.CircuitDelay() <= noisy.Base.CircuitDelay() {
+		t.Fatalf("crosstalk must slow the circuit: %g vs %g",
+			noisy.CircuitDelay(), noisy.Base.CircuitDelay())
+	}
+	n1, _ := c.NetByName("n1")
+	if noisy.NetNoise[n1] <= 0 {
+		t.Fatal("coupled net must see delay noise")
+	}
+}
+
+func TestRunMonotoneInMask(t *testing.T) {
+	src := `circuit tri
+output y z w
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+gate f1 INV_X1 d -> p1
+gate f2 INV_X1 p1 -> w
+couple n1 m1 3.0
+couple m1 p1 2.0
+couple n1 p1 1.5
+`
+	c := parse(t, src)
+	m := NewModel(c)
+	prev := 0.0
+	for n := 0; n <= c.NumCouplings(); n++ {
+		ids := make([]circuit.CouplingID, n)
+		for i := range ids {
+			ids[i] = circuit.CouplingID(i)
+		}
+		an, err := m.Run(MaskOf(c, ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.CircuitDelay() < prev-1e-9 {
+			t.Fatalf("activating coupling %d reduced delay: %g < %g", n, an.CircuitDelay(), prev)
+		}
+		prev = an.CircuitDelay()
+	}
+}
+
+// TestIndirectAggressorIterations reproduces the Fig.-1 situation:
+// a chain of couplings a3→a2→a1→v needs multiple fixpoint iterations
+// because each link's noise widens the next link's window.
+func TestIndirectAggressorIterations(t *testing.T) {
+	src := `circuit fig1
+output y
+gate v1 INV_X1 a -> v1n
+gate v2 INV_X1 v1n -> v2n
+gate v3 INV_X1 v2n -> v3n
+gate v4 INV_X1 v3n -> y
+gate a1g INV_X1 b -> a1n
+gate a1h INV_X1 a1n -> a1m
+gate a1i INV_X1 a1m -> a1o
+gate a2g INV_X1 d -> a2n
+gate a2h INV_X1 a2n -> a2m
+gate a3g INV_X1 e -> a3n
+couple a3n a2m 4.0
+couple a2m a1o 4.0
+couple a1o v3n 4.0
+`
+	c := parse(t, src)
+	m := NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("must converge")
+	}
+	if an.Iterations < 3 {
+		t.Fatalf("indirect-aggressor chain should need >= 3 iterations, got %d", an.Iterations)
+	}
+	if an.CircuitDelay() <= an.Base.CircuitDelay() {
+		t.Fatal("chain coupling must add delay")
+	}
+}
+
+func TestPropagatedShift(t *testing.T) {
+	c := parse(t, `circuit prop
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+couple n1 m1 4.0
+`)
+	m := NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.NetByName("y")
+	n1, _ := c.NetByName("n1")
+	if an.NetNoise[n1] <= 0 {
+		t.Fatal("n1 must see direct noise")
+	}
+	// y has no incident coupling: all of its shift is propagated.
+	if got, want := an.PropagatedShift(y), an.Timing.Window(y).LAT-an.Base.Window(y).LAT; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("propagated shift at y = %g, want %g", got, want)
+	}
+	if an.PropagatedShift(y) <= 0 {
+		t.Fatal("upstream noise must propagate to y")
+	}
+}
+
+func TestDelayUpperBoundDominatesActual(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.NetByName("n1")
+	ub := m.DelayUpperBound(n1, an.Timing.Windows)
+	if ub+1e-9 < an.NetNoise[n1] {
+		t.Fatalf("infinite-window bound %g below actual noise %g", ub, an.NetNoise[n1])
+	}
+}
+
+func TestInfiniteEnvelopeCoversFiniteOne(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	m1, _ := c.NetByName("m1")
+	cp := c.Coupling(0)
+	r, err := sta.Analyze(c, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := m.Envelope(n1, cp, r.Window(m1))
+	inf := m.InfiniteEnvelope(n1, cp, r.Window(n1), r.Window(m1).Slew)
+	vw := r.Window(n1)
+	if !waveform.Encapsulates(inf, fin, vw.LAT-vw.Slew, vw.LAT+2, 1e-9) {
+		t.Fatal("infinite-window envelope must cover the finite one near the victim transition")
+	}
+}
+
+func TestDelayUpperBoundRespectsSubsets(t *testing.T) {
+	// The infinite-window bound must also cover every coupling-subset
+	// scenario, not just the all-active one.
+	c := parse(t, `circuit ub
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 3.0
+couple n1 b 1.0
+`)
+	m := NewModel(c)
+	full, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.NetByName("n1")
+	ub := m.DelayUpperBound(n1, full.Timing.Windows)
+	for mask := 0; mask < 4; mask++ {
+		mk := NewMask(c)
+		mk[0] = mask&1 != 0
+		mk[1] = mask&2 != 0
+		an, err := m.Run(mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.NetNoise[n1] > ub+1e-9 {
+			t.Fatalf("mask %b: noise %g exceeds infinite-window bound %g", mask, an.NetNoise[n1], ub)
+		}
+	}
+}
+
+func TestRunIterationsBounded(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	m.MaxIterations = 2
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Iterations > 2 {
+		t.Fatalf("iteration cap violated: %d", an.Iterations)
+	}
+}
+
+func TestCombinedEnvelopeEmpty(t *testing.T) {
+	c := parse(t, coupledPair)
+	m := NewModel(c)
+	n1, _ := c.NetByName("n1")
+	r, err := m.Run(NewMask(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CombinedEnvelope(n1, nil, r.Timing.Windows).IsZero() {
+		t.Fatal("no couplings means a zero envelope")
+	}
+}

@@ -1,0 +1,156 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/sta"
+	"topkagg/internal/waveform"
+)
+
+// smallModel builds a deterministic small generated circuit for
+// property tests.
+func smallModel(t *testing.T, seed int64) *Model {
+	t.Helper()
+	c, err := gen.Build(gen.Spec{Name: "prop", Gates: 25, Couplings: 40, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(c)
+}
+
+func TestQuickDelayMonotoneInMask(t *testing.T) {
+	m := smallModel(t, 3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random mask and a strictly larger one.
+		small := NewMask(m.C)
+		for i := range small {
+			small[i] = r.Intn(3) == 0
+		}
+		big := small.Clone()
+		extra := false
+		for i := range big {
+			if !big[i] && r.Intn(2) == 0 {
+				big[i] = true
+				extra = true
+			}
+		}
+		if !extra {
+			return true
+		}
+		as, err := m.Run(small)
+		if err != nil {
+			return false
+		}
+		ab, err := m.Run(big)
+		if err != nil {
+			return false
+		}
+		return ab.CircuitDelay() >= as.CircuitDelay()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNetNoiseNonNegativeAndBounded(t *testing.T) {
+	m := smallModel(t, 5)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range m.C.Nets() {
+		n := an.NetNoise[net.ID]
+		if n < 0 {
+			t.Fatalf("negative delay noise on %s", net.Name)
+		}
+		if len(m.C.CouplingsOf(net.ID)) == 0 && n != 0 {
+			t.Fatalf("uncoupled net %s has own noise %g", net.Name, n)
+		}
+		ub := m.DelayUpperBound(net.ID, an.Timing.Windows)
+		if n > ub+1e-6 {
+			t.Fatalf("noise %g on %s exceeds infinite-window bound %g", n, net.Name, ub)
+		}
+	}
+}
+
+func TestQuickNoisyWindowsContainBase(t *testing.T) {
+	m := smallModel(t, 9)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range m.C.Nets() {
+		b := an.Base.Window(net.ID)
+		n := an.Timing.Window(net.ID)
+		if n.LAT < b.LAT-1e-9 {
+			t.Fatalf("noisy LAT earlier than base on %s", net.Name)
+		}
+		if n.EAT != b.EAT {
+			t.Fatalf("noise must not move EAT on %s", net.Name)
+		}
+	}
+}
+
+func TestQuickEnvelopeBoundsAnyAlignment(t *testing.T) {
+	// The trapezoidal envelope must bound the pulse for every aggressor
+	// alignment inside the timing window — its defining property.
+	m := smallModel(t, 11)
+	var cp *circuit.Coupling
+	for _, c := range m.C.Couplings() {
+		cp = c
+		break
+	}
+	if cp == nil {
+		t.Skip("no couplings generated")
+	}
+	victim := cp.A
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		win := sta.Window{EAT: r.Float64(), Slew: 0.02 + r.Float64()*0.2}
+		win.LAT = win.EAT + r.Float64()*2
+		env := m.Envelope(victim, cp, win)
+		ta := win.EAT + r.Float64()*(win.LAT-win.EAT)
+		pulse := m.PulseAt(victim, cp, win.Slew, ta)
+		return waveform.Encapsulates(env, pulse, win.EAT-2, win.LAT+5, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelayNoiseSubadditivityDirection(t *testing.T) {
+	// Combined envelopes produce at least as much delay noise as each
+	// component alone (superposition never cancels in this model).
+	m := smallModel(t, 17)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vw := sta.Window{LAT: 2 + r.Float64(), Slew: 0.05 + r.Float64()*0.2}
+		e1 := waveform.Trapezoid(vw.LAT-0.5+r.Float64(), 0.1, vw.LAT+r.Float64(), 0.2, r.Float64()*0.5)
+		e2 := waveform.Trapezoid(vw.LAT-0.5+r.Float64(), 0.1, vw.LAT+r.Float64(), 0.2, r.Float64()*0.5)
+		both := m.DelayNoise(vw, waveform.Add(e1, e2))
+		return both >= m.DelayNoise(vw, e1)-1e-9 && both >= m.DelayNoise(vw, e2)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(19))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIdempotentAcrossCalls(t *testing.T) {
+	m := smallModel(t, 23)
+	a1, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CircuitDelay() != a2.CircuitDelay() || a1.Iterations != a2.Iterations {
+		t.Fatal("Run must be deterministic")
+	}
+}

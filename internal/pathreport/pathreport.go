@@ -1,0 +1,130 @@
+// Package pathreport renders sign-off-style critical-path timing
+// reports with crosstalk annotations: per stage, the cell, incremental
+// delay, cumulative arrival, and the delay noise injected on each net,
+// plus the aggressor couplings responsible.
+package pathreport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+// Options tune the report.
+type Options struct {
+	// MaxAggressors caps how many aggressor couplings are listed per
+	// noisy net (0 = DefaultMaxAggressors).
+	MaxAggressors int
+}
+
+// DefaultMaxAggressors bounds per-net aggressor listings.
+const DefaultMaxAggressors = 3
+
+func (o Options) maxAggressors() int {
+	if o.MaxAggressors <= 0 {
+		return DefaultMaxAggressors
+	}
+	return o.MaxAggressors
+}
+
+// Critical renders the noisy critical path of an analysis.
+func Critical(an *noise.Analysis, opt Options) string {
+	c := an.Timing.Circuit
+	path := an.Timing.CriticalPath()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Critical path report — circuit %s\n", c.Name)
+	fmt.Fprintf(&sb, "noiseless delay %.4f ns, noisy delay %.4f ns (crosstalk penalty %.4f ns, %d iterations%s)\n\n",
+		an.Base.CircuitDelay(), an.CircuitDelay(),
+		an.CircuitDelay()-an.Base.CircuitDelay(), an.Iterations,
+		map[bool]string{true: "", false: ", NOT converged"}[an.Converged])
+	fmt.Fprintf(&sb, "%-14s %-10s %9s %9s %9s  %s\n",
+		"net", "cell", "incr", "arrival", "noise", "aggressors")
+	sb.WriteString(strings.Repeat("-", 72))
+	sb.WriteByte('\n')
+
+	prev := 0.0
+	for _, nid := range path {
+		net := c.Net(nid)
+		cellName := "(input)"
+		if net.Driver != circuit.NoGate {
+			cellName = c.Gate(net.Driver).Cell.Name
+		}
+		arr := an.Timing.Window(nid).LAT
+		incr := arr - prev
+		prev = arr
+		ownNoise := an.NetNoise[nid]
+		fmt.Fprintf(&sb, "%-14s %-10s %9.4f %9.4f %9.4f  %s\n",
+			net.Name, cellName, incr, arr, ownNoise, aggressorsOf(an, nid, opt.maxAggressors()))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "arrival at sink %s: %.4f ns\n", c.Net(path[len(path)-1]).Name, prev)
+	return sb.String()
+}
+
+// aggressorsOf lists the strongest aggressor couplings of a net by
+// coupling capacitance.
+func aggressorsOf(an *noise.Analysis, v circuit.NetID, limit int) string {
+	c := an.Timing.Circuit
+	ids := c.CouplingsOf(v)
+	if len(ids) == 0 {
+		return "-"
+	}
+	sorted := make([]circuit.CouplingID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool {
+		return c.Coupling(sorted[i]).Cc > c.Coupling(sorted[j]).Cc
+	})
+	if len(sorted) > limit {
+		sorted = sorted[:limit]
+	}
+	parts := make([]string, 0, len(sorted)+1)
+	for _, id := range sorted {
+		cp := c.Coupling(id)
+		parts = append(parts, fmt.Sprintf("%s(%.1ffF)", c.Net(cp.Other(v)).Name, cp.Cc))
+	}
+	if more := len(ids) - len(sorted); more > 0 {
+		parts = append(parts, fmt.Sprintf("+%d more", more))
+	}
+	return strings.Join(parts, " ")
+}
+
+// NoisyNets renders the nets with the largest delay noise, the
+// "noise violations" view a designer triages.
+func NoisyNets(an *noise.Analysis, top int) string {
+	c := an.Timing.Circuit
+	type row struct {
+		id    circuit.NetID
+		noise float64
+	}
+	var rows []row
+	for _, n := range c.Nets() {
+		if an.NetNoise[n.ID] > 0 {
+			rows = append(rows, row{n.ID, an.NetNoise[n.ID]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].noise != rows[j].noise {
+			return rows[i].noise > rows[j].noise
+		}
+		return rows[i].id < rows[j].id
+	})
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Noisiest nets — circuit %s\n", c.Name)
+	fmt.Fprintf(&sb, "%-14s %9s %9s %9s\n", "net", "noise", "arrival", "couplings")
+	sb.WriteString(strings.Repeat("-", 46))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %9.4f %9.4f %9d\n",
+			c.Net(r.id).Name, r.noise, an.Timing.Window(r.id).LAT, len(c.CouplingsOf(r.id)))
+	}
+	if len(rows) == 0 {
+		sb.WriteString("(no delay noise anywhere)\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package pathreport
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func analysis(t *testing.T) *noise.Analysis {
+	t.Helper()
+	src := `circuit rpt
+output y
+gate g1 NAND2_X1 a b -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate h1 INV_X1 c -> m1
+couple n1 m1 3.0
+couple n2 m1 2.0
+couple n2 c 1.0
+couple n2 a 0.5
+`
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := noise.NewModel(c).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestCriticalReportShape(t *testing.T) {
+	an := analysis(t)
+	r := Critical(an, Options{})
+	for _, want := range []string{
+		"Critical path report — circuit rpt",
+		"noiseless delay",
+		"crosstalk penalty",
+		"(input)",
+		"arrival at sink y",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+	// Every path net appears.
+	for _, name := range []string{"n1", "n2", "y"} {
+		if !strings.Contains(r, name) {
+			t.Errorf("report missing net %s", name)
+		}
+	}
+}
+
+func TestCriticalAggressorCap(t *testing.T) {
+	an := analysis(t)
+	r := Critical(an, Options{MaxAggressors: 1})
+	// n2 has 3 couplings; with the cap at 1 there must be a "+2 more".
+	if !strings.Contains(r, "+2 more") {
+		t.Errorf("aggressor cap not applied:\n%s", r)
+	}
+	// The strongest aggressor of n2 (m1, 2.0 fF) is the one listed.
+	if !strings.Contains(r, "m1(2.0fF)") {
+		t.Errorf("strongest aggressor not listed first:\n%s", r)
+	}
+}
+
+func TestNoisyNets(t *testing.T) {
+	an := analysis(t)
+	r := NoisyNets(an, 2)
+	if !strings.Contains(r, "Noisiest nets") {
+		t.Fatalf("header missing:\n%s", r)
+	}
+	lines := strings.Split(strings.TrimSpace(r), "\n")
+	// header + column row + separator + at most 2 rows
+	if len(lines) > 5 {
+		t.Fatalf("top cap not applied: %d lines", len(lines))
+	}
+}
+
+func TestNoisyNetsEmpty(t *testing.T) {
+	src := "circuit quiet\noutput y\ngate g1 INV_X1 a -> y\n"
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := noise.NewModel(c).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(NoisyNets(an, 5), "no delay noise") {
+		t.Fatal("quiet circuit must say so")
+	}
+}
+
+func TestReportOnGeneratedCircuit(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := noise.NewModel(c).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Critical(an, Options{})
+	if len(strings.Split(r, "\n")) < 8 {
+		t.Fatalf("implausibly short report:\n%s", r)
+	}
+	if strings.Contains(r, "NOT converged") {
+		t.Fatal("i1 must converge")
+	}
+}

@@ -1,0 +1,122 @@
+package pathreport
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+	"topkagg/internal/waveform"
+)
+
+// PlotOptions size the ASCII waveform plot.
+type PlotOptions struct {
+	Width  int // columns (0 = DefaultPlotWidth)
+	Height int // rows (0 = DefaultPlotHeight)
+}
+
+// Default plot dimensions.
+const (
+	DefaultPlotWidth  = 72
+	DefaultPlotHeight = 16
+)
+
+func (o PlotOptions) width() int {
+	if o.Width < 16 {
+		return DefaultPlotWidth
+	}
+	return o.Width
+}
+
+func (o PlotOptions) height() int {
+	if o.Height < 6 {
+		return DefaultPlotHeight
+	}
+	return o.Height
+}
+
+// NoisePlot renders, for one victim net, the noiseless latest
+// transition (·), the combined aggressor noise envelope (#) and the
+// noisy transition (o = transition minus envelope) as an ASCII chart —
+// the picture the paper's Figures 2-5 draw, computed from the actual
+// analysis.
+func NoisePlot(an *noise.Analysis, m *noise.Model, v circuit.NetID, opt PlotOptions) string {
+	c := an.Timing.Circuit
+	vw := an.Base.Window(v)
+	vw.LAT = an.Timing.Window(v).LAT - an.NetNoise[v] // include propagated shift
+	env := m.CombinedEnvelope(v, c.CouplingsOf(v), an.Timing.Windows)
+	ramp := m.VictimRamp(vw)
+	noisy := waveform.Sub(ramp, env)
+
+	// Time span: cover the transition and the envelope, padded.
+	t0 := math.Min(ramp.Start(), env.Start())
+	t1 := math.Max(ramp.End(), env.End())
+	if env.IsZero() {
+		t0, t1 = ramp.Start(), ramp.End()
+	}
+	pad := 0.1 * (t1 - t0)
+	if pad <= 0 {
+		pad = 0.1
+	}
+	t0 -= pad
+	t1 += pad
+
+	w, h := opt.width(), opt.height()
+	vmax := m.Vdd * 1.1
+	vmin := math.Min(0, minValue(noisy, t0, t1, w)) - 0.05
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(wf waveform.PWL, ch byte) {
+		for x := 0; x < w; x++ {
+			t := t0 + (t1-t0)*float64(x)/float64(w-1)
+			val := wf.Value(t)
+			y := int(math.Round((vmax - val) / (vmax - vmin) * float64(h-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= h {
+				y = h - 1
+			}
+			grid[y][x] = ch
+		}
+	}
+	plot(ramp, '.')
+	if !env.IsZero() {
+		plot(env, '#')
+		plot(noisy, 'o')
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "net %s: victim transition (.), noise envelope (#), noisy transition (o)\n", c.Net(v).Name)
+	fmt.Fprintf(&sb, "t in [%.3f, %.3f] ns, v in [%.2f, %.2f] V; own delay noise %.4f ns\n",
+		t0, t1, vmin, vmax, an.NetNoise[v])
+	// Mark the Vdd/2 threshold row.
+	thr := int(math.Round((vmax - m.Vdd/2) / (vmax - vmin) * float64(h-1)))
+	for r := range grid {
+		mark := "  "
+		if r == thr {
+			mark = "½ "
+		}
+		sb.WriteString(mark)
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func minValue(wf waveform.PWL, t0, t1 float64, samples int) float64 {
+	m := math.Inf(1)
+	for x := 0; x < samples; x++ {
+		t := t0 + (t1-t0)*float64(x)/float64(samples-1)
+		if v := wf.Value(t); v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}

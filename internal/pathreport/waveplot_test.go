@@ -1,0 +1,78 @@
+package pathreport
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func TestNoisePlotShape(t *testing.T) {
+	src := `circuit wp
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+couple n1 m1 4.0
+`
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.NetByName("n1")
+	plot := NoisePlot(an, m, n1, PlotOptions{})
+	for _, want := range []string{"net n1", ".", "#", "o", "½", "own delay noise"} {
+		if !strings.Contains(plot, want) {
+			t.Errorf("plot missing %q:\n%s", want, plot)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(plot, "\n"), "\n")
+	if len(lines) != 2+DefaultPlotHeight {
+		t.Fatalf("plot has %d lines, want %d", len(lines), 2+DefaultPlotHeight)
+	}
+}
+
+func TestNoisePlotQuietNet(t *testing.T) {
+	src := `circuit q
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+`
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.NetByName("n1")
+	plot := NoisePlot(an, m, n1, PlotOptions{Width: 40, Height: 8})
+	lines := strings.SplitN(plot, "\n", 3) // skip the two legend lines
+	grid := lines[2]
+	if !strings.Contains(grid, ".") {
+		t.Fatal("quiet net still plots its transition")
+	}
+	if strings.Contains(grid, "#") || strings.Contains(grid, "o") {
+		t.Fatal("quiet net must have no envelope or noisy trace")
+	}
+}
+
+func TestPlotOptionsClamping(t *testing.T) {
+	var o PlotOptions
+	if o.width() != DefaultPlotWidth || o.height() != DefaultPlotHeight {
+		t.Fatal("defaults not applied")
+	}
+	o = PlotOptions{Width: 5, Height: 2} // below minimums
+	if o.width() != DefaultPlotWidth || o.height() != DefaultPlotHeight {
+		t.Fatal("implausible sizes must fall back to defaults")
+	}
+}

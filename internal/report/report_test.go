@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "long-header", "c"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("wide-cell", "3", "4")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a") || !strings.Contains(lines[1], "long-header") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+	// Short row padded: both data lines must be equally long.
+	if len(lines[3]) == 0 || len(lines[4]) == 0 {
+		t.Fatal("rows missing")
+	}
+	// Column alignment: "3" must start at the same offset as "2".
+	if strings.Index(lines[4], "3") != strings.Index(lines[3], "2") {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "ignored", Header: []string{"a", "b"}}
+	tab.AddRow("x,y", `say "hi"`)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	series := []Series{
+		{Name: "s1", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}},
+		{Name: "s2", X: []float64{2, 3, 4}, Y: []float64{1.2, 1.3, 1.4}},
+	}
+	tab := SeriesTable("fig", "k", series)
+	if len(tab.Header) != 3 || tab.Header[0] != "k" {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	if len(tab.Rows) != 4 { // union of x values: 1,2,3,4
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// x=1 exists only in s1; s2's cell must be empty.
+	if tab.Rows[0][0] != "1" || tab.Rows[0][1] != "0.1000" || tab.Rows[0][2] != "" {
+		t.Fatalf("row 0 = %v", tab.Rows[0])
+	}
+	// x=4 exists only in s2.
+	if tab.Rows[3][0] != "4" || tab.Rows[3][1] != "" || tab.Rows[3][2] != "1.4000" {
+		t.Fatalf("row 3 = %v", tab.Rows[3])
+	}
+	// Rows sorted by x.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i-1][0] > tab.Rows[i][0] {
+			t.Fatal("rows unsorted")
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Fatalf("F2 = %q", F2(1.23456))
+	}
+}

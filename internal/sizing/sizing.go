@@ -1,0 +1,181 @@
+// Package sizing implements crosstalk-driven driver upsizing — the
+// classic alternative to shielding for fixing delay-noise violations.
+// Upsizing a victim's driver lowers its holding resistance, which
+// shrinks every noise pulse coupled onto the net (peak ∝ R·Cc) and
+// speeds the gate up, at the cost of extra input capacitance loading
+// the fanin.
+//
+// Optimize runs a greedy loop: rank the noisiest nets near the
+// critical path, try upsizing each one's driver, keep the move that
+// improves the measured noisy delay most, repeat until the budget is
+// spent or no move helps. All trials are evaluated with the reference
+// noise engine, so accepted moves are real improvements, not estimates.
+package sizing
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/noise"
+)
+
+// Options tune the optimizer.
+type Options struct {
+	// Candidates is how many of the noisiest nets are trialed per
+	// round (0 = DefaultCandidates).
+	Candidates int
+	// MaxStrength caps the drive strength (0 = DefaultMaxStrength).
+	MaxStrength int
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultCandidates  = 8
+	DefaultMaxStrength = 4
+)
+
+func (o Options) candidates() int {
+	if o.Candidates <= 0 {
+		return DefaultCandidates
+	}
+	return o.Candidates
+}
+
+func (o Options) maxStrength() int {
+	if o.MaxStrength <= 0 {
+		return DefaultMaxStrength
+	}
+	return o.MaxStrength
+}
+
+// Move records one accepted upsizing.
+type Move struct {
+	Gate circuit.GateID
+	From string // previous cell name
+	To   string // new cell name
+	// Delay is the measured noisy circuit delay after this move.
+	Delay float64
+}
+
+// Result summarizes an optimization run.
+type Result struct {
+	Moves  []Move
+	Before float64 // noisy delay before any move
+	After  float64 // noisy delay after the accepted moves
+	Trials int     // candidate evaluations performed
+}
+
+// Optimize greedily upsizes victim drivers until budget moves are
+// spent or no candidate improves the noisy circuit delay. The circuit
+// is modified in place (accepted moves persist; rejected trials are
+// reverted).
+func Optimize(m *noise.Model, budget int, opt Options) (*Result, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("sizing: budget must be >= 1, got %d", budget)
+	}
+	cur, err := m.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Before: cur.CircuitDelay(), After: cur.CircuitDelay()}
+	for len(res.Moves) < budget {
+		cands := rankCandidates(m, cur, opt.candidates())
+		var best *Move
+		var bestGate *circuit.Gate
+		for _, v := range cands {
+			g := m.C.Gate(m.C.Net(v).Driver)
+			next, ok := upsized(g.Cell.Name, opt.maxStrength())
+			if !ok {
+				continue
+			}
+			nc, err := m.C.Lib.Cell(next)
+			if err != nil {
+				continue // strength not in the library
+			}
+			prev := g.Cell
+			g.Cell = nc
+			an, err := m.Run(nil)
+			res.Trials++
+			if err != nil {
+				g.Cell = prev
+				return nil, err
+			}
+			if d := an.CircuitDelay(); d < res.After-1e-9 && (best == nil || d < best.Delay) {
+				best = &Move{Gate: g.ID, From: prev.Name, To: next, Delay: d}
+				bestGate = g
+			}
+			g.Cell = prev
+		}
+		if best == nil {
+			break // no improving move left
+		}
+		// Re-apply the winner.
+		nc, err := m.C.Lib.Cell(best.To)
+		if err != nil {
+			return nil, fmt.Errorf("sizing: %w", err)
+		}
+		bestGate.Cell = nc
+		cur, err = m.Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		res.After = cur.CircuitDelay()
+		res.Moves = append(res.Moves, *best)
+	}
+	return res, nil
+}
+
+// rankCandidates returns the drivers worth trialing: nets with the
+// largest own delay noise whose slack is small, driven by a gate.
+func rankCandidates(m *noise.Model, an *noise.Analysis, limit int) []circuit.NetID {
+	slacks := an.Timing.Slacks(0)
+	type cand struct {
+		id    circuit.NetID
+		noise float64
+	}
+	var cands []cand
+	for _, n := range m.C.Nets() {
+		if n.Driver == circuit.NoGate {
+			continue
+		}
+		if an.NetNoise[n.ID] <= 0 {
+			continue
+		}
+		// Only nets near the critical path can move the delay.
+		if slacks[n.ID] > 0.15*an.CircuitDelay() {
+			continue
+		}
+		cands = append(cands, cand{n.ID, an.NetNoise[n.ID]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].noise != cands[j].noise {
+			return cands[i].noise > cands[j].noise
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]circuit.NetID, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// upsized returns the next drive strength's cell name ("NAND2_X1" ->
+// "NAND2_X2") up to the cap, and whether an upsize exists.
+func upsized(name string, maxStrength int) (string, bool) {
+	base, xs, ok := strings.Cut(name, "_X")
+	if !ok {
+		return "", false
+	}
+	x, err := strconv.Atoi(xs)
+	if err != nil || 2*x > maxStrength {
+		return "", false
+	}
+	return fmt.Sprintf("%s_X%d", base, 2*x), true
+}

@@ -1,0 +1,135 @@
+package sizing
+
+import (
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+)
+
+func TestUpsized(t *testing.T) {
+	cases := []struct {
+		in   string
+		max  int
+		want string
+		ok   bool
+	}{
+		{"INV_X1", 4, "INV_X2", true},
+		{"INV_X2", 4, "INV_X4", true},
+		{"INV_X4", 4, "", false},
+		{"NAND2_X1", 2, "NAND2_X2", true},
+		{"NAND2_X2", 2, "", false},
+		{"WEIRD", 4, "", false},
+	}
+	for _, tc := range cases {
+		got, ok := upsized(tc.in, tc.max)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("upsized(%q,%d) = (%q,%v), want (%q,%v)", tc.in, tc.max, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestOptimizeReducesNoisyDelay(t *testing.T) {
+	// A weak victim driver with two strong aggressors: upsizing the
+	// victim is clearly profitable.
+	src := `circuit s
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 c -> m2
+couple n2 m1 3.0
+couple n2 m2 3.0
+`
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := Optimize(m, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moves) == 0 {
+		t.Fatal("expected at least one accepted move")
+	}
+	if res.After >= res.Before {
+		t.Fatalf("optimization must reduce delay: %g -> %g", res.Before, res.After)
+	}
+	// Accepted moves are persisted in the circuit.
+	g := c.Gate(res.Moves[0].Gate)
+	if g.Cell.Name != res.Moves[0].To {
+		t.Fatalf("move not applied: gate has %s, move says %s", g.Cell.Name, res.Moves[0].To)
+	}
+	// The final reported delay matches a fresh analysis.
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.CircuitDelay() != res.After {
+		t.Fatalf("After (%g) does not match fresh analysis (%g)", res.After, an.CircuitDelay())
+	}
+}
+
+func TestOptimizeStopsWhenNothingHelps(t *testing.T) {
+	// No couplings: no noise to fix, upsizing only adds load.
+	src := `circuit q
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+`
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := Optimize(m, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moves) != 0 {
+		t.Fatalf("quiet circuit must need no moves: %+v", res.Moves)
+	}
+	if res.Before != res.After {
+		t.Fatal("no moves must mean no delay change")
+	}
+}
+
+func TestOptimizeRespectsBudget(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	res, err := Optimize(m, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moves) > 2 {
+		t.Fatalf("budget exceeded: %d moves", len(res.Moves))
+	}
+	if res.After > res.Before {
+		t.Fatal("optimizer made the circuit slower")
+	}
+	// Monotone per-move delays.
+	prev := res.Before
+	for _, mv := range res.Moves {
+		if mv.Delay >= prev {
+			t.Fatalf("move did not improve: %g -> %g", prev, mv.Delay)
+		}
+		prev = mv.Delay
+	}
+}
+
+func TestOptimizeValidatesBudget(t *testing.T) {
+	c, err := gen.BuildPaper("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(noise.NewModel(c), 0, Options{}); err == nil {
+		t.Fatal("budget 0 must error")
+	}
+}

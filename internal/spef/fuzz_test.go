@@ -1,0 +1,25 @@
+package spef
+
+import (
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/netlist"
+)
+
+// FuzzApply checks the SPEF reader never panics on arbitrary input.
+func FuzzApply(f *testing.F) {
+	f.Add("*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1 n1 2\n*END\n")
+	f.Add("*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1 n1 m1 2\n*END\n")
+	f.Add("*C_UNIT 1 FF\n")
+	f.Add("garbage\n*D_NET\n")
+	f.Add("*SPEF\n*D_NET n1 0\n*RES\n1 n1 0.5\n*END\n")
+	lib := cell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := netlist.ParseString(baseNetlist, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ApplyString(src, c) // must not panic; errors are fine
+	})
+}

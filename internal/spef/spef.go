@@ -1,0 +1,201 @@
+// Package spef reads and writes a practical subset of SPEF (IEEE
+// 1481) — the standard parasitics exchange format — sufficient to
+// carry this library's per-net ground capacitance, lumped wire
+// resistance and inter-net coupling capacitances. Pair it with a
+// gate-level Verilog netlist (package verilog) for the classic
+// synthesis-flow handoff.
+//
+// Supported structure:
+//
+//	*SPEF "IEEE 1481-1998"
+//	*DESIGN "demo"
+//	*T_UNIT 1 NS
+//	*C_UNIT 1 FF
+//	*R_UNIT 1 KOHM
+//
+//	*D_NET n1 5.5
+//	*CAP
+//	1 n1 3.2
+//	2 n1 m1 1.8
+//	*RES
+//	1 n1 0.4
+//	*END
+//
+// Ground CAP entries have one node, coupling CAP entries two. The
+// total after *D_NET is informational (writer emits the net's ground
+// capacitance). Units must be NS/FF/KOHM, matching the library's
+// conventions.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"topkagg/internal/circuit"
+)
+
+// Apply reads SPEF from r and applies it to an existing circuit:
+// ground capacitance and wire resistance overwrite the named nets'
+// parasitics, and coupling entries add coupling capacitors. Coupling
+// entries are emitted once per pair; duplicates in the input create
+// duplicate capacitors (as extractors do for multiply-coupled wires).
+func Apply(r io.Reader, c *circuit.Circuit) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("spef: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	section := ""
+	curNet := circuit.NetID(-1)
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "*SPEF":
+			sawHeader = true
+		case "*DESIGN", "*T_UNIT":
+			// informational
+		case "*C_UNIT":
+			if len(fields) != 3 || fields[2] != "FF" {
+				return fail("unsupported capacitance unit (want FF): %q", line)
+			}
+		case "*R_UNIT":
+			if len(fields) != 3 || fields[2] != "KOHM" {
+				return fail("unsupported resistance unit (want KOHM): %q", line)
+			}
+		case "*D_NET":
+			if len(fields) < 2 {
+				return fail("*D_NET wants a net name")
+			}
+			id, ok := c.NetByName(fields[1])
+			if !ok {
+				return fail("unknown net %q", fields[1])
+			}
+			curNet = id
+			section = ""
+		case "*CONN":
+			section = "CONN"
+		case "*CAP":
+			section = "CAP"
+		case "*RES":
+			section = "RES"
+		case "*END":
+			curNet = -1
+			section = ""
+		default:
+			if curNet < 0 {
+				return fail("data outside *D_NET: %q", line)
+			}
+			switch section {
+			case "CONN":
+				// pin connectivity is carried by the netlist; skip
+			case "CAP":
+				switch len(fields) {
+				case 3: // index node value => grounded
+					v, err := strconv.ParseFloat(fields[2], 64)
+					if err != nil {
+						return fail("bad capacitance %q", fields[2])
+					}
+					if nodeNet(fields[1]) != c.Net(curNet).Name {
+						return fail("grounded cap node %q outside net %s", fields[1], c.Net(curNet).Name)
+					}
+					c.Net(curNet).Cgnd = v
+				case 4: // index nodeA nodeB value => coupling
+					v, err := strconv.ParseFloat(fields[3], 64)
+					if err != nil {
+						return fail("bad capacitance %q", fields[3])
+					}
+					a, b := nodeNet(fields[1]), nodeNet(fields[2])
+					if a != c.Net(curNet).Name && b != c.Net(curNet).Name {
+						return fail("coupling entry does not touch net %s", c.Net(curNet).Name)
+					}
+					if _, err := c.AddCoupling(a, b, v); err != nil {
+						return fail("%v", err)
+					}
+				default:
+					return fail("malformed CAP entry: %q", line)
+				}
+			case "RES":
+				if len(fields) != 3 {
+					return fail("malformed RES entry: %q", line)
+				}
+				v, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return fail("bad resistance %q", fields[2])
+				}
+				c.Net(curNet).Rwire = v
+			default:
+				return fail("data before a section keyword: %q", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("spef: read: %w", err)
+	}
+	if !sawHeader {
+		return fmt.Errorf("spef: missing *SPEF header")
+	}
+	return nil
+}
+
+// ApplyString is Apply over in-memory SPEF text.
+func ApplyString(s string, c *circuit.Circuit) error {
+	return Apply(strings.NewReader(s), c)
+}
+
+// nodeNet strips an optional :pin suffix from a SPEF node name.
+func nodeNet(node string) string {
+	if i := strings.IndexByte(node, ':'); i >= 0 {
+		return node[:i]
+	}
+	return node
+}
+
+// Write emits the circuit's parasitics as SPEF. Each coupling
+// capacitor is emitted once, in the *D_NET block of its lower-numbered
+// endpoint.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `*SPEF "IEEE 1481-1998"`)
+	fmt.Fprintf(bw, "*DESIGN \"%s\"\n", c.Name)
+	fmt.Fprintln(bw, "*T_UNIT 1 NS")
+	fmt.Fprintln(bw, "*C_UNIT 1 FF")
+	fmt.Fprintln(bw, "*R_UNIT 1 KOHM")
+	for _, n := range c.Nets() {
+		fmt.Fprintf(bw, "\n*D_NET %s %g\n", n.Name, n.Cgnd)
+		fmt.Fprintln(bw, "*CAP")
+		idx := 1
+		fmt.Fprintf(bw, "%d %s %g\n", idx, n.Name, n.Cgnd)
+		idx++
+		for _, cid := range c.CouplingsOf(n.ID) {
+			cp := c.Coupling(cid)
+			if cp.A != n.ID {
+				continue // emitted in A's block
+			}
+			fmt.Fprintf(bw, "%d %s %s %g\n", idx, c.Net(cp.A).Name, c.Net(cp.B).Name, cp.Cc)
+			idx++
+		}
+		fmt.Fprintln(bw, "*RES")
+		fmt.Fprintf(bw, "1 %s %g\n", n.Name, n.Rwire)
+		fmt.Fprintln(bw, "*END")
+	}
+	return bw.Flush()
+}
+
+// String renders the circuit's parasitics as SPEF text.
+func String(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}

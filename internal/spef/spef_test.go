@@ -1,0 +1,138 @@
+package spef
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+	"topkagg/internal/verilog"
+)
+
+const baseNetlist = `circuit demo
+output y z
+gate g1 NAND2_X1 a b -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 c -> m1
+gate h2 INV_X1 m1 -> z
+`
+
+func TestApplySetsParasitics(t *testing.T) {
+	c, err := netlist.ParseString(baseNetlist, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `*SPEF "IEEE 1481-1998"
+*DESIGN "demo"
+*T_UNIT 1 NS
+*C_UNIT 1 FF
+*R_UNIT 1 KOHM
+
+*D_NET n1 5.5
+*CONN
+*I g1:Y O
+*CAP
+1 n1:1 5.5
+2 n1 m1 1.8
+*RES
+1 n1 0.4
+*END
+`
+	if err := ApplyString(src, c); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.NetByName("n1")
+	if c.Net(n1).Cgnd != 5.5 || c.Net(n1).Rwire != 0.4 {
+		t.Fatalf("parasitics not applied: %+v", c.Net(n1))
+	}
+	if c.NumCouplings() != 1 || c.Coupling(0).Cc != 1.8 {
+		t.Fatalf("coupling not applied: %d", c.NumCouplings())
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	mk := func() string { return baseNetlist }
+	cases := []struct{ name, src, want string }{
+		{"no header", "*D_NET n1 1\n*END\n", "missing *SPEF header"},
+		{"bad c unit", "*SPEF \"x\"\n*C_UNIT 1 PF\n", "unsupported capacitance unit"},
+		{"bad r unit", "*SPEF \"x\"\n*R_UNIT 1 OHM\n", "unsupported resistance unit"},
+		{"unknown net", "*SPEF \"x\"\n*D_NET nope 1\n", "unknown net"},
+		{"data outside dnet", "*SPEF \"x\"\n1 n1 2\n", "outside *D_NET"},
+		{"data before section", "*SPEF \"x\"\n*D_NET n1 1\n1 n1 2\n", "before a section"},
+		{"bad cap value", "*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1 n1 xx\n", "bad capacitance"},
+		{"cap wrong net", "*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1 m1 2\n", "outside net"},
+		{"coupling wrong net", "*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1 m1 y 2\n", "does not touch"},
+		{"malformed cap", "*SPEF \"x\"\n*D_NET n1 1\n*CAP\n1\n", "malformed CAP"},
+		{"malformed res", "*SPEF \"x\"\n*D_NET n1 1\n*RES\n1 n1\n", "malformed RES"},
+		{"bad res value", "*SPEF \"x\"\n*D_NET n1 1\n*RES\n1 n1 zz\n", "bad resistance"},
+		{"dnet no name", "*SPEF \"x\"\n*D_NET\n", "wants a net name"},
+	}
+	for _, tc := range cases {
+		c, err := netlist.ParseString(mk(), cell.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = ApplyString(tc.src, c)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRoundTripThroughVerilogAndSPEF(t *testing.T) {
+	// Generate a coupled benchmark, export it as Verilog + SPEF,
+	// re-import both, and verify the noisy analysis agrees exactly.
+	lib := cell.Default()
+	orig, err := gen.Build(gen.Spec{Name: "rt", Gates: 40, Couplings: 60, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsrc := verilog.String(orig)
+	psrc := String(orig)
+
+	back, err := verilog.ParseString(vsrc, lib)
+	if err != nil {
+		t.Fatalf("verilog re-parse: %v", err)
+	}
+	if err := ApplyString(psrc, back); err != nil {
+		t.Fatalf("spef re-apply: %v", err)
+	}
+	if back.NumCouplings() != orig.NumCouplings() {
+		t.Fatalf("couplings: %d vs %d", back.NumCouplings(), orig.NumCouplings())
+	}
+	a1, err := noise.NewModel(orig).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := noise.NewModel(back).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a1.CircuitDelay() - a2.CircuitDelay()); d > 1e-9 {
+		t.Fatalf("round trip changed noisy delay by %g", d)
+	}
+	if d := math.Abs(a1.Base.CircuitDelay() - a2.Base.CircuitDelay()); d > 1e-9 {
+		t.Fatalf("round trip changed base delay by %g", d)
+	}
+}
+
+func TestWriteShape(t *testing.T) {
+	c, err := netlist.ParseString(baseNetlist+"couple n1 m1 1.5\n", cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := String(c)
+	for _, want := range []string{`*SPEF "IEEE 1481-1998"`, `*DESIGN "demo"`,
+		"*C_UNIT 1 FF", "*D_NET n1", "n1 m1 1.5", "*RES", "*END"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SPEF output", want)
+		}
+	}
+	// The coupling must be emitted exactly once.
+	if strings.Count(out, "n1 m1 1.5") != 1 {
+		t.Error("coupling emitted more than once")
+	}
+}

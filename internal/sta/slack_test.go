@@ -1,0 +1,78 @@
+package sta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRequiredTimesAndSlacks(t *testing.T) {
+	c := parse(t, `circuit s
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate h1 INV_X1 a -> z
+`)
+	r := analyze(t, c, Options{})
+	slacks := r.Slacks(0)
+	// Critical path nets have zero slack against the observed delay.
+	for _, name := range []string{"a", "n1", "n2", "y"} {
+		id, _ := c.NetByName(name)
+		if math.Abs(slacks[id]) > 1e-9 {
+			t.Errorf("critical net %s has slack %g, want 0", name, slacks[id])
+		}
+	}
+	// z is an unconstrained sink (not marked as PO): infinite slack.
+	z, _ := c.NetByName("z")
+	if !math.IsInf(slacks[z], 1) {
+		t.Errorf("unobserved net z has slack %g, want +Inf", slacks[z])
+	}
+}
+
+func TestViolationsAgainstClock(t *testing.T) {
+	c := parse(t, `circuit s
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+`)
+	r := analyze(t, c, Options{})
+	delay := r.CircuitDelay()
+	if v := r.Violations(delay + 0.1); len(v) != 0 {
+		t.Fatalf("loose clock must have no violations, got %v", v)
+	}
+	viol := r.Violations(delay * 0.5)
+	if len(viol) == 0 {
+		t.Fatal("tight clock must produce violations")
+	}
+	// Worst violation first: the head of the list carries the minimum
+	// slack (the whole zero-slack critical path ties; IDs break ties).
+	slacks := r.Slacks(delay * 0.5)
+	for _, v := range viol {
+		if slacks[v] < slacks[viol[0]]-1e-12 {
+			t.Fatalf("violations not worst-first: %s before %s", c.Net(viol[0]).Name, c.Net(v).Name)
+		}
+	}
+	for i := 1; i < len(viol); i++ {
+		if slacks[viol[i-1]] > slacks[viol[i]]+1e-12 {
+			t.Fatal("violations must be sorted worst first")
+		}
+	}
+}
+
+func TestRequiredTimesExplicitClock(t *testing.T) {
+	c := parse(t, `circuit s
+output y
+gate g1 INV_X1 a -> y
+`)
+	r := analyze(t, c, Options{})
+	req := r.RequiredTimes(5.0)
+	y, _ := c.NetByName("y")
+	if req[y] != 5.0 {
+		t.Fatalf("PO required time = %g, want 5", req[y])
+	}
+	a, _ := c.NetByName("a")
+	if req[a] >= 5.0 || math.IsInf(req[a], 1) {
+		t.Fatalf("input required time = %g, want finite < 5", req[a])
+	}
+}

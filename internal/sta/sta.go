@@ -1,0 +1,231 @@
+// Package sta implements the static-timing substrate: propagation of
+// early/late arrival windows (EAT/LAT) and slews through the gate
+// graph in topological order, circuit delay, and critical-path
+// extraction. Timing windows produced here feed the noise envelopes of
+// the linear noise-analysis framework.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"topkagg/internal/circuit"
+)
+
+// Window is the switching window of one net: the earliest and latest
+// 50%-crossing times of any transition on it, plus the transition time
+// (slew) of the latest-arriving transition.
+type Window struct {
+	EAT  float64 // earliest arrival time, ns
+	LAT  float64 // latest arrival time, ns
+	Slew float64 // slew of the latest transition, ns
+}
+
+// Width returns LAT - EAT.
+func (w Window) Width() float64 { return w.LAT - w.EAT }
+
+// Overlaps reports whether two windows, each widened by guard, share
+// any instant.
+func (w Window) Overlaps(o Window, guard float64) bool {
+	return w.EAT-guard <= o.LAT+guard && o.EAT-guard <= w.LAT+guard
+}
+
+// Options configure an analysis run.
+type Options struct {
+	// PIArrival returns the window of a primary input. Nil means all
+	// inputs switch exactly at t=0 with DefaultPISlew.
+	PIArrival func(circuit.NetID) Window
+	// ExtraLAT, if non-nil, is added to the latest arrival of each net
+	// as it propagates (indexed by NetID). This is how delay noise is
+	// injected into timing windows by the noise engine.
+	ExtraLAT []float64
+}
+
+// DefaultPISlew is the input transition time assumed at primary
+// inputs, ns.
+const DefaultPISlew = 0.05
+
+// Result holds the timing of one analysis run.
+type Result struct {
+	Circuit *circuit.Circuit
+	Windows []Window // indexed by NetID
+	order   []circuit.NetID
+}
+
+// Analyze runs static timing analysis and returns per-net windows.
+func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
+	order, err := c.TopoNets()
+	if err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	res := &Result{Circuit: c, Windows: make([]Window, c.NumNets()), order: order}
+	for _, nid := range order {
+		net := c.Net(nid)
+		if net.Driver == circuit.NoGate {
+			w := Window{EAT: 0, LAT: 0, Slew: DefaultPISlew}
+			if opt.PIArrival != nil {
+				w = opt.PIArrival(nid)
+			}
+			if opt.ExtraLAT != nil {
+				w.LAT += opt.ExtraLAT[nid]
+			}
+			res.Windows[nid] = w
+			continue
+		}
+		g := c.Gate(net.Driver)
+		load := c.LoadCap(nid)
+		eat := math.Inf(1)
+		lat := math.Inf(-1)
+		slew := DefaultPISlew
+		for _, in := range g.Inputs {
+			iw := res.Windows[in]
+			d := g.Cell.Delay(load, iw.Slew)
+			if t := iw.EAT + d; t < eat {
+				eat = t
+			}
+			if t := iw.LAT + d; t > lat {
+				lat = t
+				slew = g.Cell.OutputSlew(load, iw.Slew)
+			}
+		}
+		w := Window{EAT: eat, LAT: lat, Slew: slew}
+		if opt.ExtraLAT != nil {
+			w.LAT += opt.ExtraLAT[nid]
+		}
+		res.Windows[nid] = w
+	}
+	return res, nil
+}
+
+// Window returns the timing window of a net.
+func (r *Result) Window(n circuit.NetID) Window { return r.Windows[n] }
+
+// CircuitDelay returns the maximum latest arrival over the primary
+// outputs — the circuit delay the paper's tables report.
+func (r *Result) CircuitDelay() float64 {
+	var d float64
+	for _, po := range r.Circuit.POs() {
+		if l := r.Windows[po].LAT; l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Sink returns the primary output with the largest latest arrival —
+// the "sink node" at which the paper reads the final I-list.
+func (r *Result) Sink() circuit.NetID {
+	pos := r.Circuit.POs()
+	if len(pos) == 0 {
+		return circuit.NetID(-1)
+	}
+	best := pos[0]
+	for _, po := range pos[1:] {
+		if r.Windows[po].LAT > r.Windows[best].LAT {
+			best = po
+		}
+	}
+	return best
+}
+
+// CriticalPath returns net IDs from a primary input to the sink along
+// the latest-arrival path.
+func (r *Result) CriticalPath() []circuit.NetID {
+	cur := r.Sink()
+	if cur < 0 {
+		return nil
+	}
+	path := []circuit.NetID{cur}
+	c := r.Circuit
+	for {
+		net := c.Net(cur)
+		if net.Driver == circuit.NoGate {
+			break
+		}
+		g := c.Gate(net.Driver)
+		load := c.LoadCap(cur)
+		// Pick the input whose late path determined this net's LAT.
+		best := g.Inputs[0]
+		bestT := math.Inf(-1)
+		for _, in := range g.Inputs {
+			iw := r.Windows[in]
+			if t := iw.LAT + g.Cell.Delay(load, iw.Slew); t > bestT {
+				bestT = t
+				best = in
+			}
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	// Reverse to PI-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// TopoOrder returns the net evaluation order used by the analysis.
+func (r *Result) TopoOrder() []circuit.NetID { return r.order }
+
+// RequiredTimes computes per-net required arrival times against a
+// timing constraint at the primary outputs: every PO must arrive by
+// clock (a clock period or output-required time). Passing clock <= 0
+// constrains the POs to the observed circuit delay, which makes the
+// critical path zero-slack. Nets that reach no PO have +Inf required
+// time.
+func (r *Result) RequiredTimes(clock float64) []float64 {
+	c := r.Circuit
+	if clock <= 0 {
+		clock = r.CircuitDelay()
+	}
+	req := make([]float64, c.NumNets())
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	for _, po := range c.POs() {
+		req[po] = clock
+	}
+	for i := len(r.order) - 1; i >= 0; i-- {
+		v := r.order[i]
+		for _, gid := range c.Net(v).Loads {
+			g := c.Gate(gid)
+			out := g.Output
+			d := g.Cell.Delay(c.LoadCap(out), r.Windows[v].Slew)
+			if t := req[out] - d; t < req[v] {
+				req[v] = t
+			}
+		}
+	}
+	return req
+}
+
+// Slacks returns per-net slack (required minus latest arrival) against
+// the given constraint; see RequiredTimes for the clock convention.
+func (r *Result) Slacks(clock float64) []float64 {
+	req := r.RequiredTimes(clock)
+	out := make([]float64, len(req))
+	for i, q := range req {
+		out[i] = q - r.Windows[i].LAT
+	}
+	return out
+}
+
+// Violations returns the nets with negative slack against the clock
+// constraint, worst first.
+func (r *Result) Violations(clock float64) []circuit.NetID {
+	slacks := r.Slacks(clock)
+	var out []circuit.NetID
+	for i, s := range slacks {
+		if s < 0 {
+			out = append(out, circuit.NetID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if slacks[out[i]] != slacks[out[j]] {
+			return slacks[out[i]] < slacks[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,195 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+)
+
+func parse(t *testing.T, src string) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func analyze(t *testing.T, c *circuit.Circuit, opt Options) *Result {
+	t.Helper()
+	r, err := Analyze(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestChainDelayAccumulates(t *testing.T) {
+	c := parse(t, `circuit chain
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+`)
+	r := analyze(t, c, Options{})
+	a, _ := c.NetByName("a")
+	n1, _ := c.NetByName("n1")
+	y, _ := c.NetByName("y")
+	if got := r.Window(a); got.EAT != 0 || got.LAT != 0 {
+		t.Fatalf("PI window = %+v", got)
+	}
+	w1, wy := r.Window(n1), r.Window(y)
+	if w1.LAT <= 0 || wy.LAT <= w1.LAT {
+		t.Fatalf("delay must accumulate: n1=%+v y=%+v", w1, wy)
+	}
+	if math.Abs(r.CircuitDelay()-wy.LAT) > 1e-12 {
+		t.Fatal("circuit delay must be the sink LAT")
+	}
+	if w1.EAT != w1.LAT {
+		t.Fatalf("single-path net must have a zero-width window: %+v", w1)
+	}
+}
+
+func TestRecvergentPathsOpenWindow(t *testing.T) {
+	// y = NAND(a, INV(INV(a))): the two inputs of g3 arrive at
+	// different times, so y's window has positive width.
+	c := parse(t, `circuit recon
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 NAND2_X1 a n2 -> y
+`)
+	r := analyze(t, c, Options{})
+	y, _ := c.NetByName("y")
+	w := r.Window(y)
+	if w.Width() <= 0 {
+		t.Fatalf("reconvergent paths must open a window: %+v", w)
+	}
+	if w.EAT > w.LAT {
+		t.Fatalf("EAT must not exceed LAT: %+v", w)
+	}
+}
+
+func TestPIArrivalOption(t *testing.T) {
+	c := parse(t, `circuit t
+output y
+gate g1 NAND2_X1 a b -> y
+`)
+	b, _ := c.NetByName("b")
+	r := analyze(t, c, Options{PIArrival: func(n circuit.NetID) Window {
+		if n == b {
+			return Window{EAT: 0.1, LAT: 0.5, Slew: 0.08}
+		}
+		return Window{Slew: DefaultPISlew}
+	}})
+	y, _ := c.NetByName("y")
+	w := r.Window(y)
+	if w.Width() < 0.3 {
+		t.Fatalf("PI window must propagate: %+v", w)
+	}
+}
+
+func TestExtraLATWidensWindows(t *testing.T) {
+	c := parse(t, `circuit t
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+`)
+	base := analyze(t, c, Options{})
+	n1, _ := c.NetByName("n1")
+	extra := make([]float64, c.NumNets())
+	extra[n1] = 0.2
+	noisy := analyze(t, c, Options{ExtraLAT: extra})
+	y, _ := c.NetByName("y")
+	if noisy.Window(n1).LAT <= base.Window(n1).LAT {
+		t.Fatal("ExtraLAT must delay the net itself")
+	}
+	if noisy.Window(y).LAT <= base.Window(y).LAT {
+		t.Fatal("ExtraLAT must propagate downstream")
+	}
+	if noisy.Window(n1).EAT != base.Window(n1).EAT {
+		t.Fatal("ExtraLAT must not move EAT")
+	}
+}
+
+func TestCouplingCapSlowsDelay(t *testing.T) {
+	src := `circuit t
+output y
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+`
+	c1 := parse(t, src)
+	c2 := parse(t, src+"couple n1 y 8\n")
+	d1 := analyze(t, c1, Options{}).CircuitDelay()
+	d2 := analyze(t, c2, Options{}).CircuitDelay()
+	if d2 <= d1 {
+		t.Fatalf("grounded coupling cap must add load: %g vs %g", d1, d2)
+	}
+}
+
+func TestSinkAndCriticalPath(t *testing.T) {
+	c := parse(t, `circuit t
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate g4 INV_X1 a -> z
+`)
+	r := analyze(t, c, Options{})
+	y, _ := c.NetByName("y")
+	if r.Sink() != y {
+		t.Fatalf("sink must be the deeper output, got %s", c.Net(r.Sink()).Name)
+	}
+	path := r.CriticalPath()
+	if len(path) != 4 {
+		t.Fatalf("critical path length = %d, want 4 (a n1 n2 y)", len(path))
+	}
+	if c.Net(path[0]).Name != "a" || c.Net(path[3]).Name != "y" {
+		t.Fatalf("critical path endpoints wrong: %v", path)
+	}
+	// Arrival must be nondecreasing along the path.
+	for i := 1; i < len(path); i++ {
+		if r.Window(path[i]).LAT < r.Window(path[i-1]).LAT {
+			t.Fatal("LAT must not decrease along the critical path")
+		}
+	}
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	a := Window{EAT: 0, LAT: 1}
+	b := Window{EAT: 2, LAT: 3}
+	if a.Overlaps(b, 0) {
+		t.Fatal("disjoint windows must not overlap")
+	}
+	if !a.Overlaps(b, 0.6) {
+		t.Fatal("guard banding must create overlap")
+	}
+	if !a.Overlaps(Window{EAT: 0.5, LAT: 2}, 0) {
+		t.Fatal("intersecting windows must overlap")
+	}
+}
+
+func TestAnalyzeRejectsCycle(t *testing.T) {
+	c := circuit.New("cyc", cell.Default())
+	if _, err := c.AddGate("g1", "NAND2_X1", []string{"a", "n2"}, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", "INV_X1", []string{"n1"}, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(c, Options{}); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}
+
+func TestStrongerCellIsFaster(t *testing.T) {
+	weak := parse(t, "circuit w\noutput y\ngate g1 INV_X1 a -> n1\ngate g2 INV_X1 n1 -> y\nnet n1 cg=30\n")
+	strong := parse(t, "circuit s\noutput y\ngate g1 INV_X4 a -> n1\ngate g2 INV_X1 n1 -> y\nnet n1 cg=30\n")
+	dw := analyze(t, weak, Options{}).CircuitDelay()
+	ds := analyze(t, strong, Options{}).CircuitDelay()
+	if ds >= dw {
+		t.Fatalf("upsized driver must be faster under heavy load: X1=%g X4=%g", dw, ds)
+	}
+}

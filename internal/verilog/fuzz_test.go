@@ -1,0 +1,30 @@
+package verilog
+
+import (
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+// FuzzParse checks the Verilog-subset parser never panics and accepts
+// only inputs whose canonical rewrite it accepts again.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("module t (y); output y; INV_X1 g (.A(a), .Y(y)); endmodule")
+	f.Add("module t (); endmodule")
+	f.Add("/* unterminated")
+	f.Add("// just a comment")
+	f.Add("module t (y;\n")
+	f.Add("module m (a); input a; wire w; endmodule junk")
+	lib := cell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src, lib)
+		if err != nil {
+			return
+		}
+		out := String(c)
+		if _, err := ParseString(out, lib); err != nil {
+			t.Fatalf("canonical Verilog rejected: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package verilog reads and writes gate-level structural Verilog — the
+// standard interchange for synthesized netlists — restricted to the
+// subset this library needs: one module, scalar ports and wires, and
+// standard-cell instances with named pin connections.
+//
+//	module demo (a, b, y);
+//	  input a, b;
+//	  output y;
+//	  wire n1;
+//	  NAND2_X1 g1 (.A(a), .B(b), .Y(n1));
+//	  INV_X1 g2 (.A(n1), .Y(y));
+//	endmodule
+//
+// Cell input pins are named A, B, C (in order); the output pin is Y.
+// Parasitics are not part of Verilog; pair a Verilog netlist with a
+// SPEF file (package spef) to get coupling capacitances.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+)
+
+// InputPinNames is the naming convention for cell input pins.
+var InputPinNames = []string{"A", "B", "C"}
+
+// OutputPinName is the naming convention for the cell output pin.
+const OutputPinName = "Y"
+
+// Parse reads a single-module gate-level Verilog netlist, resolving
+// cells against lib. The returned circuit is validated; declared
+// outputs are marked as primary outputs.
+func Parse(r io.Reader, lib *cell.Library) (*circuit.Circuit, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: read: %w", err)
+	}
+	text := stripComments(string(src))
+
+	// Statements are ;-terminated.
+	var c *circuit.Circuit
+	var outputs []string
+	seenEnd := false
+	for _, raw := range strings.Split(text, ";") {
+		stmt := strings.TrimSpace(raw)
+		if stmt == "" {
+			continue
+		}
+		if i := strings.Index(stmt, "endmodule"); i >= 0 {
+			rest := strings.TrimSpace(strings.TrimPrefix(stmt[i:], "endmodule"))
+			if rest != "" {
+				return nil, fmt.Errorf("verilog: content after endmodule: %q", rest)
+			}
+			stmt = strings.TrimSpace(stmt[:i])
+			seenEnd = true
+			if stmt == "" {
+				continue
+			}
+		}
+		switch {
+		case strings.HasPrefix(stmt, "module"):
+			if c != nil {
+				return nil, fmt.Errorf("verilog: multiple modules are not supported")
+			}
+			name, err := parseModuleHeader(stmt)
+			if err != nil {
+				return nil, err
+			}
+			c = circuit.New(name, lib)
+		case c == nil:
+			return nil, fmt.Errorf("verilog: statement before module header: %q", stmt)
+		case strings.HasPrefix(stmt, "input"):
+			for _, n := range splitIdentList(strings.TrimPrefix(stmt, "input")) {
+				c.EnsureNet(n)
+			}
+		case strings.HasPrefix(stmt, "output"):
+			outputs = append(outputs, splitIdentList(strings.TrimPrefix(stmt, "output"))...)
+		case strings.HasPrefix(stmt, "wire"):
+			for _, n := range splitIdentList(strings.TrimPrefix(stmt, "wire")) {
+				c.EnsureNet(n)
+			}
+		default:
+			if err := parseInstance(c, lib, stmt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("verilog: no module found")
+	}
+	if !seenEnd {
+		return nil, fmt.Errorf("verilog: missing endmodule")
+	}
+	for _, o := range outputs {
+		if err := c.MarkPO(o); err != nil {
+			return nil, fmt.Errorf("verilog: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	return c, nil
+}
+
+// ParseString is Parse over in-memory source.
+func ParseString(s string, lib *cell.Library) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s), lib)
+}
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+
+func parseModuleHeader(stmt string) (string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "module"))
+	name := rest
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		name = strings.TrimSpace(rest[:i])
+		if !strings.HasSuffix(strings.TrimSpace(rest), ")") {
+			return "", fmt.Errorf("verilog: malformed module port list: %q", stmt)
+		}
+	}
+	if !identRe.MatchString(name) {
+		return "", fmt.Errorf("verilog: bad module name %q", name)
+	}
+	return name, nil
+}
+
+func splitIdentList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var connRe = regexp.MustCompile(`\.\s*([A-Za-z_][A-Za-z0-9_$]*)\s*\(\s*([A-Za-z_][A-Za-z0-9_$]*)\s*\)`)
+
+// parseInstance handles `CELL name (.A(x), .Y(y))`.
+func parseInstance(c *circuit.Circuit, lib *cell.Library, stmt string) error {
+	open := strings.IndexByte(stmt, '(')
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(stmt), ")") {
+		return fmt.Errorf("verilog: malformed statement: %q", stmt)
+	}
+	head := strings.Fields(stmt[:open])
+	if len(head) != 2 {
+		return fmt.Errorf("verilog: instance wants CELL NAME (...): %q", stmt)
+	}
+	cellName, instName := head[0], head[1]
+	cl, err := lib.Cell(cellName)
+	if err != nil {
+		return fmt.Errorf("verilog: instance %s: %w", instName, err)
+	}
+	body := stmt[open:]
+	conns := connRe.FindAllStringSubmatch(body, -1)
+	if len(conns) == 0 {
+		return fmt.Errorf("verilog: instance %s: only named pin connections (.A(x)) are supported", instName)
+	}
+	byPin := map[string]string{}
+	for _, m := range conns {
+		if _, dup := byPin[m[1]]; dup {
+			return fmt.Errorf("verilog: instance %s: pin %s connected twice", instName, m[1])
+		}
+		byPin[m[1]] = m[2]
+	}
+	ins := make([]string, cl.NumInputs)
+	for i := 0; i < cl.NumInputs; i++ {
+		pin := InputPinNames[i]
+		net, ok := byPin[pin]
+		if !ok {
+			return fmt.Errorf("verilog: instance %s: missing input pin %s", instName, pin)
+		}
+		ins[i] = net
+		delete(byPin, pin)
+	}
+	out, ok := byPin[OutputPinName]
+	if !ok {
+		return fmt.Errorf("verilog: instance %s: missing output pin %s", instName, OutputPinName)
+	}
+	delete(byPin, OutputPinName)
+	if len(byPin) > 0 {
+		for pin := range byPin {
+			return fmt.Errorf("verilog: instance %s: unknown pin %s for cell %s", instName, pin, cellName)
+		}
+	}
+	if _, err := c.AddGate(instName, cellName, ins, out); err != nil {
+		return fmt.Errorf("verilog: %w", err)
+	}
+	return nil
+}
+
+// stripComments removes // line comments and /* */ block comments.
+func stripComments(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		switch {
+		case strings.HasPrefix(s[i:], "//"):
+			if j := strings.IndexByte(s[i:], '\n'); j >= 0 {
+				i += j
+			} else {
+				i = len(s)
+			}
+		case strings.HasPrefix(s[i:], "/*"):
+			if j := strings.Index(s[i+2:], "*/"); j >= 0 {
+				i += j + 4
+			} else {
+				i = len(s)
+			}
+			sb.WriteByte(' ')
+		default:
+			sb.WriteByte(s[i])
+			i++
+		}
+	}
+	return sb.String()
+}
+
+// Write emits the circuit as gate-level Verilog. Coupling capacitors
+// and parasitics are not representable in Verilog; write a SPEF file
+// alongside (package spef) to preserve them.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	pis := c.PIs()
+	var pos []circuit.NetID
+	for _, n := range c.Nets() {
+		if n.IsPO {
+			pos = append(pos, n.ID)
+		}
+	}
+	for _, id := range pis {
+		ports = append(ports, c.Net(id).Name)
+	}
+	for _, id := range pos {
+		ports = append(ports, c.Net(id).Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", c.Name, strings.Join(ports, ", "))
+	if len(pis) > 0 {
+		fmt.Fprintf(bw, "  input %s;\n", joinNets(c, pis))
+	}
+	if len(pos) > 0 {
+		fmt.Fprintf(bw, "  output %s;\n", joinNets(c, pos))
+	}
+	var wires []circuit.NetID
+	for _, n := range c.Nets() {
+		if n.Driver != circuit.NoGate && !n.IsPO {
+			wires = append(wires, n.ID)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", joinNets(c, wires))
+	}
+	for _, g := range c.Gates() {
+		fmt.Fprintf(bw, "  %s %s (", g.Cell.Name, g.Name)
+		for i, in := range g.Inputs {
+			fmt.Fprintf(bw, ".%s(%s), ", InputPinNames[i], c.Net(in).Name)
+		}
+		fmt.Fprintf(bw, ".%s(%s));\n", OutputPinName, c.Net(g.Output).Name)
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// String renders the circuit as Verilog source.
+func String(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}
+
+func joinNets(c *circuit.Circuit, ids []circuit.NetID) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = c.Net(id).Name
+	}
+	return strings.Join(names, ", ")
+}

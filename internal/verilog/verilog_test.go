@@ -1,0 +1,138 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"topkagg/internal/cell"
+)
+
+const sample = `
+// synthesized by nothing in particular
+module demo (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire n1, n2;
+  NAND2_X1 g1 (.A(a), .B(b), .Y(n1));
+  /* a block
+     comment */
+  INV_X2 g2 (.A(n1), .Y(n2));
+  NAND2_X1 g3 (.A(n2), .B(c), .Y(y));
+endmodule
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString(sample, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Fatalf("module name = %q", c.Name)
+	}
+	if c.NumGates() != 3 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+	pos := c.POs()
+	if len(pos) != 1 || c.Net(pos[0]).Name != "y" {
+		t.Fatalf("POs = %v", pos)
+	}
+	if len(c.PIs()) != 3 {
+		t.Fatalf("PIs = %d", len(c.PIs()))
+	}
+	n1, ok := c.NetByName("n1")
+	if !ok || c.Net(n1).Driver != 0 {
+		t.Fatal("n1 must be driven by g1")
+	}
+}
+
+func TestParsePinOrderIndependent(t *testing.T) {
+	src := `module t (a, b, y);
+input a, b; output y;
+NAND2_X1 g1 (.Y(y), .B(b), .A(a));
+endmodule`
+	c, err := ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gate(0)
+	a, _ := c.NetByName("a")
+	b, _ := c.NetByName("b")
+	if g.Inputs[0] != a || g.Inputs[1] != b {
+		t.Fatal("named connections must map by pin, not position")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no module", "input a;\nendmodule", "before module header"},
+		{"missing endmodule", "module t (a);\ninput a;", "missing endmodule"},
+		{"two modules", "module a (); endmodule; module b (); endmodule", "multiple modules"},
+		{"bad cell", "module t (y); output y; NOPE g1 (.A(a), .Y(y)); endmodule", "no cell"},
+		{"positional", "module t (y); output y; INV_X1 g1 (a, y); endmodule", "named pin"},
+		{"missing input pin", "module t (y); output y; NAND2_X1 g1 (.A(a), .Y(y)); endmodule", "missing input pin B"},
+		{"missing output pin", "module t (y); output y; INV_X1 g1 (.A(a)); endmodule", "missing output pin"},
+		{"unknown pin", "module t (y); output y; INV_X1 g1 (.A(a), .Q(q), .Y(y)); endmodule", "unknown pin"},
+		{"dup pin", "module t (y); output y; INV_X1 g1 (.A(a), .A(b), .Y(y)); endmodule", "connected twice"},
+		{"trailing junk", "module t (y); output y; INV_X1 g1 (.A(a), .Y(y)); endmodule garbage", "after endmodule"},
+		{"bad module name", "module 1bad (y); endmodule", "bad module name"},
+		{"unknown output", "module t (); output q2z; endmodule", "unknown output"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src, cell.Default())
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := cell.Default()
+	c1, err := ParseString(sample, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := String(c1)
+	c2, err := ParseString(src, lib)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, src)
+	}
+	if String(c2) != src {
+		t.Fatal("canonical Verilog not a fixpoint")
+	}
+	if c2.NumGates() != c1.NumGates() || len(c2.PIs()) != len(c1.PIs()) {
+		t.Fatal("round trip changed the circuit")
+	}
+}
+
+func TestWriteShape(t *testing.T) {
+	c, err := ParseString(sample, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := String(c)
+	for _, want := range []string{
+		"module demo (a, b, c, y);",
+		"input a, b, c;",
+		"output y;",
+		"wire n1, n2;",
+		"NAND2_X1 g1 (.A(a), .B(b), .Y(n1));",
+		"endmodule",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestParseThreeInputCell(t *testing.T) {
+	src := `module t (y); output y;
+AOI21_X1 g1 (.A(a), .B(b), .C(c), .Y(y));
+endmodule`
+	c, err := ParseString(src, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Gate(0).Inputs); got != 3 {
+		t.Fatalf("inputs = %d", got)
+	}
+}

@@ -1,0 +1,66 @@
+package waveform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// combineRef is the original (binary-search-per-point) implementation,
+// kept as the reference for the optimized linear merge.
+func combineRef(a, b PWL, f func(av, bv float64) float64) PWL {
+	return combine(a, b, f)
+}
+
+func TestQuickLinearCombineMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPWL(r), randPWL(r)
+		add := combineRef(a, b, func(x, y float64) float64 { return x + y })
+		sub := combineRef(a, b, func(x, y float64) float64 { return x - y })
+		return Equal(Add(a, b), add, 1e-9) && Equal(Sub(a, b), sub, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(21)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearCombineEdgeCases(t *testing.T) {
+	a := TrianglePulse(0, 1, 1, 2)
+	if !Equal(Add(a, Zero()), a, 1e-12) {
+		t.Fatal("a + 0 must equal a")
+	}
+	if !Equal(Add(Zero(), a), a, 1e-12) {
+		t.Fatal("0 + a must equal a")
+	}
+	if !Equal(Sub(a, a), Zero(), 1e-12) {
+		t.Fatal("a - a must be zero")
+	}
+	if Add(Zero(), Zero()).NumPoints() != 0 {
+		t.Fatal("0 + 0 must be the zero waveform")
+	}
+	// Coincident breakpoints collapse.
+	b := TrianglePulse(0, 1, 1, 3)
+	s := Add(a, b)
+	for i := 1; i < s.NumPoints(); i++ {
+		pts := s.Points()
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("non-increasing breakpoints in %v", s)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ws := make([]PWL, 32)
+	for i := range ws {
+		ws[i] = randPulse(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := Zero()
+		for _, w := range ws {
+			acc = Add(acc, w)
+		}
+	}
+}

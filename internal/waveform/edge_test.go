@@ -1,0 +1,109 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSum(t *testing.T) {
+	a := TrianglePulse(0, 1, 1, 1)
+	b := TrianglePulse(1, 1, 1, 2)
+	c := TrianglePulse(2, 1, 1, 3)
+	s := Sum(a, b, c)
+	want := Add(Add(a, b), c)
+	if !Equal(s, want, 1e-12) {
+		t.Fatal("Sum must equal folded Add")
+	}
+	if Sum().NumPoints() != 0 {
+		t.Fatal("empty Sum must be zero")
+	}
+}
+
+func TestDegenerateSlews(t *testing.T) {
+	// Non-positive slews clamp to a near-step.
+	r := RisingRamp(1, 0, 1.2)
+	if r.Width() <= 0 {
+		t.Fatal("clamped ramp must keep a positive width")
+	}
+	f := FallingRamp(1, -5, 1.2)
+	if f.Width() <= 0 {
+		t.Fatal("clamped falling ramp must keep a positive width")
+	}
+	p := TrianglePulse(0, 0, 0, 1)
+	if p.Width() <= 0 {
+		t.Fatal("clamped pulse must keep a positive width")
+	}
+}
+
+func TestIsZeroWithTinyValues(t *testing.T) {
+	w := MustNew(Point{T: 0, V: Eps / 2}, Point{T: 1, V: -Eps / 2})
+	if !w.IsZero() {
+		t.Fatal("sub-epsilon waveform counts as zero")
+	}
+	w2 := MustNew(Point{T: 0, V: 0}, Point{T: 1, V: 1})
+	if w2.IsZero() {
+		t.Fatal("non-zero waveform must not count as zero")
+	}
+}
+
+func TestStartEndEmpty(t *testing.T) {
+	if Zero().Start() != 0 || Zero().End() != 0 {
+		t.Fatal("empty waveform spans [0,0]")
+	}
+	w := MustNew(Point{T: 2, V: 1}, Point{T: 5, V: 0})
+	if w.Start() != 2 || w.End() != 5 {
+		t.Fatal("span wrong")
+	}
+}
+
+func TestLatestTimeAtOrBelowEdges(t *testing.T) {
+	// Entirely above the level: supremum collapses to the start.
+	high := MustNew(Point{T: 1, V: 2}, Point{T: 3, V: 3})
+	tt, ok := high.LatestTimeAtOrBelow(1)
+	if !ok || tt != 1 {
+		t.Fatalf("always-above waveform: (%g,%v)", tt, ok)
+	}
+	// Empty waveform (constant zero): never settles above any level >= 0.
+	if _, ok := Zero().LatestTimeAtOrBelow(0.5); ok {
+		t.Fatal("constant zero never rises above 0.5")
+	}
+	// Flat segment exactly at the level then a jump.
+	w := MustNew(Point{T: 0, V: 0.5}, Point{T: 1, V: 0.5}, Point{T: 2, V: 1})
+	tt, ok = w.LatestTimeAtOrBelow(0.5)
+	if !ok {
+		t.Fatal("must settle")
+	}
+	if math.Abs(tt-1) > 1e-9 {
+		t.Fatalf("crossing at %g, want 1", tt)
+	}
+}
+
+func TestEarliestTimeAtOrAboveEdges(t *testing.T) {
+	// Starts at/above the level.
+	w := MustNew(Point{T: 3, V: 1}, Point{T: 4, V: 2})
+	tt, ok := w.EarliestTimeAtOrAbove(1)
+	if !ok || tt != 3 {
+		t.Fatalf("starting-at-level: (%g,%v)", tt, ok)
+	}
+	// Zero waveform vs level 0: reached immediately.
+	if _, ok := Zero().EarliestTimeAtOrAbove(0); !ok {
+		t.Fatal("zero reaches level 0")
+	}
+	// Never reaches.
+	if _, ok := w.EarliestTimeAtOrAbove(5); ok {
+		t.Fatal("must not reach 5")
+	}
+}
+
+func TestMaxWithEmpty(t *testing.T) {
+	a := TrianglePulse(0, 1, 1, -2) // negative pulse
+	m := Max(a, Zero())
+	for _, p := range m.Points() {
+		if p.V < -1e-12 {
+			t.Fatalf("max with zero must be nonnegative: %v", m)
+		}
+	}
+	if Max(Zero(), Zero()).NumPoints() != 0 {
+		t.Fatal("max of zeros is zero")
+	}
+}

@@ -1,0 +1,202 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPWL builds a random, well-formed waveform with up to 8
+// breakpoints in t ∈ [0, 10), v ∈ [-2, 2).
+func randPWL(r *rand.Rand) PWL {
+	n := 1 + r.Intn(8)
+	pts := make([]Point, n)
+	t := r.Float64()
+	for i := range pts {
+		pts[i] = Point{T: t, V: r.Float64()*4 - 2}
+		t += 0.1 + r.Float64()
+	}
+	return MustNew(pts...)
+}
+
+// randPulse builds a random nonnegative pulse (the shape dominance
+// operates on).
+func randPulse(r *rand.Rand) PWL {
+	t0 := r.Float64() * 5
+	rise := 0.1 + r.Float64()
+	fall := 0.1 + r.Float64()*2
+	flat := r.Float64() * 2
+	vp := 0.05 + r.Float64()
+	return Trapezoid(t0, rise, t0+rise+flat, fall, vp)
+}
+
+func quickCfg(seed int64) *quick.Config {
+	r := rand.New(rand.NewSource(seed))
+	return &quick.Config{MaxCount: 200, Rand: r}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPWL(r), randPWL(r)
+		return Equal(Add(a, b), Add(b, a), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randPWL(r), randPWL(r), randPWL(r)
+		return Equal(Add(Add(a, b), c), Add(a, Add(b, c)), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddZeroIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPWL(r)
+		return Equal(Add(a, Zero()), a, 1e-12)
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShiftPreservesValues(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPWL(r)
+		dt := r.Float64()*10 - 5
+		s := a.Shift(dt)
+		for _, p := range a.Points() {
+			if math.Abs(s.Value(p.T+dt)-p.V) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShiftDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPWL(r), randPWL(r)
+		dt := r.Float64() * 3
+		return Equal(Add(a, b).Shift(dt), Add(a.Shift(dt), b.Shift(dt)), 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxUpperBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPWL(r), randPWL(r)
+		m := Max(a, b)
+		for _, p := range append(a.Points(), b.Points()...) {
+			v := m.Value(p.T)
+			if v < a.Value(p.T)-1e-9 || v < b.Value(p.T)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncapsulationReflexiveAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPulse(r)
+		if !Encapsulates(a, a, a.Start(), a.End(), 1e-9) {
+			return false
+		}
+		// Adding a nonnegative pulse can only grow the waveform.
+		b := randPulse(r)
+		grown := Add(a, b)
+		return Encapsulates(grown, a, a.Start()-1, a.End()+5, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncapsulationTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randPulse(r)
+		b := Add(c, randPulse(r))
+		a := Add(b, randPulse(r))
+		t0, t1 := 0.0, 20.0
+		if !Encapsulates(a, b, t0, t1, 1e-9) || !Encapsulates(b, c, t0, t1, 1e-9) {
+			return false // construction guarantees these
+		}
+		return Encapsulates(a, c, t0, t1, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickT50MonotoneInNoise(t *testing.T) {
+	// Growing the subtracted noise envelope can never make the rising
+	// victim's t50 earlier — the waveform-level form of Theorem 1.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vdd := 1.0
+		ramp := RisingRamp(5, 1+r.Float64()*2, vdd)
+		small := randPulse(r).Shift(3)
+		big := Add(small, randPulse(r).Shift(3))
+		tSmall, okS := Sub(ramp, small).LatestTimeAtOrBelow(vdd / 2)
+		tBig, okB := Sub(ramp, big).LatestTimeAtOrBelow(vdd / 2)
+		if !okS && !okB {
+			return true // both fail to settle: nothing to compare
+		}
+		if okS && !okB {
+			return true // bigger noise can push settling out entirely
+		}
+		if !okS && okB {
+			return false // smaller noise cannot be the unsettled one
+		}
+		return tBig >= tSmall-1e-9
+	}
+	if err := quick.Check(f, quickCfg(9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValueWithinBreakpointHull(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPWL(r)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range a.Points() {
+			lo = math.Min(lo, p.V)
+			hi = math.Max(hi, p.V)
+		}
+		for i := 0; i < 20; i++ {
+			t := a.Start() + r.Float64()*(a.Width()+2) - 1
+			v := a.Value(t)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// minWidth is the smallest edge width a shape constructor produces:
+// well above Eps so breakpoint merging in New cannot collapse a
+// degenerate (clamped) edge into a single point. 1e-6 ns = 1 fs.
+const minWidth = 1e-6
+
+// RisingRamp returns a saturated rising ramp from 0 to vdd whose 50%
+// crossing is at t50 and whose 0-to-100% transition time is slew. A
+// non-positive slew produces an (almost) ideal step at t50.
+func RisingRamp(t50, slew, vdd float64) PWL {
+	if slew < minWidth {
+		slew = minWidth
+	}
+	return MustNew(
+		Point{T: t50 - slew/2, V: 0},
+		Point{T: t50 + slew/2, V: vdd},
+	)
+}
+
+// FallingRamp returns a saturated falling ramp from vdd to 0 whose 50%
+// crossing is at t50 and whose transition time is slew.
+func FallingRamp(t50, slew, vdd float64) PWL {
+	if slew < minWidth {
+		slew = minWidth
+	}
+	return MustNew(
+		Point{T: t50 - slew/2, V: vdd},
+		Point{T: t50 + slew/2, V: 0},
+	)
+}
+
+// TrianglePulse returns a triangular noise pulse that starts at t0,
+// peaks at vp after rise, and decays back to zero after a further
+// fall. rise and fall are clamped to a minimal positive width.
+func TrianglePulse(t0, rise, fall, vp float64) PWL {
+	if rise < minWidth {
+		rise = minWidth
+	}
+	if fall < minWidth {
+		fall = minWidth
+	}
+	return MustNew(
+		Point{T: t0, V: 0},
+		Point{T: t0 + rise, V: vp},
+		Point{T: t0 + rise + fall, V: 0},
+	)
+}
+
+// Trapezoid returns a trapezoidal envelope: zero before t0, rising to
+// vp over rise, flat until tFlatEnd, decaying to zero over fall.
+// tFlatEnd must not precede t0+rise; if it does, the flat top is
+// collapsed to a triangle.
+func Trapezoid(t0, rise, flatEnd, fall, vp float64) PWL {
+	if rise < minWidth {
+		rise = minWidth
+	}
+	if fall < minWidth {
+		fall = minWidth
+	}
+	peakStart := t0 + rise
+	if flatEnd < peakStart {
+		flatEnd = peakStart
+	}
+	return MustNew(
+		Point{T: t0, V: 0},
+		Point{T: peakStart, V: vp},
+		Point{T: flatEnd, V: vp},
+		Point{T: flatEnd + fall, V: 0},
+	)
+}
+
+// T50 returns the 50%-vdd crossing of a monotone transition waveform.
+// dir selects which crossing is measured: +1 for a rising transition
+// (last time at or below vdd/2), -1 for a falling transition (last
+// time at or above vdd/2). It returns an error when the waveform never
+// completes the transition.
+func T50(w PWL, vdd float64, dir int) (float64, error) {
+	switch dir {
+	case +1:
+		t, ok := w.LatestTimeAtOrBelow(vdd / 2)
+		if !ok {
+			return 0, fmt.Errorf("waveform: rising transition never settles above %g", vdd/2)
+		}
+		return t, nil
+	case -1:
+		t, ok := w.Neg().LatestTimeAtOrBelow(-vdd / 2)
+		if !ok {
+			return 0, fmt.Errorf("waveform: falling transition never settles below %g", vdd/2)
+		}
+		return t, nil
+	default:
+		return 0, fmt.Errorf("waveform: invalid transition direction %d", dir)
+	}
+}
+
+// Width returns the length of the waveform's support span (time
+// between first and last breakpoint).
+func (w PWL) Width() float64 { return w.End() - w.Start() }
+
+// Area returns the integral of the waveform over its breakpoint span
+// (constant extensions excluded). Useful as a scalar summary of an
+// envelope in tests and heuristics.
+func (w PWL) Area() float64 {
+	var area float64
+	for i := 1; i < len(w.pts); i++ {
+		a, b := w.pts[i-1], w.pts[i]
+		area += (b.T - a.T) * (a.V + b.V) / 2
+	}
+	return area
+}
+
+// MaxAbs returns the largest absolute breakpoint value.
+func (w PWL) MaxAbs() float64 {
+	var m float64
+	for _, p := range w.pts {
+		m = math.Max(m, math.Abs(p.V))
+	}
+	return m
+}

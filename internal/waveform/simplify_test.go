@@ -1,0 +1,80 @@
+package waveform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyRemovesCollinear(t *testing.T) {
+	w := MustNew(
+		Point{T: 0, V: 0},
+		Point{T: 1, V: 1}, // collinear with neighbours
+		Point{T: 2, V: 2},
+		Point{T: 3, V: 0},
+	)
+	s := w.Simplify(0)
+	if s.NumPoints() != 3 {
+		t.Fatalf("expected 3 points after simplify, got %v", s)
+	}
+	if !Equal(w, s, 1e-12) {
+		t.Fatal("simplify with tol=0 must be exact")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	w := TrianglePulse(0, 1, 1, 2)
+	s := w.Simplify(0)
+	if s.NumPoints() != w.NumPoints() {
+		t.Fatalf("triangle corners must survive: %v", s)
+	}
+}
+
+func TestSimplifyShortWaveforms(t *testing.T) {
+	if Zero().Simplify(0).NumPoints() != 0 {
+		t.Fatal("zero unchanged")
+	}
+	one := MustNew(Point{T: 1, V: 2})
+	if one.Simplify(0).NumPoints() != 1 {
+		t.Fatal("single point unchanged")
+	}
+	two := MustNew(Point{T: 1, V: 2}, Point{T: 3, V: 4})
+	if two.Simplify(0).NumPoints() != 2 {
+		t.Fatal("two points unchanged")
+	}
+}
+
+func TestQuickSimplifyStaysClose(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randPWL(r)
+		tol := 1e-6
+		s := w.Simplify(tol)
+		if s.NumPoints() > w.NumPoints() {
+			return false
+		}
+		// Per-drop error is bounded by tol against the surviving
+		// neighbours; allow a modest accumulation factor for runs of
+		// near-collinear points.
+		for _, p := range w.Points() {
+			if d := p.V - s.Value(p.T); d > 8*tol || d < -8*tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(11)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := randPWL(r).Simplify(0)
+		return Equal(w, w.Simplify(0), 1e-12) && w.Simplify(0).NumPoints() == w.NumPoints()
+	}
+	if err := quick.Check(f, quickCfg(12)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,498 @@
+// Package waveform provides the piecewise-linear (PWL) waveform
+// substrate used by the linear noise-analysis framework: saturated-ramp
+// transitions, triangular noise pulses, trapezoidal noise envelopes and
+// the algebra (superposition, shifting, encapsulation tests, t50
+// crossings) that delay-noise computation is built on.
+//
+// A PWL waveform is defined by a sorted sequence of breakpoints
+// (t, v). Between breakpoints the value is linearly interpolated;
+// before the first breakpoint it equals the first value and after the
+// last breakpoint it equals the last value. All operations return new
+// waveforms; a PWL is immutable after construction.
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Eps is the absolute tolerance used by comparisons on voltages and
+// times. Waveform values in this library are volts (order 1) and
+// seconds expressed in nanoseconds (order 0.01-10), so a single
+// tolerance serves both axes.
+const Eps = 1e-9
+
+// Point is a single PWL breakpoint.
+type Point struct {
+	T float64 // time
+	V float64 // value
+}
+
+// PWL is an immutable piecewise-linear waveform.
+type PWL struct {
+	pts []Point
+}
+
+// ErrUnordered is returned by New when breakpoints are not sorted by
+// time.
+var ErrUnordered = errors.New("waveform: breakpoints not sorted by time")
+
+// New constructs a waveform from breakpoints. Points must be sorted by
+// non-decreasing time; points closer than Eps in time are merged
+// (keeping the later value). A waveform with no points is the constant
+// zero waveform.
+func New(pts ...Point) (PWL, error) {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T-Eps {
+			return PWL{}, fmt.Errorf("%w: point %d at t=%g after t=%g", ErrUnordered, i, pts[i].T, pts[i-1].T)
+		}
+	}
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if n := len(out); n > 0 && p.T <= out[n-1].T+Eps {
+			out[n-1].V = p.V
+			out[n-1].T = math.Max(out[n-1].T, p.T)
+			continue
+		}
+		out = append(out, p)
+	}
+	return PWL{pts: out}, nil
+}
+
+// MustNew is New that panics on malformed input. It is intended for
+// statically-known shapes (ramps, pulses) whose ordering is guaranteed
+// by construction.
+func MustNew(pts ...Point) PWL {
+	w, err := New(pts...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Zero returns the constant zero waveform.
+func Zero() PWL { return PWL{} }
+
+// Constant returns the waveform that is v everywhere.
+func Constant(v float64) PWL {
+	if v == 0 {
+		return Zero()
+	}
+	return PWL{pts: []Point{{T: 0, V: v}}}
+}
+
+// IsZero reports whether the waveform is identically zero.
+func (w PWL) IsZero() bool {
+	for _, p := range w.pts {
+		if math.Abs(p.V) > Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns a copy of the breakpoints.
+func (w PWL) Points() []Point {
+	out := make([]Point, len(w.pts))
+	copy(out, w.pts)
+	return out
+}
+
+// NumPoints returns the number of breakpoints.
+func (w PWL) NumPoints() int { return len(w.pts) }
+
+// Start returns the time of the first breakpoint; for an empty
+// waveform it returns 0.
+func (w PWL) Start() float64 {
+	if len(w.pts) == 0 {
+		return 0
+	}
+	return w.pts[0].T
+}
+
+// End returns the time of the last breakpoint; for an empty waveform
+// it returns 0.
+func (w PWL) End() float64 {
+	if len(w.pts) == 0 {
+		return 0
+	}
+	return w.pts[len(w.pts)-1].T
+}
+
+// Value returns the waveform value at time t.
+func (w PWL) Value(t float64) float64 {
+	n := len(w.pts)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.pts[0].T {
+		return w.pts[0].V
+	}
+	if t >= w.pts[n-1].T {
+		return w.pts[n-1].V
+	}
+	// First breakpoint strictly after t.
+	i := sort.Search(n, func(i int) bool { return w.pts[i].T > t })
+	a, b := w.pts[i-1], w.pts[i]
+	if b.T == a.T {
+		return b.V
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return a.V + f*(b.V-a.V)
+}
+
+// Shift returns the waveform delayed by dt (dt may be negative).
+func (w PWL) Shift(dt float64) PWL {
+	if len(w.pts) == 0 || dt == 0 {
+		return w
+	}
+	out := make([]Point, len(w.pts))
+	for i, p := range w.pts {
+		out[i] = Point{T: p.T + dt, V: p.V}
+	}
+	return PWL{pts: out}
+}
+
+// Scale returns the waveform with all values multiplied by f.
+func (w PWL) Scale(f float64) PWL {
+	if len(w.pts) == 0 {
+		return w
+	}
+	out := make([]Point, len(w.pts))
+	for i, p := range w.pts {
+		out[i] = Point{T: p.T, V: p.V * f}
+	}
+	return PWL{pts: out}
+}
+
+// Neg returns the waveform with all values negated.
+func (w PWL) Neg() PWL { return w.Scale(-1) }
+
+// mergeTimes returns the sorted union of breakpoint times of a and b.
+func mergeTimes(a, b PWL) []float64 {
+	ts := make([]float64, 0, len(a.pts)+len(b.pts))
+	i, j := 0, 0
+	for i < len(a.pts) || j < len(b.pts) {
+		var t float64
+		switch {
+		case i >= len(a.pts):
+			t = b.pts[j].T
+			j++
+		case j >= len(b.pts):
+			t = a.pts[i].T
+			i++
+		case a.pts[i].T <= b.pts[j].T:
+			t = a.pts[i].T
+			i++
+		default:
+			t = b.pts[j].T
+			j++
+		}
+		if n := len(ts); n == 0 || t > ts[n-1]+Eps {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// combine builds a waveform by evaluating f(a(t), b(t)) at the merged
+// breakpoints of a and b. The result is exact for pointwise-linear
+// combinations (addition, subtraction); Max additionally inserts
+// intersection breakpoints before combining.
+func combine(a, b PWL, f func(av, bv float64) float64) PWL {
+	ts := mergeTimes(a, b)
+	if len(ts) == 0 {
+		v := f(0, 0)
+		if v == 0 {
+			return Zero()
+		}
+		return Constant(v)
+	}
+	out := make([]Point, len(ts))
+	for i, t := range ts {
+		out[i] = Point{T: t, V: f(a.Value(t), b.Value(t))}
+	}
+	return PWL{pts: out}
+}
+
+// Add returns the pointwise sum a + b (linear superposition).
+func Add(a, b PWL) PWL {
+	return linearCombine(a, b, 1)
+}
+
+// linearCombine computes a + sign·b with a single linear merge over
+// both breakpoint lists (no per-point binary search); it is the hot
+// path of envelope superposition.
+func linearCombine(a, b PWL, sign float64) PWL {
+	if len(a.pts) == 0 && len(b.pts) == 0 {
+		return Zero()
+	}
+	out := make([]Point, 0, len(a.pts)+len(b.pts))
+	i, j := 0, 0
+	// segVal returns the value of w at time t given the index of the
+	// first breakpoint at-or-after t (constant extension outside).
+	segVal := func(w PWL, idx int, t float64) float64 {
+		switch {
+		case len(w.pts) == 0:
+			return 0
+		case idx == 0:
+			return w.pts[0].V
+		case idx >= len(w.pts):
+			return w.pts[len(w.pts)-1].V
+		}
+		p, q := w.pts[idx-1], w.pts[idx]
+		if q.T == p.T {
+			return q.V
+		}
+		f := (t - p.T) / (q.T - p.T)
+		return p.V + f*(q.V-p.V)
+	}
+	for i < len(a.pts) || j < len(b.pts) {
+		var t float64
+		switch {
+		case i >= len(a.pts):
+			t = b.pts[j].T
+		case j >= len(b.pts):
+			t = a.pts[i].T
+		case a.pts[i].T <= b.pts[j].T:
+			t = a.pts[i].T
+		default:
+			t = b.pts[j].T
+		}
+		for i < len(a.pts) && a.pts[i].T <= t {
+			i++
+		}
+		for j < len(b.pts) && b.pts[j].T <= t {
+			j++
+		}
+		v := segVal(a, i, t) + sign*segVal(b, j, t)
+		if n := len(out); n > 0 && t <= out[n-1].T+Eps {
+			out[n-1] = Point{T: math.Max(out[n-1].T, t), V: v}
+			continue
+		}
+		out = append(out, Point{T: t, V: v})
+	}
+	return PWL{pts: out}
+}
+
+// Sum returns the pointwise sum of all waveforms.
+func Sum(ws ...PWL) PWL {
+	acc := Zero()
+	for _, w := range ws {
+		acc = Add(acc, w)
+	}
+	return acc
+}
+
+// Sub returns the pointwise difference a - b.
+func Sub(a, b PWL) PWL {
+	return linearCombine(a, b, -1)
+}
+
+// Max returns the pointwise maximum of a and b, inserting breakpoints
+// at segment intersections so the result is exact.
+func Max(a, b PWL) PWL {
+	ts := mergeTimes(a, b)
+	if len(ts) == 0 {
+		return Zero()
+	}
+	// Insert intersection times where a-b changes sign within a segment.
+	aug := make([]float64, 0, 2*len(ts))
+	aug = append(aug, ts[0])
+	for i := 1; i < len(ts); i++ {
+		t0, t1 := ts[i-1], ts[i]
+		d0 := a.Value(t0) - b.Value(t0)
+		d1 := a.Value(t1) - b.Value(t1)
+		if (d0 > Eps && d1 < -Eps) || (d0 < -Eps && d1 > Eps) {
+			tx := t0 + (t1-t0)*d0/(d0-d1)
+			if tx > t0+Eps && tx < t1-Eps {
+				aug = append(aug, tx)
+			}
+		}
+		aug = append(aug, t1)
+	}
+	out := make([]Point, len(aug))
+	for i, t := range aug {
+		out[i] = Point{T: t, V: math.Max(a.Value(t), b.Value(t))}
+	}
+	return PWL{pts: out}
+}
+
+// ClampMin returns the waveform with values below lo replaced by lo,
+// inserting breakpoints at the clamp crossings.
+func (w PWL) ClampMin(lo float64) PWL {
+	return Max(w, Constant(lo))
+}
+
+// Peak returns the time and value of the waveform maximum. For an
+// empty waveform it returns (0, 0). Ties resolve to the earliest time.
+func (w PWL) Peak() (t, v float64) {
+	if len(w.pts) == 0 {
+		return 0, 0
+	}
+	t, v = w.pts[0].T, w.pts[0].V
+	for _, p := range w.pts[1:] {
+		if p.V > v+Eps {
+			t, v = p.T, p.V
+		}
+	}
+	return t, v
+}
+
+// Encapsulates reports whether a(t) >= b(t) - tol for all t in
+// [t0, t1]. Because both waveforms are linear between the merged
+// breakpoints, checking the merged breakpoints clipped to the interval
+// plus the interval endpoints is exact.
+func Encapsulates(a, b PWL, t0, t1, tol float64) bool {
+	if t1 < t0 {
+		return true
+	}
+	check := func(t float64) bool { return a.Value(t) >= b.Value(t)-tol }
+	if !check(t0) || !check(t1) {
+		return false
+	}
+	for _, t := range mergeTimes(a, b) {
+		if t <= t0 || t >= t1 {
+			continue
+		}
+		if !check(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// LatestTimeAtOrBelow returns the supremum of {t : w(t) <= level}
+// restricted to the waveform's breakpoint span. ok is false when the
+// waveform never rises above level after its last visit to it (i.e.
+// the supremum is unbounded: the waveform ends at or below level).
+//
+// For a noisy rising victim transition this is the noisy t50: the last
+// instant the waveform still sits at or below the measurement level.
+func (w PWL) LatestTimeAtOrBelow(level float64) (t float64, ok bool) {
+	n := len(w.pts)
+	if n == 0 {
+		if 0 <= level {
+			return 0, false // constant zero never exceeds level
+		}
+		return 0, false
+	}
+	if w.pts[n-1].V <= level+Eps {
+		return 0, false // ends at/below level: supremum unbounded
+	}
+	// Walk backwards to the last upward crossing of level.
+	for i := n - 1; i >= 1; i-- {
+		a, b := w.pts[i-1], w.pts[i]
+		if a.V <= level+Eps && b.V > level {
+			if b.V == a.V {
+				return b.T, true
+			}
+			f := (level - a.V) / (b.V - a.V)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return a.T + f*(b.T-a.T), true
+		}
+	}
+	// Entire waveform above level.
+	return w.pts[0].T, true
+}
+
+// EarliestTimeAtOrAbove returns the infimum of {t : w(t) >= level}.
+// ok is false if the waveform never reaches level.
+func (w PWL) EarliestTimeAtOrAbove(level float64) (t float64, ok bool) {
+	n := len(w.pts)
+	if n == 0 {
+		return 0, 0 >= level
+	}
+	if w.pts[0].V >= level-Eps {
+		return w.pts[0].T, true
+	}
+	for i := 1; i < n; i++ {
+		a, b := w.pts[i-1], w.pts[i]
+		if b.V >= level-Eps && a.V < level {
+			if b.V == a.V {
+				return b.T, true
+			}
+			f := (level - a.V) / (b.V - a.V)
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return a.T + f*(b.T-a.T), true
+		}
+	}
+	return 0, false
+}
+
+// Equal reports whether two waveforms agree within tol at every merged
+// breakpoint (and hence, by linearity, everywhere).
+func Equal(a, b PWL, tol float64) bool {
+	for _, t := range mergeTimes(a, b) {
+		if math.Abs(a.Value(t)-b.Value(t)) > tol {
+			return false
+		}
+	}
+	if len(a.pts) == 0 && len(b.pts) == 0 {
+		return true
+	}
+	// Also compare the constant extensions.
+	return math.Abs(a.Value(math.Inf(-1))-b.Value(math.Inf(-1))) <= tol &&
+		math.Abs(a.Value(math.Inf(1))-b.Value(math.Inf(1))) <= tol
+}
+
+// Simplify returns an equivalent waveform with redundant breakpoints
+// removed: any interior point whose value lies within tol of the
+// straight line between its surviving neighbors is dropped. With
+// tol = 0 only exactly-collinear points are removed and the waveform
+// is unchanged as a function.
+func (w PWL) Simplify(tol float64) PWL {
+	if len(w.pts) <= 2 {
+		return w
+	}
+	out := make([]Point, 0, len(w.pts))
+	out = append(out, w.pts[0])
+	for i := 1; i < len(w.pts)-1; i++ {
+		a := out[len(out)-1]
+		p := w.pts[i]
+		b := w.pts[i+1]
+		if b.T == a.T {
+			out = append(out, p)
+			continue
+		}
+		f := (p.T - a.T) / (b.T - a.T)
+		lin := a.V + f*(b.V-a.V)
+		if math.Abs(p.V-lin) <= tol {
+			continue
+		}
+		out = append(out, p)
+	}
+	out = append(out, w.pts[len(w.pts)-1])
+	return PWL{pts: out}
+}
+
+// String renders the waveform breakpoints, mainly for test failure
+// messages.
+func (w PWL) String() string {
+	if len(w.pts) == 0 {
+		return "PWL{0}"
+	}
+	var sb strings.Builder
+	sb.WriteString("PWL{")
+	for i, p := range w.pts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "(%.4g,%.4g)", p.T, p.V)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

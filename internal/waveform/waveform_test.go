@@ -1,0 +1,261 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestNewRejectsUnsorted(t *testing.T) {
+	_, err := New(Point{T: 1, V: 0}, Point{T: 0, V: 1})
+	if err == nil {
+		t.Fatal("expected error for unsorted breakpoints")
+	}
+}
+
+func TestNewMergesCoincidentPoints(t *testing.T) {
+	w := MustNew(Point{T: 1, V: 0}, Point{T: 1, V: 2}, Point{T: 3, V: 0})
+	if w.NumPoints() != 2 {
+		t.Fatalf("expected coincident points merged, got %v", w)
+	}
+	approx(t, w.Value(1), 2, Eps, "merged point keeps later value")
+}
+
+func TestValueInterpolation(t *testing.T) {
+	w := MustNew(Point{T: 0, V: 0}, Point{T: 2, V: 4})
+	approx(t, w.Value(-1), 0, Eps, "before first point")
+	approx(t, w.Value(0), 0, Eps, "at first point")
+	approx(t, w.Value(1), 2, Eps, "midpoint")
+	approx(t, w.Value(2), 4, Eps, "at last point")
+	approx(t, w.Value(5), 4, Eps, "after last point")
+}
+
+func TestZeroAndConstant(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Fatal("Zero must be zero")
+	}
+	c := Constant(3)
+	approx(t, c.Value(-100), 3, Eps, "constant early")
+	approx(t, c.Value(100), 3, Eps, "constant late")
+	if Constant(0).NumPoints() != 0 {
+		t.Fatal("Constant(0) should be the zero waveform")
+	}
+}
+
+func TestShift(t *testing.T) {
+	w := TrianglePulse(0, 1, 1, 2)
+	s := w.Shift(5)
+	approx(t, s.Value(6), 2, Eps, "peak moved to t=6")
+	approx(t, w.Value(1), 2, Eps, "original unchanged")
+}
+
+func TestScaleNeg(t *testing.T) {
+	w := TrianglePulse(0, 1, 1, 2)
+	approx(t, w.Scale(0.5).Value(1), 1, Eps, "scaled peak")
+	approx(t, w.Neg().Value(1), -2, Eps, "negated peak")
+}
+
+func TestAddSuperposition(t *testing.T) {
+	a := TrianglePulse(0, 1, 1, 1)
+	b := TrianglePulse(1, 1, 1, 1)
+	s := Add(a, b)
+	approx(t, s.Value(1), 1+0, Eps, "a peak + b start")
+	approx(t, s.Value(1.5), 0.5+0.5, Eps, "overlap midpoint")
+	approx(t, s.Value(2), 0+1, Eps, "b peak")
+}
+
+func TestSubInverseOfAdd(t *testing.T) {
+	a := TrianglePulse(0, 1, 2, 3)
+	b := Trapezoid(0.5, 0.5, 2, 1, 1)
+	diff := Sub(Add(a, b), b)
+	if !Equal(diff, a, 1e-9) {
+		t.Fatalf("(a+b)-b != a: %v vs %v", diff, a)
+	}
+}
+
+func TestMaxInsertsIntersections(t *testing.T) {
+	// a falls 2->0 over [0,2]; b rises 0->2 over [0,2]; cross at t=1,v=1.
+	a := MustNew(Point{T: 0, V: 2}, Point{T: 2, V: 0})
+	b := MustNew(Point{T: 0, V: 0}, Point{T: 2, V: 2})
+	m := Max(a, b)
+	approx(t, m.Value(0.5), 1.5, 1e-9, "max follows a before crossing")
+	approx(t, m.Value(1), 1, 1e-9, "crossing value")
+	approx(t, m.Value(1.5), 1.5, 1e-9, "max follows b after crossing")
+}
+
+func TestClampMin(t *testing.T) {
+	w := MustNew(Point{T: 0, V: -1}, Point{T: 2, V: 1})
+	c := w.ClampMin(0)
+	approx(t, c.Value(0), 0, 1e-9, "clamped start")
+	approx(t, c.Value(2), 1, 1e-9, "unclamped end")
+	approx(t, c.Value(1), 0, 1e-9, "clamp boundary")
+}
+
+func TestPeak(t *testing.T) {
+	w := TrianglePulse(2, 1, 3, 5)
+	pt, pv := w.Peak()
+	approx(t, pt, 3, Eps, "peak time")
+	approx(t, pv, 5, Eps, "peak value")
+}
+
+func TestEncapsulates(t *testing.T) {
+	big := Trapezoid(0, 1, 3, 1, 2)
+	small := TrianglePulse(1, 0.5, 0.5, 1)
+	if !Encapsulates(big, small, 0, 4, Eps) {
+		t.Fatal("big trapezoid must encapsulate small pulse")
+	}
+	if Encapsulates(small, big, 0, 4, Eps) {
+		t.Fatal("small pulse must not encapsulate big trapezoid")
+	}
+	// With a big enough tolerance even the small pulse "covers" the
+	// trapezoid over a narrow interval (gap there is at most 1.2).
+	if !Encapsulates(small, big, 1.4, 1.45, 1.25) {
+		t.Fatal("tolerant interval check failed")
+	}
+}
+
+func TestEncapsulatesRestrictedInterval(t *testing.T) {
+	// a beats b only for t >= 1.
+	a := MustNew(Point{T: 0, V: 0}, Point{T: 2, V: 2})
+	b := Constant(1)
+	if Encapsulates(a, b, 0, 2, Eps) {
+		t.Fatal("a does not dominate b over [0,2]")
+	}
+	if !Encapsulates(a, b, 1, 2, Eps) {
+		t.Fatal("a dominates b over [1,2]")
+	}
+}
+
+func TestLatestTimeAtOrBelow(t *testing.T) {
+	ramp := RisingRamp(5, 2, 1.0)
+	tt, ok := ramp.LatestTimeAtOrBelow(0.5)
+	if !ok {
+		t.Fatal("rising ramp must cross 0.5")
+	}
+	approx(t, tt, 5, 1e-9, "t50 of clean ramp")
+
+	// A noisy transition that dips back below the level: the last
+	// upward crossing is what matters.
+	noisy := MustNew(
+		Point{T: 0, V: 0},
+		Point{T: 2, V: 0.8},
+		Point{T: 3, V: 0.3}, // noise pulls it back down
+		Point{T: 5, V: 1.0},
+	)
+	tt, ok = noisy.LatestTimeAtOrBelow(0.5)
+	if !ok {
+		t.Fatal("noisy ramp settles above 0.5")
+	}
+	if tt <= 3 || tt >= 5 {
+		t.Fatalf("expected last crossing in (3,5), got %g", tt)
+	}
+
+	// A waveform that ends below the level never settles.
+	if _, ok := FallingRamp(5, 2, 1.0).LatestTimeAtOrBelow(0.5); ok {
+		t.Fatal("falling ramp ends below 0.5: must report !ok")
+	}
+}
+
+func TestEarliestTimeAtOrAbove(t *testing.T) {
+	ramp := RisingRamp(5, 2, 1.0)
+	tt, ok := ramp.EarliestTimeAtOrAbove(0.5)
+	if !ok {
+		t.Fatal("ramp reaches 0.5")
+	}
+	approx(t, tt, 5, 1e-9, "first crossing")
+	if _, ok := ramp.EarliestTimeAtOrAbove(2.0); ok {
+		t.Fatal("ramp never reaches 2.0")
+	}
+}
+
+func TestT50RisingFalling(t *testing.T) {
+	r := RisingRamp(3, 1, 1.2)
+	got, err := T50(r, 1.2, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, 3, 1e-9, "rising t50")
+
+	f := FallingRamp(4, 1, 1.2)
+	got, err = T50(f, 1.2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, 4, 1e-9, "falling t50")
+
+	if _, err := T50(r, 1.2, 0); err == nil {
+		t.Fatal("direction 0 must be rejected")
+	}
+	if _, err := T50(f, 1.2, +1); err == nil {
+		t.Fatal("falling ramp is not a rising transition")
+	}
+}
+
+func TestT50ShiftedByNoise(t *testing.T) {
+	// Subtracting a noise pulse near t50 from a rising ramp delays t50.
+	vdd := 1.0
+	ramp := RisingRamp(5, 2, vdd)
+	noise := TrianglePulse(4.5, 0.5, 1.5, 0.4)
+	noisy := Sub(ramp, noise)
+	clean, err := T50(ramp, vdd, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := T50(noisy, vdd, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted <= clean {
+		t.Fatalf("noise must delay t50: clean=%g noisy=%g", clean, shifted)
+	}
+}
+
+func TestTrapezoidCollapsesToTriangle(t *testing.T) {
+	tr := Trapezoid(0, 1, 0.5, 1, 2) // flatEnd before peakStart
+	pt, pv := tr.Peak()
+	approx(t, pv, 2, Eps, "peak value kept")
+	approx(t, pt, 1, Eps, "peak at end of rise")
+}
+
+func TestAreaWidth(t *testing.T) {
+	tr := TrianglePulse(0, 1, 1, 2)
+	approx(t, tr.Area(), 2, 1e-9, "triangle area")
+	approx(t, tr.Width(), 2, 1e-9, "triangle width")
+	tz := Trapezoid(0, 1, 3, 1, 2)
+	approx(t, tz.Area(), 2+4, 1e-9, "trapezoid area (two ramps + flat)")
+}
+
+func TestMaxAbs(t *testing.T) {
+	w := MustNew(Point{T: 0, V: -3}, Point{T: 1, V: 2})
+	approx(t, w.MaxAbs(), 3, Eps, "max abs")
+}
+
+func TestEqual(t *testing.T) {
+	a := TrianglePulse(0, 1, 1, 2)
+	b := TrianglePulse(0, 1, 1, 2)
+	if !Equal(a, b, 1e-12) {
+		t.Fatal("identical shapes must be Equal")
+	}
+	if Equal(a, a.Shift(0.5), 1e-12) {
+		t.Fatal("shifted pulse must differ")
+	}
+	if !Equal(Zero(), Constant(0), 1e-12) {
+		t.Fatal("zero forms must be Equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := Zero().String(); got != "PWL{0}" {
+		t.Fatalf("zero string: %q", got)
+	}
+	w := MustNew(Point{T: 1, V: 2})
+	if got := w.String(); got == "" {
+		t.Fatal("non-empty waveform must render")
+	}
+}

@@ -1,0 +1,54 @@
+package topkagg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestC17EndToEnd exercises the full pipeline on the ISCAS-85 c17
+// benchmark shipped in testdata: load, analyze, cross-validate the
+// exact top-k against brute force, and check the elimination endpoint.
+func TestC17EndToEnd(t *testing.T) {
+	c, err := LoadNetlist("testdata/c17.ckt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 6 || c.NumCouplings() != 5 || len(c.PIs()) != 5 {
+		t.Fatalf("c17 shape wrong: %d gates, %d couplings, %d inputs",
+			c.NumGates(), c.NumCouplings(), len(c.PIs()))
+	}
+	m := NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("c17 noise analysis must converge")
+	}
+	if an.CircuitDelay() <= an.Base.CircuitDelay() {
+		t.Fatal("coupling must add delay on c17")
+	}
+
+	add, err := TopKAddition(m, 3, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		bf, err := BruteForceAddition(m, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(add.PerK[k-1].Delay-bf.Delay) > 1e-9 {
+			t.Fatalf("c17 k=%d: proposed %g != brute force %g", k, add.PerK[k-1].Delay, bf.Delay)
+		}
+	}
+
+	del, err := TopKElimination(m, 5, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := del.PerK[len(del.PerK)-1].Delay; math.Abs(got-del.BaseDelay) > 1e-9 {
+		t.Fatalf("removing all 5 couplings must recover the noiseless delay: %g vs %g",
+			got, del.BaseDelay)
+	}
+}

@@ -1,0 +1,323 @@
+package topkagg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const demoNetlist = `circuit demo
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> y
+gate h1 INV_X1 b -> m1
+gate h2 INV_X1 m1 -> z
+couple n1 m1 3.0
+couple n1 b 1.0
+`
+
+func TestEndToEndAdditionAndElimination(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	add, err := TopKAddition(m, 2, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := TopKElimination(m, 2, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(add.PerK) == 0 || len(del.PerK) == 0 {
+		t.Fatal("no selections produced")
+	}
+	if add.Top().Delay > add.AllDelay+1e-9 {
+		t.Fatal("addition cannot exceed all-aggressor delay")
+	}
+	if del.Top().Delay < del.BaseDelay-1e-9 {
+		t.Fatal("elimination cannot undercut noiseless delay")
+	}
+	// Duality endpoints: adding everything == removing nothing.
+	if add.AllDelay != del.AllDelay || add.BaseDelay != del.BaseDelay {
+		t.Fatal("addition and elimination must agree on endpoints")
+	}
+}
+
+func TestBruteForceFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	bf, err := BruteForceAddition(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Evaluated != 2 {
+		t.Fatalf("evaluated %d, want 2", bf.Evaluated)
+	}
+	if _, err := BruteForceElimination(m, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadWriteNetlistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.ckt")
+	if err := os.WriteFile(path, []byte(demoNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadNetlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if !strings.Contains(NetlistString(c), "couple n1 m1 3") {
+		t.Fatal("canonical form missing coupling")
+	}
+	if _, err := LoadNetlist(filepath.Join(dir, "missing.ckt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestGenerateBenchmarkFacade(t *testing.T) {
+	if len(Benchmarks()) != 10 {
+		t.Fatal("want ten paper benchmarks")
+	}
+	c, err := GenerateBenchmark("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 59 {
+		t.Fatalf("i1 gates = %d", c.NumGates())
+	}
+	if _, err := Generate(Spec{Name: "x", Gates: 10, Couplings: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCouplingString(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CouplingString(c, 0)
+	if !strings.Contains(s, "n1") || !strings.Contains(s, "m1") || !strings.Contains(s, "3.00 fF") {
+		t.Fatalf("CouplingString = %q", s)
+	}
+}
+
+func TestDefaultLibraryFacade(t *testing.T) {
+	if DefaultLibrary().Len() == 0 {
+		t.Fatal("default library empty")
+	}
+}
+
+func TestGoodKFacade(t *testing.T) {
+	c, err := GenerateBenchmark("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	res, err := TopKAddition(m, 12, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, err := GoodK(res, KneeParams{Frac: 0.05, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || k > 12 {
+		t.Fatalf("GoodK out of range: %d", k)
+	}
+}
+
+func TestVerilogSPEFFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v, p strings.Builder
+	if err := WriteVerilog(&v, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSPEF(&p, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog(strings.NewReader(v.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySPEF(strings.NewReader(p.String()), back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCouplings() != c.NumCouplings() {
+		t.Fatal("verilog+spef round trip lost couplings")
+	}
+}
+
+func TestFalseAggressorsFacade(t *testing.T) {
+	c, err := GenerateBenchmark("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FalseAggressors(NewModel(c), FilterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active.Count()+len(res.False) != c.NumCouplings() {
+		t.Fatal("classification must cover every coupling")
+	}
+}
+
+func TestReportsFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(CriticalReport(an), "Critical path report") {
+		t.Fatal("critical report missing header")
+	}
+	if !strings.Contains(NoisyNetsReport(an, 3), "Noisiest nets") {
+		t.Fatal("noisy nets report missing header")
+	}
+}
+
+func TestFixToTarget(t *testing.T) {
+	c, err := GenerateBenchmark("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	all, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target just below the fully noisy delay is reachable quickly.
+	target := all.CircuitDelay() - 0.01
+	sel, k, ok, err := FixToTarget(m, target, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("10 fixes should shave 10 ps: best %.4f at k=%d", sel.Delay, k)
+	}
+	if sel.Delay > target+1e-9 || k < 1 {
+		t.Fatalf("selection inconsistent: %.4f at k=%d", sel.Delay, k)
+	}
+	// An unreachable target reports !ok but still returns the best.
+	_, _, ok, err = FixToTarget(m, all.Base.CircuitDelay()-1, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible target must report !ok")
+	}
+}
+
+func TestLibertyFacade(t *testing.T) {
+	var lb strings.Builder
+	if err := WriteLiberty(&lb, DefaultLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := ParseLiberty(strings.NewReader(lb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != DefaultLibrary().Len() {
+		t.Fatal("liberty round trip lost cells")
+	}
+	// A circuit parsed against the round-tripped library analyzes to
+	// (nearly) the same delays.
+	c1, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseNetlistWith(strings.NewReader(demoNetlist), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := NewModel(c1).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewModel(c2).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a1.CircuitDelay() - a2.CircuitDelay(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("library round trip changed analysis by %g", d)
+	}
+	// Verilog against a custom library.
+	var vb strings.Builder
+	if err := WriteVerilog(&vb, c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseVerilogWith(strings.NewReader(vb.String()), lib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	res, err := TopKAddition(m, 2, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExplainAddition(m, res.Top().IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Contributions) != len(res.Top().IDs) {
+		t.Fatal("explanation incomplete")
+	}
+	if _, err := ExplainElimination(m, res.Top().IDs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeSizingFacade(t *testing.T) {
+	c, err := GenerateBenchmark("i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	res, err := OptimizeSizing(m, 1, SizingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After > res.Before {
+		t.Fatal("sizing made things worse")
+	}
+}
+
+func TestNonlinearDriverFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	m.Driver = SaturatingCSM{Alpha: 1.0}
+	an, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("nonlinear model must converge through the facade")
+	}
+	var _ DriverModel = LinearThevenin{}
+}
