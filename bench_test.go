@@ -6,15 +6,18 @@
 package topkagg
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"topkagg/internal/bruteforce"
+	"topkagg/internal/circuit"
 	"topkagg/internal/core"
 	"topkagg/internal/exp"
 	"topkagg/internal/filter"
 	"topkagg/internal/gen"
 	"topkagg/internal/noise"
+	"topkagg/internal/serve"
 )
 
 var (
@@ -37,7 +40,7 @@ func benchModel(b *testing.B, name string) *noise.Model {
 			}
 			benchCkts[s.Name] = noise.NewModel(c)
 		}
-		for _, n := range []string{"i1", "i2", "i3"} {
+		for _, n := range []string{"i1", "i2", "i3", "i5"} {
 			c, err := gen.BuildPaper(n)
 			if err != nil {
 				panic(err)
@@ -299,5 +302,54 @@ func BenchmarkAblationBeamWidth(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeAmortization measures the tentpole of the serve layer
+// on the k-sweep workload: one top-k query per driven net, answered by
+// (a) independent cold core.TopKAdditionAt calls, each repaying the
+// full noise fixpoint and engine preparation, versus (b) one
+// serve.Analyzer batch sharing the memoized fixpoint across all nets.
+// The acceptance bar is cold/batch >= 2x; the win grows with coupling
+// count (the fixpoint cost) and shrinks with k (the enumeration cost).
+func BenchmarkServeAmortization(b *testing.B) {
+	for _, tc := range []struct {
+		ckt string
+		k   int
+	}{
+		{"i2", 1}, // 222 gates, 706 couplings: screening sweep
+		{"i5", 2}, // 204 gates, 1835 couplings: coupling-dense sweep
+	} {
+		m := benchModel(b, tc.ckt)
+		opt := core.Options{NoRescore: true}
+		var nets []circuit.NetID
+		for id := 0; id < m.C.NumNets(); id++ {
+			if m.C.Net(circuit.NetID(id)).Driver >= 0 {
+				nets = append(nets, circuit.NetID(id))
+			}
+		}
+		queries := serve.KSweep(serve.Addition, nets, tc.k)
+		name := fmt.Sprintf("%s-k%d", tc.ckt, tc.k)
+		b.Run(name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, n := range nets {
+					if _, err := core.TopKAdditionAt(m, n, tc.k, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/batch-w%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					a := serve.NewAnalyzer(m, opt)
+					for _, r := range a.RunBatch(queries, workers) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+		}
 	}
 }

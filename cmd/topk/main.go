@@ -10,6 +10,21 @@
 //	topk -netlist design.ckt -k 10 -mode elim
 //	topk -verilog design.v -spef design.spef -k 10 -mode elim
 //	topk -bench i2 -k 20 -mode add -curve -report
+//
+// A batch of queries runs against one shared analyzer (the noise
+// fixpoint and per-target engine state are computed once and reused),
+// optionally across a worker pool:
+//
+//	topk -bench i2 -batch queries.json -workers 4 -stats
+//
+// where queries.json is an array like
+//
+//	[{"op": "add", "k": 5},
+//	 {"op": "elim", "net": "n42", "k": 3},
+//	 {"op": "whatif", "fix": [1, 2, 7]}]
+//
+// An empty "net" targets the circuit outputs; a missing "k" takes the
+// -k flag's value.
 package main
 
 import (
@@ -18,134 +33,294 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"topkagg"
 )
 
 func main() {
-	var (
-		path    = flag.String("netlist", "", "circuit netlist file (native format)")
-		vpath   = flag.String("verilog", "", "gate-level Verilog netlist file")
-		spath   = flag.String("spef", "", "SPEF parasitics file (with -verilog)")
-		bench   = flag.String("bench", "", "paper benchmark name instead of a file")
-		libPath = flag.String("lib", "", "Liberty (.lib) cell library (default: built-in synthetic library)")
-		k       = flag.Int("k", 10, "set cardinality")
-		mode    = flag.String("mode", "add", "add (addition set) or elim (elimination set)")
-		exact   = flag.Bool("exact", false, "disable all pruning caps (small circuits only)")
-		curve   = flag.Bool("curve", false, "print the full per-cardinality delay curve")
-		report  = flag.Bool("report", false, "print the noisy critical-path report")
-		prefilt = flag.Bool("filter", false, "report false-aggressor classification before the analysis")
-		plot    = flag.String("plot", "", "net name: plot its transition, noise envelope and noisy waveform")
-		netName = flag.String("net", "", "net name: analyze this net's arrival instead of the circuit outputs")
-		asJSON  = flag.Bool("json", false, "emit the result as JSON (for scripting)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	lib, err := loadLibrary(*libPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "topk:", err)
-		os.Exit(1)
+// config carries the parsed flag values; run logic lives on methods so
+// tests can drive the command without a process boundary.
+type config struct {
+	netlist, verilog, spef, bench, lib string
+	k                                  int
+	mode                               string
+	exact                              bool
+	curve, report, prefilter           bool
+	plot, net                          string
+	asJSON                             bool
+	stats                              bool
+	workers                            int
+	batch                              string
+}
+
+// run is the whole command: parse args, execute, report. It returns
+// the process exit code and writes only to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	var cfg config
+	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.netlist, "netlist", "", "circuit netlist file (native format)")
+	fs.StringVar(&cfg.verilog, "verilog", "", "gate-level Verilog netlist file")
+	fs.StringVar(&cfg.spef, "spef", "", "SPEF parasitics file (with -verilog)")
+	fs.StringVar(&cfg.bench, "bench", "", "paper benchmark name instead of a file")
+	fs.StringVar(&cfg.lib, "lib", "", "Liberty (.lib) cell library (default: built-in synthetic library)")
+	fs.IntVar(&cfg.k, "k", 10, "set cardinality")
+	fs.StringVar(&cfg.mode, "mode", "add", "add (addition set) or elim (elimination set)")
+	fs.BoolVar(&cfg.exact, "exact", false, "disable all pruning caps (small circuits only)")
+	fs.BoolVar(&cfg.curve, "curve", false, "print the full per-cardinality delay curve")
+	fs.BoolVar(&cfg.report, "report", false, "print the noisy critical-path report")
+	fs.BoolVar(&cfg.prefilter, "filter", false, "report false-aggressor classification before the analysis")
+	fs.StringVar(&cfg.plot, "plot", "", "net name: plot its transition, noise envelope and noisy waveform")
+	fs.StringVar(&cfg.net, "net", "", "net name: analyze this net's arrival instead of the circuit outputs")
+	fs.BoolVar(&cfg.asJSON, "json", false, "emit the result as JSON (for scripting)")
+	fs.BoolVar(&cfg.stats, "stats", false, "print engine instrumentation (per-cardinality counters, cache activity)")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker goroutines for -batch (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.batch, "batch", "", "JSON batch-query file; all queries share one analyzer")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	c, err := loadCircuit(lib, *path, *vpath, *spath, *bench)
+	if err := cfg.execute(stdout); err != nil {
+		fmt.Fprintln(stderr, "topk:", err)
+		return 1
+	}
+	return 0
+}
+
+func (cfg *config) execute(w io.Writer) error {
+	if cfg.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	lib, err := loadLibrary(cfg.lib)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topk:", err)
-		os.Exit(1)
+		return err
+	}
+	c, err := loadCircuit(lib, cfg.netlist, cfg.verilog, cfg.spef, cfg.bench)
+	if err != nil {
+		return err
 	}
 	m := topkagg.NewModel(c)
 	opt := topkagg.Options{}
-	if *exact {
+	if cfg.exact {
 		opt = topkagg.ExactOptions()
 	}
 
-	if *prefilt {
+	if cfg.prefilter {
 		fr, err := topkagg.FalseAggressors(m, topkagg.FilterOptions{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "topk:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("false-aggressor filter: %d of %d couplings removable; false directions: %d early, %d late, %d unobservable, %d sub-threshold\n\n",
+		fmt.Fprintf(w, "false-aggressor filter: %d of %d couplings removable; false directions: %d early, %d late, %d unobservable, %d sub-threshold\n\n",
 			len(fr.False), c.NumCouplings(),
 			fr.EarlyFiltered, fr.LateFiltered, fr.UnobservableFiltered, fr.MagnitudeFiltered)
 	}
 
-	var target topkagg.NetID = -1
-	if *netName != "" {
-		id, ok := c.NetByName(*netName)
+	if cfg.batch != "" {
+		return cfg.runBatch(w, c, m, opt)
+	}
+	return cfg.runSingle(w, c, m, opt)
+}
+
+// runSingle is the original one-query mode.
+func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) error {
+	var target topkagg.NetID = topkagg.WholeCircuit
+	if cfg.net != "" {
+		id, ok := c.NetByName(cfg.net)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "topk: no net %q\n", *netName)
-			os.Exit(1)
+			return fmt.Errorf("no net %q", cfg.net)
 		}
 		target = id
 	}
 	var res *topkagg.Result
+	var err error
 	switch {
-	case *mode == "add" && target >= 0:
-		res, err = topkagg.TopKAdditionAt(m, target, *k, opt)
-	case *mode == "add":
-		res, err = topkagg.TopKAddition(m, *k, opt)
-	case *mode == "elim" && target >= 0:
-		res, err = topkagg.TopKEliminationAt(m, target, *k, opt)
-	case *mode == "elim":
-		res, err = topkagg.TopKElimination(m, *k, opt)
+	case cfg.mode == "add" && target >= 0:
+		res, err = topkagg.TopKAdditionAt(m, target, cfg.k, opt)
+	case cfg.mode == "add":
+		res, err = topkagg.TopKAddition(m, cfg.k, opt)
+	case cfg.mode == "elim" && target >= 0:
+		res, err = topkagg.TopKEliminationAt(m, target, cfg.k, opt)
+	case cfg.mode == "elim":
+		res, err = topkagg.TopKElimination(m, cfg.k, opt)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want add or elim)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want add or elim)", cfg.mode)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topk:", err)
-		os.Exit(1)
+		return err
 	}
 
-	if *asJSON {
-		if err := emitJSON(os.Stdout, c, *mode, res); err != nil {
-			fmt.Fprintln(os.Stderr, "topk:", err)
-			os.Exit(1)
-		}
-		return
+	if cfg.asJSON {
+		return emitJSON(w, c, cfg.mode, res)
 	}
-	fmt.Printf("circuit %s: %d gates, %d couplings, %d victim nets analyzed\n",
+	fmt.Fprintf(w, "circuit %s: %d gates, %d couplings, %d victim nets analyzed\n",
 		c.Name, c.NumGates(), c.NumCouplings(), res.Victims)
 	scope := "circuit"
-	if *netName != "" {
-		scope = "net " + *netName
+	if cfg.net != "" {
+		scope = "net " + cfg.net
 	}
-	fmt.Printf("%s: noiseless arrival %.4f ns, all-aggressor arrival %.4f ns\n", scope, res.BaseDelay, res.AllDelay)
-	fmt.Printf("enumeration time %s\n", res.Elapsed)
+	fmt.Fprintf(w, "%s: noiseless arrival %.4f ns, all-aggressor arrival %.4f ns\n", scope, res.BaseDelay, res.AllDelay)
+	fmt.Fprintf(w, "enumeration time %s\n", res.Elapsed)
 	if len(res.PerK) == 0 {
-		fmt.Println("no aggressor sets found (no couplings affect the analyzed paths)")
-		return
+		fmt.Fprintln(w, "no aggressor sets found (no couplings affect the analyzed paths)")
+		return nil
 	}
-	if *curve {
-		fmt.Println("\nk  delay(ns)  set")
+	if cfg.curve {
+		fmt.Fprintln(w, "\nk  delay(ns)  set")
 		for i, s := range res.PerK {
-			fmt.Printf("%-2d %.4f", i+1, s.Delay)
-			fmt.Printf("  %v\n", s.IDs)
+			fmt.Fprintf(w, "%-2d %.4f", i+1, s.Delay)
+			fmt.Fprintf(w, "  %v\n", s.IDs)
 		}
 	}
 	top := res.Top()
-	fmt.Printf("\ntop-%d %s set (delay %.4f ns):\n", len(top.IDs), *mode, top.Delay)
+	fmt.Fprintf(w, "\ntop-%d %s set (delay %.4f ns):\n", len(top.IDs), cfg.mode, top.Delay)
 	for _, id := range top.IDs {
-		fmt.Printf("  %s\n", topkagg.CouplingString(c, id))
+		fmt.Fprintf(w, "  %s\n", topkagg.CouplingString(c, id))
+	}
+	if cfg.stats {
+		printStats(w, res.Stats)
 	}
 
-	if *report || *plot != "" {
+	if cfg.report || cfg.plot != "" {
 		an, err := m.Run(nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "topk:", err)
-			os.Exit(1)
+			return err
 		}
-		if *report {
-			fmt.Println()
-			fmt.Print(topkagg.CriticalReport(an))
+		if cfg.report {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, topkagg.CriticalReport(an))
 		}
-		if *plot != "" {
-			id, ok := c.NetByName(*plot)
+		if cfg.plot != "" {
+			id, ok := c.NetByName(cfg.plot)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "topk: no net %q\n", *plot)
-				os.Exit(1)
+				return fmt.Errorf("no net %q", cfg.plot)
 			}
-			fmt.Println()
-			fmt.Print(topkagg.NoisePlot(an, m, id))
+			fmt.Fprintln(w)
+			fmt.Fprint(w, topkagg.NoisePlot(an, m, id))
 		}
+	}
+	return nil
+}
+
+// batchQuery is one entry of the -batch JSON file.
+type batchQuery struct {
+	// Op is "add"/"addition", "elim"/"elimination" or "whatif".
+	Op string `json:"op"`
+	// Net names the target net; empty targets the circuit outputs.
+	Net string `json:"net,omitempty"`
+	// K is the cardinality for top-k ops; 0 takes the -k flag value.
+	K int `json:"k,omitempty"`
+	// Fix lists coupling IDs a whatif scenario deactivates.
+	Fix []int `json:"fix,omitempty"`
+}
+
+// runBatch loads the batch file, answers every query over one shared
+// analyzer and prints aligned per-query results. Per-query failures
+// are reported inline; the command fails if any query failed.
+func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) error {
+	data, err := os.ReadFile(cfg.batch)
+	if err != nil {
+		return err
+	}
+	var specs []batchQuery
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("%s: %w", cfg.batch, err)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("%s: batch contains no queries", cfg.batch)
+	}
+	queries := make([]topkagg.Query, len(specs))
+	for i, s := range specs {
+		q := topkagg.Query{Net: topkagg.WholeCircuit, K: s.K}
+		switch s.Op {
+		case "add", "addition":
+			q.Op = topkagg.OpAddition
+		case "elim", "elimination":
+			q.Op = topkagg.OpElimination
+		case "whatif":
+			q.Op = topkagg.OpWhatIf
+		default:
+			return fmt.Errorf("%s: query %d: unknown op %q (want add, elim or whatif)", cfg.batch, i, s.Op)
+		}
+		if s.Net != "" {
+			id, ok := c.NetByName(s.Net)
+			if !ok {
+				return fmt.Errorf("%s: query %d: no net %q", cfg.batch, i, s.Net)
+			}
+			q.Net = id
+		}
+		if q.K == 0 {
+			q.K = cfg.k
+		}
+		for _, id := range s.Fix {
+			q.Fix = append(q.Fix, topkagg.CouplingID(id))
+		}
+		queries[i] = q
+	}
+
+	a := topkagg.NewAnalyzer(m, opt)
+	start := time.Now()
+	resps := a.RunBatch(queries, cfg.workers)
+	elapsed := time.Since(start)
+
+	if cfg.asJSON {
+		return emitBatchJSON(w, c, specs, resps)
+	}
+	fmt.Fprintf(w, "circuit %s: %d gates, %d couplings\n", c.Name, c.NumGates(), c.NumCouplings())
+	fmt.Fprintf(w, "batch: %d queries in %s (workers=%d)\n\n", len(resps), elapsed.Round(time.Microsecond), cfg.workers)
+	failed := 0
+	for i, r := range resps {
+		fmt.Fprintf(w, "[%d] %s %s", i, r.Query.Op, describeTarget(c, r.Query.Net))
+		switch {
+		case r.Err != nil:
+			failed++
+			fmt.Fprintf(w, ": error: %v\n", r.Err)
+		case r.Query.Op == topkagg.OpWhatIf:
+			fmt.Fprintf(w, " fix=%v: delay %.4f ns\n", r.Query.Fix, r.Delay)
+		default:
+			top := r.Result.Top()
+			fmt.Fprintf(w, " k=%d: delay %.4f ns, set %v\n", r.Query.K, top.Delay, top.IDs)
+			if cfg.stats {
+				printStats(w, r.Result.Stats)
+			}
+		}
+	}
+	if cfg.stats {
+		st := a.Stats()
+		fmt.Fprintf(w, "\nanalyzer: %d queries, %d fixpoint run(s), prepared-state cache %d hit(s) / %d miss(es)\n",
+			st.Queries, st.FixpointRuns, st.PrepHits, st.PrepMisses)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d batch queries failed", failed, len(resps))
+	}
+	return nil
+}
+
+func describeTarget(c *topkagg.Circuit, net topkagg.NetID) string {
+	if net == topkagg.WholeCircuit {
+		return "circuit"
+	}
+	return "net " + c.Net(net).Name
+}
+
+// printStats renders one run's engine instrumentation.
+func printStats(w io.Writer, st *topkagg.EngineStats) {
+	if st == nil {
+		return
+	}
+	fmt.Fprintln(w, "  k   cands  dups  prune-dom  prune-beam  lists  max-width  verified  time")
+	for _, ks := range st.PerK {
+		fmt.Fprintf(w, "  %-3d %-6d %-5d %-10d %-11d %-6d %-10d %-9d %s\n",
+			ks.K, ks.Candidates, ks.Duplicates, ks.PrunedDominance, ks.PrunedBeam,
+			ks.Lists, ks.MaxIListWidth, ks.Verified, ks.Elapsed.Round(time.Microsecond))
+	}
+	if st.RescoreRuns > 0 {
+		fmt.Fprintf(w, "  rescore: %d reference run(s) in %s\n", st.RescoreRuns, st.RescoreElapsed.Round(time.Microsecond))
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(w, "  shared state: %d cache hit(s), %d miss(es)\n", st.CacheHits, st.CacheMisses)
 	}
 }
 
@@ -200,6 +375,50 @@ func emitJSON(w io.Writer, c *topkagg.Circuit, mode string, res *topkagg.Result)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// jsonBatchResp is one element of -batch -json output, aligned with
+// the input queries by position.
+type jsonBatchResp struct {
+	Op      string     `json:"op"`
+	Net     string     `json:"net,omitempty"`
+	K       int        `json:"k,omitempty"`
+	Fix     []int      `json:"fix,omitempty"`
+	Error   string     `json:"error,omitempty"`
+	DelayNs float64    `json:"delayNs,omitempty"`
+	PerK    []jsonPerK `json:"perK,omitempty"`
+}
+
+func emitBatchJSON(w io.Writer, c *topkagg.Circuit, specs []batchQuery, resps []topkagg.Response) error {
+	out := make([]jsonBatchResp, len(resps))
+	for i, r := range resps {
+		jr := jsonBatchResp{Op: specs[i].Op, Net: specs[i].Net, Fix: specs[i].Fix}
+		switch {
+		case r.Err != nil:
+			jr.Error = r.Err.Error()
+		case r.Query.Op == topkagg.OpWhatIf:
+			jr.DelayNs = r.Delay
+		default:
+			jr.K = r.Query.K
+			jr.DelayNs = r.Result.Top().Delay
+			for j, s := range r.Result.PerK {
+				jr.PerK = append(jr.PerK, jsonPerK{K: j + 1, DelayNs: s.Delay, Couplings: coupleJSON(c, s.IDs)})
+			}
+		}
+		out[i] = jr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func coupleJSON(c *topkagg.Circuit, ids []topkagg.CouplingID) []jsonCouple {
+	var out []jsonCouple
+	for _, id := range ids {
+		cp := c.Coupling(id)
+		out = append(out, jsonCouple{ID: int(id), NetA: c.Net(cp.A).Name, NetB: c.Net(cp.B).Name, CcFF: cp.Cc})
+	}
+	return out
 }
 
 func loadLibrary(path string) (*topkagg.Library, error) {

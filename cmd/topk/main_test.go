@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"topkagg"
@@ -127,5 +128,178 @@ couple n1 m1 2.0
 	}
 	if out.PerK[0].Couplings[0].NetA != "n1" || out.PerK[0].Couplings[0].NetB != "m1" {
 		t.Fatalf("coupling names wrong: %+v", out.PerK[0].Couplings[0])
+	}
+}
+
+// writeTestFiles lays out a small netlist and the named batch files in
+// a temp dir and returns their paths keyed by name.
+func writeTestFiles(t *testing.T, batches map[string]string) (ckt string, paths map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	ckt = filepath.Join(dir, "c.ckt")
+	src := `circuit c
+output y
+gate g1 NAND2_X1 a b -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 INV_X1 n2 -> y
+gate h1 INV_X1 p -> m1
+gate h2 INV_X1 q -> m2
+couple n1 m1 2.5
+couple n2 m2 1.8
+couple y m1 1.2
+`
+	if err := os.WriteFile(ckt, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths = map[string]string{}
+	for name, content := range batches {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths[name] = p
+	}
+	return ckt, paths
+}
+
+// TestRunFlags drives the whole command through run() per flag
+// combination, checking exit codes and output for the new -stats,
+// -workers and -batch paths including their error cases.
+func TestRunFlags(t *testing.T) {
+	ckt, batches := writeTestFiles(t, map[string]string{
+		"good.json":   `[{"op":"add","k":2},{"op":"elim","net":"y","k":2},{"op":"whatif","fix":[0,1]}]`,
+		"empty.json":  `[]`,
+		"badop.json":  `[{"op":"subtract","k":2}]`,
+		"badnet.json": `[{"op":"add","net":"nosuch","k":2}]`,
+		"badfix.json": `[{"op":"add","k":2},{"op":"whatif","fix":[99]}]`,
+		"notjson.txt": `this is not json`,
+	})
+	tests := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantOut    []string // substrings of stdout
+		wantErr    string   // substring of stderr ("" = must be empty)
+		jsonOutput bool     // stdout must parse as a JSON array
+	}{
+		{
+			name:     "stats single mode",
+			args:     []string{"-netlist", ckt, "-k", "2", "-stats"},
+			wantCode: 0,
+			wantOut:  []string{"top-2 add set", "prune-dom", "max-width"},
+		},
+		{
+			name:     "negative workers",
+			args:     []string{"-netlist", ckt, "-batch", batches["good.json"], "-workers", "-3"},
+			wantCode: 1,
+			wantErr:  "-workers must be >= 0",
+		},
+		{
+			name:     "empty batch",
+			args:     []string{"-netlist", ckt, "-batch", batches["empty.json"]},
+			wantCode: 1,
+			wantErr:  "contains no queries",
+		},
+		{
+			name:     "missing batch file",
+			args:     []string{"-netlist", ckt, "-batch", "nope.json"},
+			wantCode: 1,
+			wantErr:  "nope.json",
+		},
+		{
+			name:     "malformed batch file",
+			args:     []string{"-netlist", ckt, "-batch", batches["notjson.txt"]},
+			wantCode: 1,
+			wantErr:  "notjson.txt",
+		},
+		{
+			name:     "unknown batch op",
+			args:     []string{"-netlist", ckt, "-batch", batches["badop.json"]},
+			wantCode: 1,
+			wantErr:  `unknown op "subtract"`,
+		},
+		{
+			name:     "unknown batch net",
+			args:     []string{"-netlist", ckt, "-batch", batches["badnet.json"]},
+			wantCode: 1,
+			wantErr:  `no net "nosuch"`,
+		},
+		{
+			name:     "batch query failure",
+			args:     []string{"-netlist", ckt, "-batch", batches["badfix.json"]},
+			wantCode: 1,
+			wantOut:  []string{"error:", "no coupling 99"},
+			wantErr:  "1 of 2 batch queries failed",
+		},
+		{
+			name:     "good batch with stats and workers",
+			args:     []string{"-netlist", ckt, "-batch", batches["good.json"], "-workers", "2", "-stats"},
+			wantCode: 0,
+			wantOut: []string{
+				"batch: 3 queries", "(workers=2)",
+				"[0] addition circuit k=2: delay",
+				"[1] elimination net y k=2: delay",
+				"[2] whatif circuit fix=[0 1]: delay",
+				"1 fixpoint run(s)",
+			},
+		},
+		{
+			name:       "batch json output",
+			args:       []string{"-netlist", ckt, "-batch", batches["good.json"], "-json"},
+			wantCode:   0,
+			jsonOutput: true,
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"-nosuchflag"},
+			wantCode: 2,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(stdout.String(), want) {
+					t.Fatalf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+			if tc.wantErr == "" && tc.wantCode == 0 && stderr.Len() != 0 {
+				t.Fatalf("unexpected stderr: %s", stderr.String())
+			}
+			if tc.jsonOutput {
+				var out []jsonBatchResp
+				if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+					t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+				}
+				if len(out) != 3 || out[0].Error != "" || out[0].DelayNs <= 0 {
+					t.Fatalf("batch JSON content wrong: %+v", out)
+				}
+				if out[2].DelayNs <= 0 || len(out[2].PerK) != 0 {
+					t.Fatalf("whatif JSON wrong: %+v", out[2])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchDefaultsK: a batch entry without "k" inherits the -k flag.
+func TestBatchDefaultsK(t *testing.T) {
+	ckt, batches := writeTestFiles(t, map[string]string{
+		"nok.json": `[{"op":"add"}]`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-netlist", ckt, "-k", "2", "-batch", batches["nok.json"]}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "k=2") {
+		t.Fatalf("batch must inherit -k: %s", stdout.String())
 	}
 }

@@ -24,14 +24,20 @@ func main() {
 	}
 	m := topkagg.NewModel(c)
 
-	add, err := topkagg.TopKAddition(m, *kmax, topkagg.Options{})
-	if err != nil {
-		log.Fatal(err)
+	// Both sweeps run as one batch over a shared analyzer: the noise
+	// fixpoint is computed once and reused by both modes (and by any
+	// further queries), instead of once per TopK* call.
+	a := topkagg.NewAnalyzer(m, topkagg.Options{})
+	resps := a.RunBatch([]topkagg.Query{
+		{Op: topkagg.OpAddition, Net: topkagg.WholeCircuit, K: *kmax},
+		{Op: topkagg.OpElimination, Net: topkagg.WholeCircuit, K: *kmax},
+	}, 2)
+	for _, r := range resps {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
 	}
-	del, err := topkagg.TopKElimination(m, *kmax, topkagg.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	add, del := resps[0].Result, resps[1].Result
 
 	fmt.Printf("circuit %s: noiseless %.4f ns, all-aggressor %.4f ns\n\n",
 		c.Name, add.BaseDelay, add.AllDelay)

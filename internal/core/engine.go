@@ -35,8 +35,14 @@ type primAgg struct {
 	score float64
 }
 
-// engine carries the state of one top-k enumeration.
-type engine struct {
+// prepared is the reusable, read-only state of one enumeration
+// configuration (mode, target, options): noiseless timing, the
+// all-aggressors fixpoint, victim selection, dominance intervals,
+// primary-aggressor envelopes and the elimination scoring totals.
+// Once built it is never mutated, so any number of engines — including
+// engines running concurrently in different goroutines — can share
+// one prepared instance.
+type prepared struct {
 	m    *noise.Model
 	c    *circuit.Circuit
 	opt  Options
@@ -62,6 +68,15 @@ type engine struct {
 	totalEnv  []waveform.PWL
 	propShift []float64
 	totalDN   []float64
+}
+
+// engine carries the mutable state of one top-k enumeration over a
+// (possibly shared) prepared configuration.
+type engine struct {
+	*prepared
+
+	stats *Stats
+	kstat *KStats // the cardinality currently being enumerated
 
 	// atoms1 holds, per victim, the final cardinality-1 irredundant
 	// list: the indivisible units ("aggressors" in the paper's sense —
@@ -74,20 +89,19 @@ type engine struct {
 	last map[circuit.NetID][]*aggSet // same-cardinality lists from the previous pass
 }
 
-// newEngine runs the preparatory analyses: noiseless timing, the
+// newPrepared runs the preparatory analyses: noiseless timing, the
 // all-aggressor fixpoint, victim selection, dominance intervals and
-// primary-aggressor envelopes.
-func newEngine(m *noise.Model, opt Options, md mode) (*engine, error) {
-	e := &engine{m: m, c: m.C, opt: opt, mode: md, target: -1}
-	return e.finishInit()
-}
-
-// finishInit runs the preparatory analyses shared by the whole-circuit
-// and single-net constructors.
-func (e *engine) finishInit() (*engine, error) {
-	full, err := e.m.Run(e.opt.Active)
-	if err != nil {
-		return nil, err
+// primary-aggressor envelopes. A non-nil full skips the fixpoint run
+// and must be the result of m.Run(opt.Active) — the batch layer uses
+// this to amortize the fixpoint across many preparations.
+func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, full *noise.Analysis) (*prepared, error) {
+	e := &prepared{m: m, c: m.C, opt: opt, mode: md, target: target}
+	if full == nil {
+		var err error
+		full, err = e.m.Run(e.opt.Active)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e.full = full
 	e.base = full.Base
@@ -102,20 +116,29 @@ func (e *engine) finishInit() (*engine, error) {
 	if e.mode == elimination {
 		e.prepareTotals()
 	}
-	e.prev = map[circuit.NetID][]*aggSet{}
-	e.cur = map[circuit.NetID][]*aggSet{}
-	e.atoms1 = map[circuit.NetID][]*aggSet{}
 	return e, nil
+}
+
+// newEngine starts a fresh enumeration over the prepared state. Each
+// engine is single-use; concurrent runs each take their own.
+func (p *prepared) newEngine() *engine {
+	return &engine{
+		prepared: p,
+		stats:    &Stats{},
+		prev:     map[circuit.NetID][]*aggSet{},
+		cur:      map[circuit.NetID][]*aggSet{},
+		atoms1:   map[circuit.NetID][]*aggSet{},
+	}
 }
 
 // vw returns the noiseless reference window of a victim: the
 // transition the noise envelopes are superimposed on.
-func (e *engine) vw(v circuit.NetID) sta.Window { return e.base.Window(v) }
+func (e *prepared) vw(v circuit.NetID) sta.Window { return e.base.Window(v) }
 
 // selectVictims picks the nets on critical and near-critical paths:
 // nets whose slack (required time minus latest arrival, measured on
 // noiseless timing) is within SlackFrac of the circuit delay.
-func (e *engine) selectVictims() {
+func (e *prepared) selectVictims() {
 	margin := e.opt.slackFrac() * e.base.CircuitDelay()
 	slacks := e.base.Slacks(0)
 	var cone map[circuit.NetID]bool
@@ -165,7 +188,7 @@ func (e *engine) selectVictims() {
 // noiseless victim t50 to an upper bound obtained by assuming infinite
 // aggressor timing windows (paper Section 3.2), padded by the
 // propagated-noise headroom.
-func (e *engine) prepareDominanceIntervals() {
+func (e *prepared) prepareDominanceIntervals() {
 	n := e.c.NumNets()
 	e.domLo = make([]float64, n)
 	e.domHi = make([]float64, n)
@@ -180,7 +203,7 @@ func (e *engine) prepareDominanceIntervals() {
 
 // preparePrimaries builds, per victim, the envelope of each incident
 // coupling, sorted by the delay noise it alone would cause.
-func (e *engine) preparePrimaries() {
+func (e *prepared) preparePrimaries() {
 	e.prim = make(map[circuit.NetID][]primAgg, len(e.victims))
 	e.primIdx = make(map[circuit.NetID]map[circuit.CouplingID]int, len(e.victims))
 	for _, v := range e.victims {
@@ -214,7 +237,7 @@ func (e *engine) preparePrimaries() {
 
 // primEnvOf returns the primary envelope of coupling id at victim v
 // and whether id is a primary aggressor of v.
-func (e *engine) primEnvOf(v circuit.NetID, id circuit.CouplingID) (waveform.PWL, bool) {
+func (e *prepared) primEnvOf(v circuit.NetID, id circuit.CouplingID) (waveform.PWL, bool) {
 	i, ok := e.primIdx[v][id]
 	if !ok {
 		return waveform.PWL{}, false
@@ -227,7 +250,7 @@ func (e *engine) primEnvOf(v circuit.NetID, id circuit.CouplingID) (waveform.PWL
 // windows), the arrival shift propagated from its fanin, and the
 // total arrival noise both produce together. Candidate sets are scored
 // by how much of this total their removal takes away.
-func (e *engine) prepareTotals() {
+func (e *prepared) prepareTotals() {
 	n := e.c.NumNets()
 	e.totalEnv = make([]waveform.PWL, n)
 	e.propShift = make([]float64, n)
@@ -248,7 +271,7 @@ func (e *engine) prepareTotals() {
 // candidate's inherited reduction. Shifts do not superpose linearly as
 // envelopes, which is why they are applied here rather than
 // subtracted pointwise.
-func (e *engine) withProp(v circuit.NetID, local waveform.PWL, shiftReduction float64) waveform.PWL {
+func (e *prepared) withProp(v circuit.NetID, local waveform.PWL, shiftReduction float64) waveform.PWL {
 	p := e.propShift[v] - shiftReduction
 	if p <= waveform.Eps {
 		return local
@@ -259,7 +282,7 @@ func (e *engine) withProp(v circuit.NetID, local waveform.PWL, shiftReduction fl
 // pseudoEnvelope models a shift of the victim's own transition by dt
 // as a noise envelope: the difference between the noiseless transition
 // and the same transition delayed by dt (paper Section 3.1).
-func (e *engine) pseudoEnvelope(v circuit.NetID, dt float64) waveform.PWL {
+func (e *prepared) pseudoEnvelope(v circuit.NetID, dt float64) waveform.PWL {
 	r := e.m.VictimRamp(e.vw(v))
 	return waveform.Sub(r, r.Shift(dt))
 }
@@ -268,7 +291,7 @@ func (e *engine) pseudoEnvelope(v circuit.NetID, dt float64) waveform.PWL {
 // the delay noise its local envelope adds (addition), or the arrival
 // reduction its removal recovers (elimination), combining the local
 // envelope removal with the inherited propagated-shift reduction.
-func (e *engine) scoreSet(v circuit.NetID, env waveform.PWL, shift float64) float64 {
+func (e *prepared) scoreSet(v circuit.NetID, env waveform.PWL, shift float64) float64 {
 	if e.mode == addition {
 		return e.m.DelayNoise(e.vw(v), env)
 	}
@@ -287,7 +310,7 @@ func (e *engine) scoreSet(v circuit.NetID, env waveform.PWL, shift float64) floa
 // reduction is bounded by where the siblings would land once their own
 // noise is also fixed. Masking against noisy siblings would freeze the
 // enumeration at the first reconvergence.
-func (e *engine) propagateShift(u, v circuit.NetID, dt float64, win []sta.Window) float64 {
+func (e *prepared) propagateShift(u, v circuit.NetID, dt float64, win []sta.Window) float64 {
 	g := e.c.Gate(e.c.Net(v).Driver)
 	load := e.c.LoadCap(v)
 	oldMax, newMax := math.Inf(-1), math.Inf(-1)
@@ -327,7 +350,7 @@ func (e *engine) propagateShift(u, v circuit.NetID, dt float64, win []sta.Window
 // output-arrival reduction. Inputs without a reduction mask with their
 // noiseless arrivals, consistent with propagateShift's elimination
 // convention.
-func (e *engine) propagateShiftMulti(v circuit.NetID, red map[circuit.NetID]float64, win []sta.Window) float64 {
+func (e *prepared) propagateShiftMulti(v circuit.NetID, red map[circuit.NetID]float64, win []sta.Window) float64 {
 	g := e.c.Gate(e.c.Net(v).Driver)
 	load := e.c.LoadCap(v)
 	oldMax, newMax := math.Inf(-1), math.Inf(-1)
@@ -601,6 +624,11 @@ func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
 // e.last, the previous pass of the same cardinality.
 func (e *engine) iterate(i int) {
 	e.cur = make(map[circuit.NetID][]*aggSet, len(e.victims))
+	if ks := e.kstat; ks != nil {
+		// Each pass rebuilds every list, so the width figures describe
+		// the pass that last completed; the drop counters accumulate.
+		ks.Lists, ks.MaxIListWidth = 0, 0
+	}
 	workers := runtime.GOMAXPROCS(0)
 	for _, lvl := range e.levels {
 		if len(lvl) == 0 {
@@ -612,6 +640,8 @@ func (e *engine) iterate(i int) {
 		// merge after the level completes.
 		type out struct {
 			atoms, kept []*aggSet
+			cands, dups int
+			dom, beam   int
 		}
 		outs := make([]out, len(lvl))
 		var wg sync.WaitGroup
@@ -630,7 +660,10 @@ func (e *engine) iterate(i int) {
 						return
 					}
 					v := lvl[j]
-					cands := dedupe(e.candidates(v, i))
+					raw := e.candidates(v, i)
+					cands := dedupe(raw)
+					outs[j].cands = len(raw)
+					outs[j].dups = len(raw) - len(cands)
 					// Drop candidates that did not reach the requested
 					// cardinality (duplicate-extension artifacts).
 					filtered := cands[:0]
@@ -651,7 +684,8 @@ func (e *engine) iterate(i int) {
 						// members of P.
 						outs[j].atoms = filtered
 					}
-					outs[j].kept = prune(filtered, e.domLo[v], e.domHi[v], e.opt.listWidth(), e.opt.NoDominance)
+					outs[j].kept, outs[j].dom, outs[j].beam =
+						prune(filtered, e.domLo[v], e.domHi[v], e.opt.listWidth(), e.opt.NoDominance)
 				}
 			}()
 		}
@@ -661,6 +695,18 @@ func (e *engine) iterate(i int) {
 				e.atoms1[v] = outs[j].atoms
 			}
 			e.cur[v] = outs[j].kept
+			if ks := e.kstat; ks != nil {
+				ks.Candidates += outs[j].cands
+				ks.Duplicates += outs[j].dups
+				ks.PrunedDominance += outs[j].dom
+				ks.PrunedBeam += outs[j].beam
+				if w := len(outs[j].kept); w > 0 {
+					ks.Lists++
+					if w > ks.MaxIListWidth {
+						ks.MaxIListWidth = w
+					}
+				}
+			}
 		}
 	}
 }
@@ -721,7 +767,7 @@ func (e *engine) bestAt(pos []circuit.NetID) (*aggSet, circuit.NetID, float64, b
 
 // estimate converts a set's score at output po into an estimated
 // circuit delay (and the raw per-output figure used for tie-breaks).
-func (e *engine) estimate(po circuit.NetID, pos []circuit.NetID, score float64) (est, raw float64) {
+func (e *prepared) estimate(po circuit.NetID, pos []circuit.NetID, score float64) (est, raw float64) {
 	if e.mode == addition {
 		raw = e.base.Window(po).LAT + score
 		if e.target >= 0 {
@@ -836,6 +882,9 @@ func (e *engine) bestVerified(pos []circuit.NetID, chain *aggSet, chainPO circui
 	if len(cands) > 2*e.opt.VerifyTop {
 		cands = cands[:2*e.opt.VerifyTop]
 	}
+	if e.kstat != nil {
+		e.kstat.Verified += len(cands)
+	}
 	prevMask := e.opt.Active
 	if prevMask == nil {
 		prevMask = noise.AllMask(e.c)
@@ -878,7 +927,7 @@ func (e *engine) bestVerified(pos []circuit.NetID, chain *aggSet, chainPO circui
 
 // othersNoisyMax returns the largest noisy arrival over the outputs
 // other than po.
-func (e *engine) othersNoisyMax(po circuit.NetID, pos []circuit.NetID) float64 {
+func (e *prepared) othersNoisyMax(po circuit.NetID, pos []circuit.NetID) float64 {
 	m := math.Inf(-1)
 	for _, other := range pos {
 		if other == po {
@@ -906,6 +955,7 @@ func (e *engine) run(k int) (*Result, error) {
 		Victims:   len(e.victims),
 		BaseDelay: e.base.CircuitDelay(),
 		AllDelay:  e.full.CircuitDelay(),
+		Stats:     e.stats,
 	}
 	if e.target >= 0 {
 		// Per-net analysis: endpoints are the target's own arrivals.
@@ -920,6 +970,8 @@ func (e *engine) run(k int) (*Result, error) {
 	var chain *aggSet
 	var chainPO circuit.NetID
 	for i := 1; i <= k; i++ {
+		e.kstat = &KStats{K: i}
+		kStart := time.Now()
 		e.advance(i)
 		s, po, est, ok := e.bestAt(targets)
 		if c, cpo, cest, cok := e.extendChain(chain, chainPO, targets); cok {
@@ -940,14 +992,18 @@ func (e *engine) run(k int) (*Result, error) {
 			}
 		}
 		chain, chainPO = s, po
+		e.kstat.Elapsed = time.Since(kStart)
+		e.stats.PerK = append(e.stats.PerK, *e.kstat)
 		res.PerK = append(res.PerK, Selected{IDs: copyIDs(s.ids), Estimate: est, Delay: est})
 		res.ElapsedPerK = append(res.ElapsedPerK, time.Since(start))
 	}
 	res.Elapsed = time.Since(start)
 	if !e.opt.NoRescore {
+		rStart := time.Now()
 		if err := e.rescore(res); err != nil {
 			return nil, err
 		}
+		e.stats.RescoreElapsed = time.Since(rStart)
 	}
 	return res, nil
 }
@@ -956,7 +1012,7 @@ func (e *engine) run(k int) (*Result, error) {
 // every primary output, since for addition any output can become
 // critical and for elimination removal sets discovered on any output
 // cone remain valid (their true effect is settled by rescoring).
-func (e *engine) targets() []circuit.NetID {
+func (e *prepared) targets() []circuit.NetID {
 	if e.target >= 0 {
 		return []circuit.NetID{e.target}
 	}
@@ -972,6 +1028,7 @@ func (e *engine) targets() []circuit.NetID {
 // the active-coupling mask, so padding can only help.
 func (e *engine) rescore(res *Result) error {
 	eval := func(ids []circuit.CouplingID) (float64, error) {
+		e.stats.RescoreRuns++
 		var mask noise.Mask
 		if e.mode == addition {
 			mask = noise.MaskOf(e.c, ids)
@@ -1021,7 +1078,7 @@ func (e *engine) rescore(res *Result) error {
 
 // padIDs extends ids to the requested cardinality with the
 // lowest-numbered couplings not already present.
-func (e *engine) padIDs(ids []circuit.CouplingID, n int) []circuit.CouplingID {
+func (e *prepared) padIDs(ids []circuit.CouplingID, n int) []circuit.CouplingID {
 	out := copyIDs(ids)
 	present := make(map[circuit.CouplingID]bool, len(ids))
 	for _, id := range ids {
@@ -1041,41 +1098,39 @@ func (e *engine) padIDs(ids []circuit.CouplingID, n int) []circuit.CouplingID {
 // delay this net's latest arrival. The net's full fanin cone is
 // enumerated regardless of slack.
 func TopKAdditionAt(m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
-	e, err := newEngineAt(m, net, opt, addition)
+	if int(net) < 0 || int(net) >= m.C.NumNets() {
+		return nil, fmt.Errorf("core: no net %d in circuit %s", net, m.C.Name)
+	}
+	s, err := PrepareAddition(m, net, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(k)
+	return s.TopK(k)
 }
 
 // TopKEliminationAt computes the top-k elimination sets for one
 // designated victim net: which k couplings to fix for the largest
 // recovery of this net's noisy arrival.
 func TopKEliminationAt(m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
-	e, err := newEngineAt(m, net, opt, elimination)
-	if err != nil {
-		return nil, err
-	}
-	return e.run(k)
-}
-
-func newEngineAt(m *noise.Model, net circuit.NetID, opt Options, md mode) (*engine, error) {
 	if int(net) < 0 || int(net) >= m.C.NumNets() {
 		return nil, fmt.Errorf("core: no net %d in circuit %s", net, m.C.Name)
 	}
-	e := &engine{m: m, c: m.C, opt: opt, mode: md, target: net}
-	return e.finishInit()
+	s, err := PrepareElimination(m, net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopK(k)
 }
 
 // TopKAddition computes, for every cardinality 1..k, the set of
 // coupling capacitors whose activation adds the most circuit delay to
 // the noiseless design (the paper's top-k aggressors addition set).
 func TopKAddition(m *noise.Model, k int, opt Options) (*Result, error) {
-	e, err := newEngine(m, opt, addition)
+	s, err := PrepareAddition(m, WholeCircuit, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(k)
+	return s.TopK(k)
 }
 
 // TopKElimination computes, for every cardinality 1..k, the set of
@@ -1083,9 +1138,9 @@ func TopKAddition(m *noise.Model, k int, opt Options) (*Result, error) {
 // most circuit delay from the fully noisy design (the paper's top-k
 // aggressors elimination set).
 func TopKElimination(m *noise.Model, k int, opt Options) (*Result, error) {
-	e, err := newEngine(m, opt, elimination)
+	s, err := PrepareElimination(m, WholeCircuit, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(k)
+	return s.TopK(k)
 }

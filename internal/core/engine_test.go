@@ -20,11 +20,11 @@ func buildEngine(t *testing.T, src string, md mode, opt Options) *engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := newEngine(noise.NewModel(c), opt, md)
+	p, err := newPrepared(noise.NewModel(c), opt, md, WholeCircuit, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return e
+	return p.newEngine()
 }
 
 const diamond = `circuit diamond
@@ -137,25 +137,31 @@ func TestPruneShiftAware(t *testing.T) {
 	smallNoShift := &aggSet{ids: []circuit.CouplingID{1}, env: smaller, score: 0.2}
 	smallWithShift := &aggSet{ids: []circuit.CouplingID{2}, env: smaller, shift: 0.3, score: 0.4}
 
-	kept := prune([]*aggSet{big, smallNoShift}, 0, 2, 10, false)
+	kept, dom, beam := prune([]*aggSet{big, smallNoShift}, 0, 2, 10, false)
 	if len(kept) != 1 || kept[0] != big {
 		t.Fatalf("envelope-dominated set must be pruned: %v", kept)
 	}
+	if dom != 1 || beam != 0 {
+		t.Fatalf("prune counters = dom %d beam %d, want 1 0", dom, beam)
+	}
 	// A set carrying a larger inherited shift is NOT dominated even if
 	// its envelope is covered.
-	kept = prune([]*aggSet{big, smallWithShift}, 0, 2, 10, false)
+	kept, _, _ = prune([]*aggSet{big, smallWithShift}, 0, 2, 10, false)
 	if len(kept) != 2 {
 		t.Fatalf("shift-carrying set must survive: %d kept", len(kept))
 	}
 	// NoDominance keeps everything (up to the beam).
-	kept = prune([]*aggSet{big, smallNoShift}, 0, 2, 10, true)
+	kept, _, _ = prune([]*aggSet{big, smallNoShift}, 0, 2, 10, true)
 	if len(kept) != 2 {
 		t.Fatal("NoDominance must keep dominated sets")
 	}
 	// Beam caps regardless.
-	kept = prune([]*aggSet{big, smallWithShift}, 0, 2, 1, false)
+	kept, dom, beam = prune([]*aggSet{big, smallWithShift}, 0, 2, 1, false)
 	if len(kept) != 1 {
 		t.Fatal("beam must cap the list")
+	}
+	if beam != 1 {
+		t.Fatalf("beam counter = %d, want 1", beam)
 	}
 }
 

@@ -155,6 +155,10 @@ type Result struct {
 	// cardinality i+1 — the runtime a top-(i+1) run would have taken,
 	// which is what the paper's Table 2 runtime columns report.
 	ElapsedPerK []time.Duration
+	// Stats instruments the enumeration: per-cardinality candidate and
+	// pruning counts, list widths and wall times, plus the shared-state
+	// cache counters when the run went through the serve layer.
+	Stats *Stats
 }
 
 // Top returns the highest-cardinality selection (the top-k set).

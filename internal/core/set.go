@@ -109,11 +109,13 @@ func sortByScore(cands []*aggSet) {
 // exceed the kept set's — are removed, and the result is beam-capped
 // at width. Candidates must already be score-sorted descending;
 // because domination implies a score at least as high, checking each
-// candidate only against already-kept sets is sufficient.
-func prune(cands []*aggSet, lo, hi float64, width int, noDominance bool) []*aggSet {
-	kept := make([]*aggSet, 0, min(len(cands), width))
-	for _, c := range cands {
+// candidate only against already-kept sets is sufficient. The two
+// counters report how many candidates each mechanism discarded.
+func prune(cands []*aggSet, lo, hi float64, width int, noDominance bool) (kept []*aggSet, prunedDom, prunedBeam int) {
+	kept = make([]*aggSet, 0, min(len(cands), width))
+	for n, c := range cands {
 		if len(kept) >= width {
+			prunedBeam = len(cands) - n
 			break
 		}
 		if !noDominance {
@@ -132,10 +134,11 @@ func prune(cands []*aggSet, lo, hi float64, width int, noDominance bool) []*aggS
 				}
 			}
 			if dominated {
+				prunedDom++
 				continue
 			}
 		}
 		kept = append(kept, c)
 	}
-	return kept
+	return kept, prunedDom, prunedBeam
 }

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The checked-in results files pin the paper reproduction: these tests
+// regenerate the tables in-process with the full (non-Quick) config
+// and diff every deterministic column against the golden copy, so an
+// engine change that moves a reported delay is caught by `go test`.
+// Runtime columns are machine-dependent and excluded; each table keeps
+// its own column mask.
+
+// goldenRows parses a rendered table (or a golden file) into rows of
+// whitespace-split fields, skipping the title, header and rule lines.
+func goldenRows(t *testing.T, text string) [][]string {
+	t.Helper()
+	var rows [][]string
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, " ")
+		if i < 3 || line == "" { // title, header, dashes
+			continue
+		}
+		rows = append(rows, strings.Fields(line))
+	}
+	return rows
+}
+
+// compareGolden diffs the selected field indices of every row.
+func compareGolden(t *testing.T, goldenPath, got string, fields []int) {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenRows(t, string(data))
+	have := goldenRows(t, got)
+	if len(have) != len(want) {
+		t.Fatalf("%s: row count %d, golden has %d", goldenPath, len(have), len(want))
+	}
+	for r := range want {
+		for _, f := range fields {
+			if f >= len(want[r]) || f >= len(have[r]) {
+				t.Fatalf("%s row %d: missing field %d (golden %v, got %v)", goldenPath, r, f, want[r], have[r])
+			}
+			if have[r][f] != want[r][f] {
+				t.Errorf("%s row %d field %d: got %q, golden %q\ngolden row: %v\ngot row:    %v",
+					goldenPath, r, f, have[r][f], want[r][f], want[r], have[r])
+			}
+		}
+	}
+}
+
+// TestGoldenTable1 regenerates Table 1 (brute force vs proposed) and
+// pins columns k, bf delay, bf scenarios and proposed delay. The two
+// runtime columns (indices 2 and 5) vary with the machine.
+func TestGoldenTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 regeneration (~10s+) skipped in -short")
+	}
+	tab, err := Table1(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "../../results_table1.txt", tab.String(), []int{0, 1, 3, 4})
+}
+
+// TestGoldenTable2a regenerates Table 2(a) (top-k addition over the
+// ten paper benchmarks) and pins the circuit shape and every delay
+// column: ckt, gates, couplings, delay-all, the six k columns and the
+// no-aggressor endpoint. The eight trailing runtime columns vary with
+// the machine.
+func TestGoldenTable2a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2(a) regeneration (~20s+) skipped in -short")
+	}
+	tab, err := Table2(Config{}, Addition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "../../results_table2a.txt", tab.String(), []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+}

@@ -1,0 +1,67 @@
+package liberty
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks two properties of the Liberty reader on arbitrary
+// input: it never panics, and any library it accepts survives a
+// Write/Parse round trip (the canonical form is itself parseable).
+func FuzzParse(f *testing.F) {
+	// The full default library in Liberty form is the richest seed.
+	if data, err := os.ReadFile("testdata/sample.lib"); err == nil {
+		f.Add(string(data))
+	} else {
+		f.Fatal(err)
+	}
+	// Well-formed fragments.
+	f.Add(`library (l) {
+  time_unit : "1ns";
+  cell (INV_X1) {
+    pin (A) { direction : input; capacitance : 1.5; }
+    pin (Y) {
+      direction : output;
+      drive_resistance : 5;
+      timing () { related_pin : "A"; intrinsic_rise : 0.03; rise_resistance : 0.004; }
+    }
+  }
+}`)
+	f.Add(`library (empty) { }`)
+	// Malformed fragments: unbalanced braces, truncated statements,
+	// stray tokens, bad numbers.
+	f.Add(`library (l) { cell (X) {`)
+	f.Add(`library (l) { cell () { pin (A) { direction : sideways; } } }`)
+	f.Add(`cell (X) { }`)
+	f.Add(`library (l) { time_unit : ; }`)
+	f.Add(`library (l) { cell (X) { pin (A) { capacitance : banana; } } }`)
+	f.Add(`{ } } {`)
+	f.Add("library (l) {\x00}")
+	f.Add(`library (l) { /* unterminated comment`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := ParseString(src) // must not panic; errors are fine
+		if err != nil {
+			return
+		}
+		// Round trip: the canonical rendering of an accepted library
+		// must itself parse, to an equal cell set.
+		var sb strings.Builder
+		if err := Write(&sb, lib); err != nil {
+			t.Fatalf("accepted library fails to write: %v", err)
+		}
+		lib2, err := ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("canonical form fails to re-parse: %v\n%s", err, sb.String())
+		}
+		if lib2.Len() != lib.Len() {
+			t.Fatalf("round trip changed cell count: %d -> %d", lib.Len(), lib2.Len())
+		}
+		for _, name := range lib.Names() {
+			if _, err := lib2.Cell(name); err != nil {
+				t.Fatalf("round trip lost cell %q", name)
+			}
+		}
+	})
+}

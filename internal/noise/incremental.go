@@ -34,6 +34,10 @@ type IncrementalStats struct {
 // are alignment-sensitive), so incremental results can differ from a
 // cold Run by sub-femtosecond-to-sub-picosecond amounts; they agree
 // well inside any physical tolerance.
+//
+// Like Run, RunIncremental never writes to the model, the circuit,
+// prev or the masks; many incremental analyses may share one prev
+// concurrently.
 func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, IncrementalStats, error) {
 	if prev == nil {
 		an, err := m.Run(mask)

@@ -80,6 +80,12 @@ func (m Mask) Clone() Mask {
 }
 
 // Model binds the noise framework to a circuit.
+//
+// A Model is read-only during analysis: Run and RunIncremental never
+// write to the Model, the Circuit or any Analysis they are given, so
+// one Model may serve any number of concurrent analyses (the serve
+// package's batch layer relies on this). The configuration fields
+// below must not be mutated while analyses are in flight.
 type Model struct {
 	C   *circuit.Circuit
 	Vdd float64
@@ -245,6 +251,10 @@ func (a *Analysis) PropagatedShift(n circuit.NetID) float64 {
 // it into the victim's latest arrival, and repeats until no net's
 // noise moves by more than Tol. Envelope widths grow monotonically
 // with window widths, so the iteration is monotone and converges.
+//
+// Run does not mutate the model or the circuit and is safe to call
+// concurrently; the returned Analysis is immutable shared data for
+// every consumer that treats it as read-only (all packages here do).
 func (m *Model) Run(active Mask) (*Analysis, error) {
 	opt := sta.Options{PIArrival: m.PIArrival}
 	base, err := sta.Analyze(m.C, opt)

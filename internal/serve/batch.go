@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topkagg/internal/circuit"
+)
+
+// RunBatch answers all queries over the shared model state with a pool
+// of workers goroutines (workers <= 0 selects GOMAXPROCS, matching the
+// bruteforce package's convention). Responses align with queries by
+// index, and every Response is identical to what a serial run would
+// produce: the worker count only changes wall-clock time, never
+// results. Per-query failures land in their Response's Err; the batch
+// itself never fails.
+func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]Response, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(queries) {
+					return
+				}
+				out[i] = a.Do(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// KSweep builds the queries of a cardinality sweep: one top-k query
+// per target net at the given k (each query returns the full 1..k
+// curve). It is the workload RunBatch amortizes best — every net after
+// the first reuses the cached fixpoint, and repeated queries per net
+// reuse the whole preparation.
+func KSweep(op Op, nets []circuit.NetID, k int) []Query {
+	qs := make([]Query, 0, len(nets))
+	for _, n := range nets {
+		qs = append(qs, Query{Op: op, Net: n, K: k})
+	}
+	return qs
+}

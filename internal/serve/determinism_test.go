@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// normalize strips the wall-clock fields from a Result copy so two
+// runs of the same computation can be compared byte-for-byte. Timing
+// is the only nondeterministic content a Result carries.
+func normalize(r *core.Result) *core.Result {
+	cp := *r
+	cp.Elapsed = 0
+	cp.ElapsedPerK = nil
+	if r.Stats != nil {
+		st := *r.Stats
+		st.RescoreElapsed = 0
+		st.PerK = append([]core.KStats(nil), r.Stats.PerK...)
+		for i := range st.PerK {
+			st.PerK[i].Elapsed = 0
+		}
+		// Cache counters depend on query arrival order, not on the
+		// computation, so they are excluded from the determinism claim.
+		st.CacheHits, st.CacheMisses = 0, 0
+		cp.Stats = &st
+	}
+	return &cp
+}
+
+// resultsEqual compares two Results byte-for-byte after normalizing
+// wall-clock fields. Result has only exported fields, so the JSON
+// encoding captures all of its content.
+func resultsEqual(a, b *core.Result) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	ja, err := json.Marshal(normalize(a))
+	if err != nil {
+		panic(err)
+	}
+	jb, err := json.Marshal(normalize(b))
+	if err != nil {
+		panic(err)
+	}
+	return string(ja) == string(jb)
+}
+
+// TestBatchDeterminismRandomCircuits is the property test backing the
+// package's central guarantee: over randomized circuits, a batch run
+// with many workers returns byte-identical Results to (a) the same
+// batch run serially with one worker and (b) cold per-query core
+// calls. Concurrency must only change wall-clock time.
+func TestBatchDeterminismRandomCircuits(t *testing.T) {
+	seeds := []int64{1, 7, 19, 101}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		c, err := gen.Build(gen.Spec{Name: "det", Gates: 30, Couplings: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := noise.NewModel(c)
+		opt := core.Options{SlackFrac: 1, VerifyTop: 4}
+
+		// Per-net sweep over every net that can be a victim, plus the
+		// whole circuit, both modes, and a repeat to exercise cache hits
+		// racing fresh preparations.
+		nets := []circuit.NetID{WholeCircuit}
+		for id := 0; id < c.NumNets() && len(nets) < 6; id++ {
+			if c.Net(circuit.NetID(id)).Driver >= 0 {
+				nets = append(nets, circuit.NetID(id))
+			}
+		}
+		var queries []Query
+		queries = append(queries, KSweep(Addition, nets, 3)...)
+		queries = append(queries, KSweep(Elimination, nets[:2], 2)...)
+		queries = append(queries, queries[0]) // duplicate query
+
+		serial := NewAnalyzer(m, opt).RunBatch(queries, 1)
+		concurrent := NewAnalyzer(m, opt).RunBatch(queries, 8)
+
+		for i := range queries {
+			if (serial[i].Err == nil) != (concurrent[i].Err == nil) {
+				t.Fatalf("seed %d query %d: error mismatch: %v vs %v",
+					seed, i, serial[i].Err, concurrent[i].Err)
+			}
+			if serial[i].Err != nil {
+				continue
+			}
+			if !resultsEqual(serial[i].Result, concurrent[i].Result) {
+				t.Fatalf("seed %d query %d (%s net %d): workers=8 result differs from workers=1",
+					seed, i, queries[i].Op, queries[i].Net)
+			}
+		}
+
+		// Cross-check a sample against the cold serial path.
+		for _, i := range []int{0, 1, len(nets)} {
+			q := queries[i]
+			var cold *core.Result
+			switch {
+			case q.Op == Addition && q.Net == WholeCircuit:
+				cold, err = core.TopKAddition(m, q.K, opt)
+			case q.Op == Addition:
+				cold, err = core.TopKAdditionAt(m, q.Net, q.K, opt)
+			case q.Net == WholeCircuit:
+				cold, err = core.TopKElimination(m, q.K, opt)
+			default:
+				cold, err = core.TopKEliminationAt(m, q.Net, q.K, opt)
+			}
+			if err != nil {
+				t.Fatalf("seed %d cold query %d: %v", seed, i, err)
+			}
+			if !resultsEqual(concurrent[i].Result, cold) {
+				t.Fatalf("seed %d query %d: batch result differs from cold %s call",
+					seed, i, q.Op)
+			}
+		}
+	}
+}
+
+// TestNormalizeStripsOnlyTime guards the comparison helper itself: two
+// results differing only in timing compare equal; differing in payload
+// compare unequal.
+func TestNormalizeStripsOnlyTime(t *testing.T) {
+	a := &core.Result{K: 2, BaseDelay: 1.5, Elapsed: 10 * time.Millisecond,
+		Stats: &core.Stats{PerK: []core.KStats{{K: 1, Candidates: 3, Elapsed: time.Second}}}}
+	b := &core.Result{K: 2, BaseDelay: 1.5, Elapsed: 99 * time.Millisecond,
+		Stats: &core.Stats{PerK: []core.KStats{{K: 1, Candidates: 3, Elapsed: time.Minute}}}}
+	if !resultsEqual(a, b) {
+		t.Fatal("results differing only in timing must compare equal")
+	}
+	b.Stats.PerK[0].Candidates = 4
+	if resultsEqual(a, b) {
+		t.Fatal("results differing in counters must compare unequal")
+	}
+	if a.Stats.PerK[0].Elapsed == 0 {
+		t.Fatal("normalize must not mutate its input")
+	}
+}

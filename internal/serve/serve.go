@@ -1,0 +1,267 @@
+// Package serve is the batch-query layer over one noise model: an
+// Analyzer, built once per noise.Model, memoizes the expensive
+// per-configuration engine state (the all-aggressor fixpoint, victim
+// selection, primary envelopes, dominance intervals, elimination
+// totals) behind a concurrency-safe cache and answers many top-k and
+// what-if queries against the shared state — serially via Do, or with
+// a worker pool via RunBatch.
+//
+// The point is amortization: a cold core.TopK* call repays the whole
+// engine setup on every query, so a k-sweep or a per-net scan over a
+// design performs the same preparation r×k times. An Analyzer performs
+// the fixpoint once per model and each (mode, target) preparation once,
+// after which queries only pay for their own enumeration.
+//
+// Sharing is safe because everything cached is strictly read-only
+// after construction: core.Shared never mutates its prepared state,
+// and noise.Model, noise.Analysis and circuit.Circuit are never
+// written during analysis (see their package docs). Determinism is
+// preserved — a query's Response is byte-for-byte the same whether the
+// batch ran with 1 worker or 64, and identical to a cold core call
+// with the same configuration (wall-clock fields aside).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/noise"
+)
+
+// WholeCircuit selects the circuit outputs as a query's target.
+const WholeCircuit = core.WholeCircuit
+
+// Op selects what a Query computes.
+type Op int
+
+const (
+	// Addition asks for the top-k aggressors addition sets (which k
+	// couplings add the most delay to noiseless timing).
+	Addition Op = iota
+	// Elimination asks for the top-k aggressors elimination sets
+	// (which k couplings to fix for the largest delay recovery).
+	Elimination
+	// WhatIf evaluates one explicit scenario: the circuit (or target
+	// net) delay after deactivating Query.Fix on top of the active
+	// mask, via incremental re-analysis of the cached fixpoint.
+	WhatIf
+)
+
+func (op Op) String() string {
+	switch op {
+	case Addition:
+		return "addition"
+	case Elimination:
+		return "elimination"
+	case WhatIf:
+		return "whatif"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Query is one unit of work for an Analyzer.
+type Query struct {
+	// Op selects the computation.
+	Op Op
+	// Net restricts the analysis to one net's arrival; WholeCircuit
+	// (-1) analyzes the circuit outputs.
+	Net circuit.NetID
+	// K is the requested cardinality for top-k ops (the full
+	// per-cardinality curve 1..K is returned, so a k-sweep is one
+	// query). Ignored by WhatIf.
+	K int
+	// Fix lists the couplings a WhatIf scenario deactivates.
+	Fix []circuit.CouplingID
+}
+
+// Response is the outcome of one Query, aligned with it by index in
+// RunBatch's result.
+type Response struct {
+	// Query echoes the request.
+	Query Query
+	// Result holds the top-k outcome (nil for WhatIf or on error). Its
+	// Stats carry the per-cardinality engine counters plus the cache
+	// hit/miss of this query's shared-state lookup.
+	Result *core.Result
+	// Delay is a WhatIf scenario's resulting delay, ns.
+	Delay float64
+	// Err reports a failed query; other queries in the batch are
+	// unaffected.
+	Err error
+}
+
+// Stats aggregates what an Analyzer's caches did across all queries.
+type Stats struct {
+	// Queries is the number of queries answered (including failed ones).
+	Queries int64
+	// PrepHits / PrepMisses count shared-state cache lookups: a hit
+	// reused a memoized (mode, target) preparation, a miss built one.
+	PrepHits   int64
+	PrepMisses int64
+	// FixpointRuns is the number of full noise fixpoints executed (at
+	// most one per Analyzer; cold core calls pay one per query).
+	FixpointRuns int64
+}
+
+// Analyzer answers top-k and what-if queries over one noise model,
+// memoizing shared engine state across queries. All methods are safe
+// for concurrent use.
+type Analyzer struct {
+	m   *noise.Model
+	opt core.Options
+
+	fullOnce sync.Once
+	full     *noise.Analysis
+	fullErr  error
+
+	mu    sync.Mutex
+	preps map[prepKey]*prepEntry
+
+	queries, hits, misses, fixpoints atomic.Int64
+}
+
+type prepKey struct {
+	elim bool
+	net  circuit.NetID
+}
+
+// prepEntry builds its Shared exactly once; concurrent first queries
+// for the same key block on the sync.Once instead of preparing twice.
+type prepEntry struct {
+	once   sync.Once
+	shared *core.Shared
+	err    error
+}
+
+// NewAnalyzer creates an Analyzer over the model with the given
+// enumeration options. The options are fixed for the Analyzer's
+// lifetime — they shape the cached state (victim selection, active
+// mask), so varying them requires a separate Analyzer.
+func NewAnalyzer(m *noise.Model, opt core.Options) *Analyzer {
+	return &Analyzer{m: m, opt: opt, preps: map[prepKey]*prepEntry{}}
+}
+
+// fullAnalysis memoizes the one fixpoint run every preparation and
+// what-if hangs off.
+func (a *Analyzer) fullAnalysis() (*noise.Analysis, error) {
+	a.fullOnce.Do(func() {
+		a.fixpoints.Add(1)
+		a.full, a.fullErr = a.m.Run(a.opt.Active)
+	})
+	return a.full, a.fullErr
+}
+
+// sharedFor returns the memoized shared state for one (mode, target)
+// configuration, building it on first use. hit reports whether the
+// entry already existed.
+func (a *Analyzer) sharedFor(elim bool, net circuit.NetID) (shared *core.Shared, hit bool, err error) {
+	key := prepKey{elim: elim, net: net}
+	a.mu.Lock()
+	e, ok := a.preps[key]
+	if !ok {
+		e = &prepEntry{}
+		a.preps[key] = e
+	}
+	a.mu.Unlock()
+	if ok {
+		a.hits.Add(1)
+	} else {
+		a.misses.Add(1)
+	}
+	e.once.Do(func() {
+		full, ferr := a.fullAnalysis()
+		if ferr != nil {
+			e.err = ferr
+			return
+		}
+		if elim {
+			e.shared, e.err = core.PrepareEliminationFrom(a.m, full, net, a.opt)
+		} else {
+			e.shared, e.err = core.PrepareAdditionFrom(a.m, full, net, a.opt)
+		}
+	})
+	return e.shared, ok, e.err
+}
+
+// Do answers one query. Errors are reported in the Response, never
+// panicked, so a batch survives malformed entries.
+func (a *Analyzer) Do(q Query) Response {
+	a.queries.Add(1)
+	resp := Response{Query: q}
+	if q.Net != WholeCircuit && (int(q.Net) < 0 || int(q.Net) >= a.m.C.NumNets()) {
+		resp.Err = fmt.Errorf("serve: no net %d in circuit %s", q.Net, a.m.C.Name)
+		return resp
+	}
+	switch q.Op {
+	case Addition, Elimination:
+		if q.K < 1 {
+			resp.Err = fmt.Errorf("serve: %s query needs k >= 1, got %d", q.Op, q.K)
+			return resp
+		}
+		shared, hit, err := a.sharedFor(q.Op == Elimination, q.Net)
+		if err != nil {
+			resp.Err = err
+			return resp
+		}
+		res, err := shared.TopK(q.K)
+		if err != nil {
+			resp.Err = err
+			return resp
+		}
+		if hit {
+			res.Stats.CacheHits = 1
+		} else {
+			res.Stats.CacheMisses = 1
+		}
+		resp.Result = res
+	case WhatIf:
+		resp.Delay, resp.Err = a.whatIf(q)
+	default:
+		resp.Err = fmt.Errorf("serve: unknown query op %d", int(q.Op))
+	}
+	return resp
+}
+
+// whatIf evaluates the delay after deactivating q.Fix, incrementally
+// against the cached fixpoint.
+func (a *Analyzer) whatIf(q Query) (float64, error) {
+	full, err := a.fullAnalysis()
+	if err != nil {
+		return 0, err
+	}
+	prevMask := a.opt.Active
+	var mask noise.Mask
+	if prevMask == nil {
+		mask = noise.AllMask(a.m.C)
+	} else {
+		mask = prevMask.Clone()
+	}
+	for _, id := range q.Fix {
+		if int(id) < 0 || int(id) >= a.m.C.NumCouplings() {
+			return 0, fmt.Errorf("serve: no coupling %d in circuit %s", id, a.m.C.Name)
+		}
+		mask[id] = false
+	}
+	an, _, err := a.m.RunIncremental(full, prevMask, mask)
+	if err != nil {
+		return 0, err
+	}
+	if q.Net != WholeCircuit {
+		return an.Timing.Window(q.Net).LAT, nil
+	}
+	return an.CircuitDelay(), nil
+}
+
+// Stats snapshots the Analyzer's cache counters.
+func (a *Analyzer) Stats() Stats {
+	return Stats{
+		Queries:      a.queries.Load(),
+		PrepHits:     a.hits.Load(),
+		PrepMisses:   a.misses.Load(),
+		FixpointRuns: a.fixpoints.Load(),
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"topkagg/internal/netlist"
 	"topkagg/internal/noise"
 	"topkagg/internal/pathreport"
+	"topkagg/internal/serve"
 	"topkagg/internal/sizing"
 	"topkagg/internal/spef"
 	"topkagg/internal/sta"
@@ -116,6 +117,33 @@ type (
 	MCConfig = mc.Config
 	// MCResult is a sampled crosstalk-delay distribution.
 	MCResult = mc.Result
+	// Analyzer answers batches of top-k and what-if queries over one
+	// model, memoizing the expensive shared engine state across queries.
+	Analyzer = serve.Analyzer
+	// Query is one unit of work for an Analyzer batch.
+	Query = serve.Query
+	// Response is the outcome of one Query.
+	Response = serve.Response
+	// QueryOp selects what a Query computes.
+	QueryOp = serve.Op
+	// AnalyzerStats aggregates an Analyzer's cache counters.
+	AnalyzerStats = serve.Stats
+	// EngineStats instruments one top-k enumeration (see Result.Stats).
+	EngineStats = core.Stats
+	// KStats instruments one cardinality of an enumeration.
+	KStats = core.KStats
+)
+
+// Query operations and targets for the batch Analyzer.
+const (
+	// OpAddition asks for top-k aggressor addition sets.
+	OpAddition = serve.Addition
+	// OpElimination asks for top-k aggressor elimination sets.
+	OpElimination = serve.Elimination
+	// OpWhatIf evaluates one explicit fix scenario incrementally.
+	OpWhatIf = serve.WhatIf
+	// WholeCircuit targets the circuit outputs rather than one net.
+	WholeCircuit = serve.WholeCircuit
 )
 
 // DefaultLibrary returns the synthetic 0.13µm-scale standard-cell
@@ -195,6 +223,20 @@ func TopKEliminationAt(m *Model, net NetID, k int, opt Options) (*Result, error)
 // ExactOptions returns enumeration options with every pruning cap
 // lifted (the paper's exact lists) — intended for small circuits.
 func ExactOptions() Options { return core.Exact() }
+
+// NewAnalyzer creates a batch-query Analyzer over the model. Unlike
+// the one-shot TopK* calls, an Analyzer performs the noise fixpoint at
+// most once and memoizes per-target engine state, so k-sweeps and
+// per-net scans amortize the preparation. All methods are safe for
+// concurrent use, and batch results are identical regardless of the
+// worker count.
+func NewAnalyzer(m *Model, opt Options) *Analyzer { return serve.NewAnalyzer(m, opt) }
+
+// KSweepQueries builds one top-k query per target net — the batch
+// workload an Analyzer amortizes best.
+func KSweepQueries(op QueryOp, nets []NetID, k int) []Query {
+	return serve.KSweep(op, nets, k)
+}
 
 // BruteForceAddition exhaustively searches all C(r, k) coupling
 // subsets for the worst addition set. budget bounds the wall-clock
