@@ -153,6 +153,26 @@ func BenchmarkNoiseFixpoint(b *testing.B) {
 	for _, ckt := range []string{"i1", "i3"} {
 		b.Run(ckt, func(b *testing.B) {
 			m := benchModel(b, ckt)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNoiseFixpointWorkers sweeps the sweep-parallelism worker
+// count on the larger paper circuit. The result is byte-identical at
+// every setting (see TestFixpointWorkerCountInvariant); only the wall
+// clock changes, and only on multi-core hardware.
+func BenchmarkNoiseFixpointWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("i3-w%d", workers), func(b *testing.B) {
+			m := benchModel(b, "i3").WithWorkers(workers)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Run(nil); err != nil {

@@ -1,0 +1,168 @@
+// Command benchjson measures the performance-critical kernels — the
+// noise fixpoint and the Table-1/2 enumeration kernels — with
+// testing.Benchmark and writes the results as machine-readable JSON
+// (default BENCH_fixpoint.json). The JSON is the artifact the perf
+// acceptance criteria are checked against and what EXPERIMENTS.md
+// records as before/after evidence:
+//
+//	go run ./cmd/benchjson -o BENCH_fixpoint.json
+//	go run ./cmd/benchjson -benchtime 200ms -quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"topkagg/internal/bruteforce"
+	"topkagg/internal/core"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// result is one benchmark measurement in the output file.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// report is the whole output file.
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"goVersion"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numCPU"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_fixpoint.json", "output JSON file")
+	quick := flag.Bool("quick", false, "skip the slow brute-force and enumeration kernels")
+	flag.Parse()
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool) error {
+	models := map[string]*noise.Model{}
+	for _, name := range []string{"i1", "i3"} {
+		c, err := gen.BuildPaper(name)
+		if err != nil {
+			return err
+		}
+		models[name] = noise.NewModel(c)
+	}
+	t1c, err := gen.Build(gen.Spec{Name: "t1", Gates: 30, Couplings: 60, Seed: 77})
+	if err != nil {
+		return err
+	}
+	t1 := noise.NewModel(t1c)
+
+	type bench struct {
+		name string
+		slow bool
+		fn   func(b *testing.B)
+	}
+	fixpoint := func(m *noise.Model) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	enumeration := func(m *noise.Model, elim bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			opt := core.Options{NoRescore: true}
+			for i := 0; i < b.N; i++ {
+				var err error
+				if elim {
+					_, err = core.TopKElimination(m, 10, opt)
+				} else {
+					_, err = core.TopKAddition(m, 10, opt)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	benches := []bench{
+		{name: "noise_fixpoint/i1", fn: fixpoint(models["i1"])},
+		{name: "noise_fixpoint/i3", fn: fixpoint(models["i3"])},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		benches = append(benches, bench{
+			name: fmt.Sprintf("noise_fixpoint_workers/i3-w%d", w),
+			fn:   fixpoint(models["i3"].WithWorkers(w)),
+		})
+	}
+	benches = append(benches,
+		bench{name: "table1_bruteforce/t1-k2", slow: true, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bruteforce.Addition(t1, 2, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		bench{name: "table1_proposed/t1-k2", slow: true, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			opt := core.Options{SlackFrac: 1, NoRescore: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TopKAddition(t1, 2, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		bench{name: "table2a_addition/i1-k10", slow: true, fn: enumeration(models["i1"], false)},
+		bench{name: "table2a_addition/i3-k10", slow: true, fn: enumeration(models["i3"], false)},
+		bench{name: "table2b_elimination/i1-k10", slow: true, fn: enumeration(models["i1"], true)},
+	)
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, bm := range benches {
+		if quick && bm.slow {
+			continue
+		}
+		r := testing.Benchmark(bm.fn)
+		res := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Results))
+	return nil
+}

@@ -54,6 +54,7 @@ type config struct {
 	asJSON                             bool
 	stats                              bool
 	workers                            int
+	fixWorkers                         int
 	batch                              string
 }
 
@@ -79,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.asJSON, "json", false, "emit the result as JSON (for scripting)")
 	fs.BoolVar(&cfg.stats, "stats", false, "print engine instrumentation (per-cardinality counters, cache activity)")
 	fs.IntVar(&cfg.workers, "workers", 0, "worker goroutines for -batch (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.fixWorkers, "fixpoint-workers", 0, "worker goroutines inside each noise-fixpoint sweep (0 = GOMAXPROCS)")
 	fs.StringVar(&cfg.batch, "batch", "", "JSON batch-query file; all queries share one analyzer")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,6 +96,9 @@ func (cfg *config) execute(w io.Writer) error {
 	if cfg.workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
 	}
+	if cfg.fixWorkers < 0 {
+		return fmt.Errorf("-fixpoint-workers must be >= 0, got %d", cfg.fixWorkers)
+	}
 	lib, err := loadLibrary(cfg.lib)
 	if err != nil {
 		return err
@@ -103,6 +108,9 @@ func (cfg *config) execute(w io.Writer) error {
 		return err
 	}
 	m := topkagg.NewModel(c)
+	if cfg.fixWorkers > 0 {
+		m = m.WithWorkers(cfg.fixWorkers)
+	}
 	opt := topkagg.Options{}
 	if cfg.exact {
 		opt = topkagg.ExactOptions()

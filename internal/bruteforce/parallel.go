@@ -46,6 +46,10 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 	if workers > r-k+1 {
 		workers = r - k + 1
 	}
+	// Each search worker runs whole analyses; keep the per-analysis
+	// fixpoint serial so the two levels of parallelism don't
+	// oversubscribe the machine.
+	m = m.WithWorkers(1)
 	start := time.Now()
 	var deadline time.Time
 	if budget > 0 {

@@ -1,0 +1,355 @@
+package noise
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/sta"
+	"topkagg/internal/waveform"
+)
+
+// envEntry memoizes the trapezoidal envelope one coupling induces on
+// one of its two endpoint nets, keyed on the aggressor window it was
+// built from. Late fixpoint iterations move only a handful of windows,
+// so almost every envelope is reused bit-for-bit. The pulse parameters
+// are memoized separately on the aggressor slew alone: window EAT/LAT
+// drift every iteration (noise accumulates), but the slew usually does
+// not, and the pulse solve is the only transcendental-math step of the
+// envelope build. Rebuilds write into the entry's own point buffer, so
+// after the first sweep envelope construction allocates nothing.
+type envEntry struct {
+	win    sta.Window
+	pulse  Pulse
+	env    waveform.PWL
+	pts    []waveform.Point
+	valid  bool
+	pvalid bool
+}
+
+// evalScratch is one worker's allocation-free workspace: the k-way
+// envelope accumulator, the ramp-minus-envelope subtraction buffer and
+// the two-point victim ramp. Each sweep worker owns exactly one.
+type evalScratch struct {
+	acc  waveform.Accumulator
+	sub  []waveform.Point
+	ramp [2]waveform.Point
+}
+
+// fixpoint is the worklist-driven engine behind Run and
+// RunIncremental. It keeps the circuit timing in an sta.Incremental
+// (so injecting one net's noise re-times only its fanout cone) and
+// between sweeps tracks exactly the victims whose inputs moved:
+//
+//   - a victim whose own window changed (its reference ramp moved),
+//   - a victim coupled to a net whose window changed (its aggressor
+//     envelope moved),
+//   - a victim whose own injected noise changed last sweep (the
+//     "minus own noise" reference correction moved).
+//
+// Every other victim would recompute, by the purely functional per-net
+// evaluation, exactly the value it already has — so skipping it leaves
+// the trajectory of the fixpoint ascent bit-identical to the full
+// per-iteration sweep the engine replaces.
+//
+// Within one sweep the dirty victims are evaluated in parallel: an
+// atomic cursor hands out queue slots, each worker writes only its
+// slot's result, and the merge that commits results runs serially in
+// queue order. No evaluation reads anything a concurrent evaluation
+// writes (results are per-slot, envelope cache entries are owned by
+// exactly one victim, windows and noise are frozen during the sweep),
+// so results are byte-identical for any worker count.
+type fixpoint struct {
+	m   *Model
+	inc *sta.Incremental
+
+	victims []circuit.NetID        // nets with ≥1 active coupling, in ID order
+	vIndex  []int32                // NetID -> index into victims, -1 otherwise
+	vIDs    [][]circuit.CouplingID // active couplings per victim
+
+	dirty   []bool    // per victim index: re-evaluate next sweep
+	queue   []int     // victim indices evaluated this sweep, ascending
+	results []float64 // per queue slot
+
+	// notified is the per-net window as of the last time dependents
+	// were told it moved. A net's window must drift more than markTol
+	// from this record before its dependents re-evaluate; envelopes
+	// are built from this view, so sub-threshold creep (ulp-level
+	// float wobble late in the ascent) stops re-dirtying the whole
+	// victim set. Movements accumulate against the record, so total
+	// staleness per input is bounded by markTol.
+	notified []sta.Window
+	markTol  float64
+
+	envs []envEntry // memo cache, indexed 2*CouplingID + victim side
+
+	// Per-victim memo of the combined (summed) envelope and of the raw
+	// delay-noise evaluation. Both are owned by the victim's evaluator,
+	// so parallel sweeps touch disjoint entries. sumPts holds a copy of
+	// the last merged envelope, valid while every per-coupling entry
+	// was a cache hit; raw* hold the last delayNoise inputs/output,
+	// valid while the summed envelope is unchanged.
+	sumPts  [][]waveform.Point
+	sumOK   []bool
+	rawLAT  []float64
+	rawSlew []float64
+	rawVal  []float64
+	rawOK   []bool
+
+	scratch []evalScratch
+	workers int
+}
+
+// newFixpoint builds the sweep state for one analysis: the victim set
+// under the given mask, its per-victim active-coupling lists, the
+// envelope memo cache and the per-worker scratch. inc carries the
+// starting timing and noise vector.
+func newFixpoint(m *Model, active Mask, inc *sta.Incremental) *fixpoint {
+	c := m.C
+	f := &fixpoint{m: m, inc: inc}
+	f.vIndex = make([]int32, c.NumNets())
+	for i := range f.vIndex {
+		f.vIndex[i] = -1
+	}
+	for _, net := range c.Nets() {
+		ids := m.activeCouplingsOf(net.ID, active, nil)
+		if len(ids) == 0 {
+			continue
+		}
+		f.vIndex[net.ID] = int32(len(f.victims))
+		f.victims = append(f.victims, net.ID)
+		f.vIDs = append(f.vIDs, ids)
+	}
+	f.dirty = make([]bool, len(f.victims))
+	f.envs = make([]envEntry, 2*c.NumCouplings())
+	f.notified = append([]sta.Window(nil), inc.Result().Windows...)
+	f.markTol = m.Tol
+	f.sumPts = make([][]waveform.Point, len(f.victims))
+	f.sumOK = make([]bool, len(f.victims))
+	f.rawLAT = make([]float64, len(f.victims))
+	f.rawSlew = make([]float64, len(f.victims))
+	f.rawVal = make([]float64, len(f.victims))
+	f.rawOK = make([]bool, len(f.victims))
+	f.workers = m.Workers
+	if f.workers <= 0 {
+		f.workers = runtime.GOMAXPROCS(0)
+	}
+	if f.workers > len(f.victims) {
+		f.workers = len(f.victims)
+	}
+	if f.workers < 1 {
+		f.workers = 1
+	}
+	f.scratch = make([]evalScratch, f.workers)
+	return f
+}
+
+// seedAll marks every victim for evaluation — the cold start of Run's
+// first sweep.
+func (f *fixpoint) seedAll() {
+	for vi := range f.dirty {
+		f.dirty[vi] = true
+	}
+}
+
+// markChanged marks the victims whose evaluation depends on any of the
+// given window-changed nets: the net itself (if a victim) and the far
+// endpoints of its active couplings. A net only notifies its
+// dependents when its window has drifted more than markTol since its
+// last notification; that is the worklist gate of the ISSUE — nets
+// whose inputs moved within tolerance are not re-evaluated.
+func (f *fixpoint) markChanged(changed []circuit.NetID) {
+	wins := f.inc.Result().Windows
+	for _, n := range changed {
+		vi := f.vIndex[n]
+		if vi < 0 {
+			// A net with no active coupling feeds no envelope; its
+			// window move is invisible to every victim evaluation.
+			continue
+		}
+		if !windowMoved(wins[n], f.notified[n], f.markTol) {
+			continue
+		}
+		f.notified[n] = wins[n]
+		f.dirty[vi] = true
+		for _, id := range f.vIDs[vi] {
+			u := f.m.C.Coupling(id).Other(n)
+			if ui := f.vIndex[u]; ui >= 0 {
+				f.dirty[ui] = true
+			}
+		}
+	}
+}
+
+// windowMoved reports whether any field of the window drifted beyond
+// tol.
+func windowMoved(a, b sta.Window, tol float64) bool {
+	return a.EAT-b.EAT > tol || b.EAT-a.EAT > tol ||
+		a.LAT-b.LAT > tol || b.LAT-a.LAT > tol ||
+		a.Slew-b.Slew > tol || b.Slew-a.Slew > tol
+}
+
+// iterate runs sweeps over the dirty victims until the largest noise
+// movement of a sweep is within Tol or the iteration budget runs out.
+// Callers seed the dirty set first (seedAll for a cold run, the change
+// cone for an incremental one).
+func (f *fixpoint) iterate() (iters int, converged bool) {
+	for iter := 1; iter <= f.m.MaxIterations; iter++ {
+		iters = iter
+		f.buildQueue()
+		maxDelta := f.sweep()
+		f.markChanged(f.inc.Update())
+		if maxDelta <= f.m.Tol {
+			converged = true
+			break
+		}
+	}
+	return iters, converged
+}
+
+// buildQueue drains the dirty set into the evaluation queue in victim
+// (net-ID) order.
+func (f *fixpoint) buildQueue() {
+	f.queue = f.queue[:0]
+	for vi, d := range f.dirty {
+		if d {
+			f.dirty[vi] = false
+			f.queue = append(f.queue, vi)
+		}
+	}
+}
+
+// sweep evaluates every queued victim against the frozen current
+// timing, then serially commits the new noise values in victim order.
+// It returns the largest single-net noise increase of the sweep and
+// re-marks the victims whose noise moved (their reference correction
+// changes next sweep).
+func (f *fixpoint) sweep() float64 {
+	n := len(f.queue)
+	if cap(f.results) < n {
+		f.results = make([]float64, n)
+	}
+	res := f.results[:n]
+	workers := f.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := &f.scratch[0]
+		for qi, vi := range f.queue {
+			res[qi] = f.evaluate(vi, s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(s *evalScratch) {
+				defer wg.Done()
+				for {
+					qi := int(next.Add(1) - 1)
+					if qi >= n {
+						return
+					}
+					res[qi] = f.evaluate(f.queue[qi], s)
+				}
+			}(&f.scratch[w])
+		}
+		wg.Wait()
+	}
+	maxDelta := 0.0
+	extra := f.inc.ExtraLAT()
+	for qi, vi := range f.queue {
+		v := f.victims[vi]
+		nv := res[qi]
+		if d := nv - extra[v]; d > maxDelta {
+			maxDelta = d
+		}
+		// Commit exactly; re-marking of this victim and its neighbours
+		// flows through the window change the commit causes (via
+		// Update and the markTol gate in markChanged).
+		f.inc.SetExtraLAT(v, nv)
+	}
+	return maxDelta
+}
+
+// evaluate recomputes one victim's worst-case delay noise from its
+// aggressors' current windows, applying the monotone clamp of the
+// fixpoint ascent. It reads only sweep-frozen state (windows, noise,
+// its own cache entries) and writes only the worker's scratch, so
+// concurrent evaluations of distinct victims never interfere.
+func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
+	m := f.m
+	v := f.victims[vi]
+	// Envelopes and the reference ramp are built from the notified
+	// window view: stale by at most markTol, stable between
+	// notifications, identical for every worker count.
+	wins := f.notified
+	s.acc.Reset()
+	allHit := true
+	for _, id := range f.vIDs[vi] {
+		cp := m.C.Coupling(id)
+		agg := cp.Other(v)
+		side := 0
+		if cp.B == v {
+			side = 1
+		}
+		e := &f.envs[2*int(id)+side]
+		if !e.valid || e.win != wins[agg] {
+			if !e.pvalid || e.win.Slew != wins[agg].Slew {
+				e.pulse = m.PulseParams(v, cp, wins[agg].Slew)
+				e.pvalid = true
+			}
+			e.win = wins[agg]
+			// Inline Envelope with the memoized pulse, building into the
+			// entry's reusable buffer.
+			if e.pulse.Vp <= 0 {
+				e.env = waveform.Zero()
+			} else {
+				e.pts = waveform.AppendTrapezoid(e.pts[:0],
+					e.win.EAT-e.pulse.Rise, e.pulse.Rise, e.win.LAT, e.pulse.Fall, e.pulse.Vp)
+				e.env = waveform.View(e.pts)
+			}
+			e.valid = true
+			allHit = false
+		}
+		s.acc.Add(e.env)
+	}
+	var env waveform.PWL
+	if allHit && f.sumOK[vi] {
+		// No aggressor window moved since the last evaluation, so the
+		// combined envelope is the cached one, bit for bit.
+		env = waveform.View(f.sumPts[vi])
+	} else {
+		f.sumPts[vi] = s.acc.Sum().AppendTo(f.sumPts[vi][:0])
+		env = waveform.View(f.sumPts[vi])
+		f.sumOK[vi] = true
+		f.rawOK[vi] = false
+	}
+	// The reference victim transition includes noise propagated from
+	// the fanin but not the victim's own injected noise (which is
+	// exactly what is being recomputed here).
+	vw := wins[v]
+	prev := f.inc.ExtraLAT()[v]
+	vw.LAT -= prev
+	var n float64
+	if f.rawOK[vi] && vw.LAT == f.rawLAT[vi] && vw.Slew == f.rawSlew[vi] {
+		// Identical envelope, reference arrival and slew: the pure
+		// delay-noise function returns the memoized value.
+		n = f.rawVal[vi]
+	} else {
+		n = m.delayNoiseInto(vw, env, s)
+		f.rawLAT[vi], f.rawSlew[vi], f.rawVal[vi] = vw.LAT, vw.Slew, n
+		f.rawOK[vi] = true
+	}
+	// Keep per-net noise monotone across iterations: arrival shifts
+	// can move a victim past an aggressor envelope and make the raw
+	// recomputation oscillate, but delay noise once observed is never
+	// un-observed (the fixpoint lattice of Zhou [4] is ascended from
+	// below).
+	if n < prev {
+		n = prev
+	}
+	return n
+}

@@ -53,51 +53,31 @@ func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, 
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
 	}
 
-	extra := make([]float64, m.C.NumNets())
-	copy(extra, prev.NetNoise)
-	for v := range affected {
-		extra[v] = 0 // the cone restarts; couplings may have been removed
-	}
-	an := &Analysis{Base: prev.Base, NetNoise: extra}
-	cur, err := sta.Analyze(m.C, sta.Options{PIArrival: m.PIArrival, ExtraLAT: extra})
+	// Adopt the previous converged timing — prev.Timing is exactly
+	// what a full analysis with prev.NetNoise produces, so the
+	// incremental analyzer starts bit-aligned with prev and the only
+	// re-timing work is the cone restart below.
+	inc, err := sta.NewIncrementalFrom(prev.Timing, sta.Options{PIArrival: m.PIArrival, ExtraLAT: prev.NetNoise})
 	if err != nil {
 		return nil, IncrementalStats{}, fmt.Errorf("noise: incremental: %w", err)
 	}
-	an.Timing = cur
-	for iter := 1; iter <= m.MaxIterations; iter++ {
-		an.Iterations = iter
-		maxDelta := 0.0
-		next := make([]float64, len(extra))
-		copy(next, extra)
-		for v := range affected {
-			ids := m.activeCouplingsOf(v, mask)
-			if len(ids) == 0 {
-				next[v] = 0
-				continue
-			}
-			env := m.CombinedEnvelope(v, ids, cur.Windows)
-			vw := cur.Window(v)
-			vw.LAT -= extra[v]
-			n := m.DelayNoise(vw, env)
-			if n < extra[v] {
-				n = extra[v] // monotone within the incremental run
-			}
-			next[v] = n
-			if d := n - extra[v]; d > maxDelta {
-				maxDelta = d
-			}
+	for v := range affected {
+		inc.SetExtraLAT(v, 0) // the cone restarts; couplings may have been removed
+	}
+	f := newFixpoint(m, mask, inc)
+	f.markChanged(inc.Update())
+	for v := range affected {
+		if vi := f.vIndex[v]; vi >= 0 {
+			f.dirty[vi] = true
 		}
-		extra = next
-		cur, err = sta.Analyze(m.C, sta.Options{PIArrival: m.PIArrival, ExtraLAT: extra})
-		if err != nil {
-			return nil, IncrementalStats{}, fmt.Errorf("noise: incremental: %w", err)
-		}
-		an.Timing = cur
-		an.NetNoise = extra
-		if maxDelta <= m.Tol {
-			an.Converged = true
-			break
-		}
+	}
+	iters, converged := f.iterate()
+	an := &Analysis{
+		Base:       prev.Base,
+		Timing:     inc.Snapshot(),
+		NetNoise:   append([]float64(nil), inc.ExtraLAT()...),
+		Iterations: iters,
+		Converged:  converged,
 	}
 	return an, IncrementalStats{Affected: len(affected)}, nil
 }

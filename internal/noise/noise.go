@@ -102,6 +102,21 @@ type Model struct {
 	// Nil means the paper's linear Thevenin model; SaturatingCSM
 	// provides the paper's future-work nonlinear extension.
 	Driver DriverModel
+	// Workers caps the goroutines evaluating independent victims
+	// within one fixpoint sweep. 0 means GOMAXPROCS, 1 forces serial
+	// sweeps. Results are byte-identical for any setting; callers that
+	// already parallelise whole analyses (e.g. the brute-force
+	// searcher) set 1 to avoid oversubscription.
+	Workers int
+}
+
+// WithWorkers returns a shallow copy of the model with the sweep
+// worker count set. The copy shares the circuit and all other
+// configuration.
+func (m *Model) WithWorkers(n int) *Model {
+	cp := *m
+	cp.Workers = n
+	return &cp
 }
 
 // NewModel creates a model with default iteration controls, taking
@@ -183,11 +198,26 @@ func (m *Model) VictimRamp(w sta.Window) waveform.PWL {
 // the combined noise envelope env is superimposed on (subtracted from,
 // for a rising victim) the latest victim transition.
 func (m *Model) DelayNoise(victimWin sta.Window, env waveform.PWL) float64 {
+	var s evalScratch
+	return m.delayNoiseInto(victimWin, env, &s)
+}
+
+// delayNoiseInto is DelayNoise evaluated through a caller-owned
+// scratch: the victim ramp is built in place and the ramp-minus-
+// envelope subtraction reuses the scratch buffer, so the fixpoint hot
+// path performs no steady-state allocation. The ramp points are
+// exactly VictimRamp's (slew clamp included), and SubInto is
+// point-identical to Sub, so the result matches the public DelayNoise
+// bit for bit.
+func (m *Model) delayNoiseInto(victimWin sta.Window, env waveform.PWL, s *evalScratch) float64 {
 	if env.IsZero() {
 		return 0
 	}
-	ramp := m.VictimRamp(victimWin)
-	noisy := waveform.Sub(ramp, env)
+	slew := math.Max(victimWin.Slew, 1e-3)
+	s.ramp[0] = waveform.Point{T: victimWin.LAT - slew/2, V: 0}
+	s.ramp[1] = waveform.Point{T: victimWin.LAT + slew/2, V: m.Vdd}
+	var noisy waveform.PWL
+	noisy, s.sub = waveform.SubInto(waveform.View(s.ramp[:]), env, s.sub)
 	t, ok := noisy.LatestTimeAtOrBelow(m.Vdd / 2)
 	if !ok {
 		// Envelope holds the victim below threshold past its span;
@@ -204,13 +234,13 @@ func (m *Model) DelayNoise(victimWin sta.Window, env waveform.PWL) float64 {
 // CombinedEnvelope sums the envelopes of the given couplings on the
 // victim, using each aggressor's window from win.
 func (m *Model) CombinedEnvelope(victim circuit.NetID, ids []circuit.CouplingID, win []sta.Window) waveform.PWL {
-	env := waveform.Zero()
+	var acc waveform.Accumulator
 	for _, id := range ids {
 		cp := m.C.Coupling(id)
 		agg := cp.Other(victim)
-		env = waveform.Add(env, m.Envelope(victim, cp, win[agg]))
+		acc.Add(m.Envelope(victim, cp, win[agg]))
 	}
-	return env
+	return acc.SumCopy()
 }
 
 // Analysis is the result of one noise-aware timing run.
@@ -246,11 +276,15 @@ func (a *Analysis) PropagatedShift(n circuit.NetID) float64 {
 // the given set of active couplings (nil mask = all active).
 //
 // The iteration starts from noiseless windows (the optimistic
-// fixpoint start of [3],[5]); each pass recomputes every victim's
-// worst-case delay noise from its aggressors' current windows, injects
-// it into the victim's latest arrival, and repeats until no net's
-// noise moves by more than Tol. Envelope widths grow monotonically
-// with window widths, so the iteration is monotone and converges.
+// fixpoint start of [3],[5]); each pass recomputes the worst-case
+// delay noise of every victim whose inputs moved, injects it into the
+// victim's latest arrival through an incremental re-timing of the
+// fanout cone, and repeats until no net's noise moves by more than
+// Tol. Envelope widths grow monotonically with window widths, so the
+// iteration is monotone and converges. After the first full sweep the
+// engine evaluates only the dirty-victim worklist (see fixpoint),
+// which is value-preserving: every skipped victim would recompute
+// exactly the noise it already carries.
 //
 // Run does not mutate the model or the circuit and is safe to call
 // concurrently; the returned Analysis is immutable shared data for
@@ -261,58 +295,36 @@ func (m *Model) Run(active Mask) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("noise: %w", err)
 	}
-	extra := make([]float64, m.C.NumNets())
-	cur := base
-	an := &Analysis{Base: base, Timing: base, NetNoise: extra}
-	for iter := 1; iter <= m.MaxIterations; iter++ {
-		an.Iterations = iter
-		next := make([]float64, m.C.NumNets())
-		maxDelta := 0.0
-		for _, net := range m.C.Nets() {
-			v := net.ID
-			ids := m.activeCouplingsOf(v, active)
-			if len(ids) == 0 {
-				continue
-			}
-			env := m.CombinedEnvelope(v, ids, cur.Windows)
-			// The reference victim transition includes noise propagated
-			// from the fanin but not the victim's own injected noise
-			// (which is exactly what we are recomputing here).
-			vw := cur.Window(v)
-			vw.LAT -= extra[v]
-			n := m.DelayNoise(vw, env)
-			// Keep per-net noise monotone across iterations: arrival
-			// shifts can move a victim past an aggressor envelope and
-			// make the raw recomputation oscillate, but delay noise
-			// once observed is never un-observed (the fixpoint lattice
-			// of Zhou [4] is ascended from below).
-			if n < extra[v] {
-				n = extra[v]
-			}
-			next[v] = n
-			if d := n - extra[v]; d > maxDelta {
-				maxDelta = d
-			}
-		}
-		extra = next
-		cur, err = sta.Analyze(m.C, sta.Options{PIArrival: m.PIArrival, ExtraLAT: extra})
-		if err != nil {
-			return nil, fmt.Errorf("noise: %w", err)
-		}
-		an.Timing = cur
-		an.NetNoise = extra
-		if maxDelta <= m.Tol {
-			an.Converged = true
-			break
-		}
+	// Adopt the noiseless timing instead of re-analyzing: a zero
+	// ExtraLAT vector is bit-transparent to window propagation.
+	inc, err := sta.NewIncrementalFrom(base, opt)
+	if err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
+	f := newFixpoint(m, active, inc)
+	f.seedAll()
+	iters, converged := f.iterate()
+	an := &Analysis{
+		Base:       base,
+		Timing:     inc.Snapshot(),
+		NetNoise:   append([]float64(nil), inc.ExtraLAT()...),
+		Iterations: iters,
+		Converged:  converged,
 	}
 	return an, nil
 }
 
 // activeCouplingsOf returns the active couplings incident on net v.
-func (m *Model) activeCouplingsOf(v circuit.NetID, active Mask) []circuit.CouplingID {
+// With a nil (all-active) mask this is the circuit's own adjacency
+// slice — shared, read-only, no allocation. Otherwise the filter
+// appends into scratch (grown as needed) and returns it; callers that
+// pass a reused scratch must consume the result before the next call.
+func (m *Model) activeCouplingsOf(v circuit.NetID, active Mask, scratch []circuit.CouplingID) []circuit.CouplingID {
 	all := m.C.CouplingsOf(v)
-	out := make([]circuit.CouplingID, 0, len(all))
+	if active == nil {
+		return all
+	}
+	out := scratch[:0]
 	for _, id := range all {
 		if active.Active(id) {
 			out = append(out, id)
@@ -325,12 +337,12 @@ func (m *Model) activeCouplingsOf(v circuit.NetID, active Mask) []circuit.Coupli
 // assuming every incident coupling has an infinite timing window; this
 // bounds the dominance interval of the top-k algorithm.
 func (m *Model) DelayUpperBound(v circuit.NetID, win []sta.Window) float64 {
-	env := waveform.Zero()
+	var acc waveform.Accumulator
 	vw := win[v]
 	for _, id := range m.C.CouplingsOf(v) {
 		cp := m.C.Coupling(id)
 		agg := cp.Other(v)
-		env = waveform.Add(env, m.InfiniteEnvelope(v, cp, vw, win[agg].Slew))
+		acc.Add(m.InfiniteEnvelope(v, cp, vw, win[agg].Slew))
 	}
-	return m.DelayNoise(vw, env)
+	return m.DelayNoise(vw, acc.Sum())
 }

@@ -1,0 +1,182 @@
+package sta
+
+import (
+	"fmt"
+
+	"topkagg/internal/circuit"
+)
+
+// Incremental maintains the timing of one circuit under a mutable
+// ExtraLAT vector and recomputes, on each Update, only the fanout cone
+// of the nets whose ExtraLAT actually changed. Because the per-net
+// propagation step is the same code the full Analyze runs
+// (computeWindow), the maintained windows are bit-identical to a fresh
+// Analyze with the same ExtraLAT — Update just skips the nets whose
+// inputs provably did not move.
+//
+// This is the substrate of the noise engine's worklist fixpoint: late
+// fixpoint iterations change a handful of arrival times, so re-timing
+// cost tracks the changed cone instead of circuit size.
+//
+// An Incremental is single-owner mutable state; it is not safe for
+// concurrent use.
+type Incremental struct {
+	c   *circuit.Circuit
+	opt Options // ExtraLAT aliases extra and is always non-nil
+
+	res   *Result
+	extra []float64
+
+	pos     []int // NetID -> position in topological order
+	inHeap  []bool
+	heap    []int // min-heap of topological positions pending recompute
+	changed []circuit.NetID
+}
+
+// NewIncremental builds an Incremental by running one full analysis
+// with the given options. opt.ExtraLAT (nil means all zeros) seeds the
+// mutable vector; the slice is copied, never aliased.
+func NewIncremental(c *circuit.Circuit, opt Options) (*Incremental, error) {
+	extra := make([]float64, c.NumNets())
+	if opt.ExtraLAT != nil {
+		copy(extra, opt.ExtraLAT)
+	}
+	opt.ExtraLAT = extra
+	res, err := Analyze(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newIncremental(c, opt, res, extra), nil
+}
+
+// NewIncrementalFrom adopts an existing analysis instead of rerunning
+// it: res must have been produced by Analyze(c, opt) with exactly the
+// given opt.ExtraLAT (nil means all zeros). The windows are copied, so
+// res itself stays untouched by later Updates.
+func NewIncrementalFrom(res *Result, opt Options) (*Incremental, error) {
+	c := res.Circuit
+	if len(res.Windows) != c.NumNets() || len(res.order) != c.NumNets() {
+		return nil, fmt.Errorf("sta: incremental: result shape does not match circuit %s", c.Name)
+	}
+	extra := make([]float64, c.NumNets())
+	if opt.ExtraLAT != nil {
+		copy(extra, opt.ExtraLAT)
+	}
+	opt.ExtraLAT = extra
+	cp := &Result{
+		Circuit: c,
+		Windows: append([]Window(nil), res.Windows...),
+		order:   res.order,
+	}
+	return newIncremental(c, opt, cp, extra), nil
+}
+
+func newIncremental(c *circuit.Circuit, opt Options, res *Result, extra []float64) *Incremental {
+	pos := make([]int, c.NumNets())
+	for i, nid := range res.order {
+		pos[nid] = i
+	}
+	return &Incremental{
+		c:      c,
+		opt:    opt,
+		res:    res,
+		extra:  extra,
+		pos:    pos,
+		inHeap: make([]bool, c.NumNets()),
+	}
+}
+
+// Result returns the live timing view. Its windows are mutated in
+// place by Update; callers needing a stable copy use Snapshot.
+func (inc *Incremental) Result() *Result { return inc.res }
+
+// Snapshot returns an immutable copy of the current timing, safe to
+// publish after further Updates.
+func (inc *Incremental) Snapshot() *Result {
+	return &Result{
+		Circuit: inc.c,
+		Windows: append([]Window(nil), inc.res.Windows...),
+		order:   inc.res.order,
+	}
+}
+
+// ExtraLAT returns the current extra-arrival vector (read-only view).
+func (inc *Incremental) ExtraLAT() []float64 { return inc.extra }
+
+// SetExtraLAT updates one net's extra latest arrival, scheduling its
+// recomputation on the next Update. Setting the current value is a
+// no-op.
+func (inc *Incremental) SetExtraLAT(n circuit.NetID, v float64) {
+	if inc.extra[n] == v {
+		return
+	}
+	inc.extra[n] = v
+	inc.push(n)
+}
+
+// Update propagates all pending ExtraLAT changes through the fanout
+// cone in topological order and returns the nets whose windows
+// actually changed. The returned slice is reused by the next Update;
+// callers must consume it before then.
+func (inc *Incremental) Update() []circuit.NetID {
+	inc.changed = inc.changed[:0]
+	for len(inc.heap) > 0 {
+		nid := inc.pop()
+		old := inc.res.Windows[nid]
+		w := computeWindow(inc.c, inc.opt, inc.res.Windows, nid)
+		if w == old {
+			continue
+		}
+		inc.res.Windows[nid] = w
+		inc.changed = append(inc.changed, nid)
+		for _, gid := range inc.c.Net(nid).Loads {
+			inc.push(inc.c.Gate(gid).Output)
+		}
+	}
+	return inc.changed
+}
+
+// push schedules a net for recomputation, once.
+func (inc *Incremental) push(n circuit.NetID) {
+	if inc.inHeap[n] {
+		return
+	}
+	inc.inHeap[n] = true
+	h := append(inc.heap, inc.pos[n])
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	inc.heap = h
+}
+
+// pop removes the topologically-earliest scheduled net.
+func (inc *Incremental) pop() circuit.NetID {
+	h := inc.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	inc.heap = h[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l] < h[s] {
+			s = l
+		}
+		if r < n && h[r] < h[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	nid := inc.res.order[top]
+	inc.inHeap[nid] = false
+	return nid
+}

@@ -1,0 +1,149 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+)
+
+// chainCircuit builds a small reconvergent circuit for incremental
+// tests.
+func chainCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(`circuit inc
+output y z
+gate g1 INV_X1 a -> n1
+gate g2 INV_X1 n1 -> n2
+gate g3 NAND2_X1 n2 b -> n3
+gate g4 INV_X1 n3 -> y
+gate h1 INV_X1 b -> m1
+gate h2 NAND2_X1 m1 n1 -> z
+`, cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestIncrementalBitIdenticalToAnalyze drives random ExtraLAT updates
+// through the incremental analyzer and checks every window is
+// bit-identical to a fresh full Analyze with the same vector.
+func TestIncrementalBitIdenticalToAnalyze(t *testing.T) {
+	c := chainCircuit(t)
+	inc, err := NewIncremental(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(71))
+	extra := make([]float64, c.NumNets())
+	for step := 0; step < 100; step++ {
+		// Mutate 1-3 nets; occasionally set back to zero.
+		for k := 0; k < 1+r.Intn(3); k++ {
+			n := circuit.NetID(r.Intn(c.NumNets()))
+			v := r.Float64() * 0.3
+			if r.Intn(4) == 0 {
+				v = 0
+			}
+			extra[n] = v
+			inc.SetExtraLAT(n, v)
+		}
+		inc.Update()
+		want, err := Analyze(c, Options{ExtraLAT: extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nid := range want.Windows {
+			if got := inc.Result().Windows[nid]; got != want.Windows[nid] {
+				t.Fatalf("step %d net %d: incremental %+v != full %+v",
+					step, nid, got, want.Windows[nid])
+			}
+		}
+	}
+}
+
+// TestIncrementalChangedSetIsCone checks Update reports exactly the
+// nets that moved, and that untouched updates report nothing.
+func TestIncrementalChangedSetIsCone(t *testing.T) {
+	c := chainCircuit(t)
+	inc, err := NewIncremental(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.Update(); len(got) != 0 {
+		t.Fatalf("no-op update changed %d nets", len(got))
+	}
+	n1, _ := c.NetByName("n1")
+	before := inc.Snapshot()
+	inc.SetExtraLAT(n1, 0.25)
+	moved := map[circuit.NetID]bool{}
+	for _, n := range inc.Update() {
+		moved[n] = true
+	}
+	if !moved[n1] {
+		t.Fatal("the updated net itself must be reported")
+	}
+	for nid, w := range inc.Result().Windows {
+		was := before.Windows[nid]
+		if (w != was) != moved[circuit.NetID(nid)] {
+			t.Fatalf("net %d: moved=%v but window delta=%v", nid, moved[circuit.NetID(nid)], w != was)
+		}
+	}
+	// A net outside n1's fanout cone must not be in the changed set.
+	m1, _ := c.NetByName("m1")
+	if moved[m1] {
+		t.Fatal("m1 is not in n1's fanout cone")
+	}
+	// Setting the same value again is a no-op.
+	inc.SetExtraLAT(n1, 0.25)
+	if got := inc.Update(); len(got) != 0 {
+		t.Fatalf("idempotent set changed %d nets", len(got))
+	}
+}
+
+// TestIncrementalFromAdoptsResult checks the adoption constructor
+// reproduces the source analysis without re-running it and diverges
+// correctly afterwards.
+func TestIncrementalFromAdoptsResult(t *testing.T) {
+	c := chainCircuit(t)
+	extra := make([]float64, c.NumNets())
+	extra[2] = 0.1
+	res, err := Analyze(c, Options{ExtraLAT: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalFrom(res, Options{ExtraLAT: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nid := range res.Windows {
+		if inc.Result().Windows[nid] != res.Windows[nid] {
+			t.Fatalf("adopted window %d differs", nid)
+		}
+	}
+	srcCopy := append([]Window(nil), res.Windows...)
+	inc.SetExtraLAT(circuit.NetID(2), 0.3)
+	inc.Update()
+	if inc.Result().Windows[2] == res.Windows[2] {
+		t.Fatal("update must move the adopted copy")
+	}
+	for nid := range res.Windows {
+		if res.Windows[nid] != srcCopy[nid] {
+			t.Fatal("source result mutated by adopted incremental")
+		}
+	}
+	extra2 := make([]float64, c.NumNets())
+	copy(extra2, extra)
+	extra2[2] = 0.3
+	want, err := Analyze(c, Options{ExtraLAT: extra2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nid := range want.Windows {
+		if inc.Result().Windows[nid] != want.Windows[nid] {
+			t.Fatalf("post-adoption update: net %d differs", nid)
+		}
+	}
+}

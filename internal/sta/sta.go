@@ -61,41 +61,47 @@ func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	res := &Result{Circuit: c, Windows: make([]Window, c.NumNets()), order: order}
 	for _, nid := range order {
-		net := c.Net(nid)
-		if net.Driver == circuit.NoGate {
-			w := Window{EAT: 0, LAT: 0, Slew: DefaultPISlew}
-			if opt.PIArrival != nil {
-				w = opt.PIArrival(nid)
-			}
-			if opt.ExtraLAT != nil {
-				w.LAT += opt.ExtraLAT[nid]
-			}
-			res.Windows[nid] = w
-			continue
+		res.Windows[nid] = computeWindow(c, opt, res.Windows, nid)
+	}
+	return res, nil
+}
+
+// computeWindow evaluates one net's window from its fanin windows —
+// the single propagation step shared by the full and incremental
+// analyses, so both produce bit-identical results.
+func computeWindow(c *circuit.Circuit, opt Options, windows []Window, nid circuit.NetID) Window {
+	net := c.Net(nid)
+	if net.Driver == circuit.NoGate {
+		w := Window{EAT: 0, LAT: 0, Slew: DefaultPISlew}
+		if opt.PIArrival != nil {
+			w = opt.PIArrival(nid)
 		}
-		g := c.Gate(net.Driver)
-		load := c.LoadCap(nid)
-		eat := math.Inf(1)
-		lat := math.Inf(-1)
-		slew := DefaultPISlew
-		for _, in := range g.Inputs {
-			iw := res.Windows[in]
-			d := g.Cell.Delay(load, iw.Slew)
-			if t := iw.EAT + d; t < eat {
-				eat = t
-			}
-			if t := iw.LAT + d; t > lat {
-				lat = t
-				slew = g.Cell.OutputSlew(load, iw.Slew)
-			}
-		}
-		w := Window{EAT: eat, LAT: lat, Slew: slew}
 		if opt.ExtraLAT != nil {
 			w.LAT += opt.ExtraLAT[nid]
 		}
-		res.Windows[nid] = w
+		return w
 	}
-	return res, nil
+	g := c.Gate(net.Driver)
+	load := c.LoadCap(nid)
+	eat := math.Inf(1)
+	lat := math.Inf(-1)
+	slew := DefaultPISlew
+	for _, in := range g.Inputs {
+		iw := windows[in]
+		d := g.Cell.Delay(load, iw.Slew)
+		if t := iw.EAT + d; t < eat {
+			eat = t
+		}
+		if t := iw.LAT + d; t > lat {
+			lat = t
+			slew = g.Cell.OutputSlew(load, iw.Slew)
+		}
+	}
+	w := Window{EAT: eat, LAT: lat, Slew: slew}
+	if opt.ExtraLAT != nil {
+		w.LAT += opt.ExtraLAT[nid]
+	}
+	return w
 }
 
 // Window returns the timing window of a net.

@@ -57,6 +57,16 @@ func TrianglePulse(t0, rise, fall, vp float64) PWL {
 // tFlatEnd must not precede t0+rise; if it does, the flat top is
 // collapsed to a triangle.
 func Trapezoid(t0, rise, flatEnd, fall, vp float64) PWL {
+	return PWL{pts: AppendTrapezoid(nil, t0, rise, flatEnd, fall, vp)}
+}
+
+// AppendTrapezoid appends Trapezoid's breakpoints to dst and returns
+// the extended slice — the allocation-free form for hot paths that
+// rebuild envelopes into reusable buffers (used with View). It
+// reproduces New's breakpoint merging for this shape exactly: the
+// edges are at least minWidth (≫ Eps) wide, so only a collapsed flat
+// top can merge.
+func AppendTrapezoid(dst []Point, t0, rise, flatEnd, fall, vp float64) []Point {
 	if rise < minWidth {
 		rise = minWidth
 	}
@@ -67,12 +77,13 @@ func Trapezoid(t0, rise, flatEnd, fall, vp float64) PWL {
 	if flatEnd < peakStart {
 		flatEnd = peakStart
 	}
-	return MustNew(
-		Point{T: t0, V: 0},
-		Point{T: peakStart, V: vp},
-		Point{T: flatEnd, V: vp},
-		Point{T: flatEnd + fall, V: 0},
-	)
+	dst = append(dst, Point{T: t0, V: 0}, Point{T: peakStart, V: vp})
+	if flatEnd <= peakStart+Eps {
+		dst[len(dst)-1] = Point{T: math.Max(peakStart, flatEnd), V: vp}
+	} else {
+		dst = append(dst, Point{T: flatEnd, V: vp})
+	}
+	return append(dst, Point{T: flatEnd + fall, V: 0})
 }
 
 // T50 returns the 50%-vdd crossing of a monotone transition waveform.

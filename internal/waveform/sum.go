@@ -1,0 +1,96 @@
+package waveform
+
+// Sum returns the pointwise sum of all waveforms. Repeated pairwise
+// Add over k envelopes of p points each costs O(k²p) point visits and
+// k-1 intermediate allocations; the balanced reduction here costs
+// O(kp·log k) visits and allocates only the result.
+func Sum(ws ...PWL) PWL {
+	var acc Accumulator
+	for _, w := range ws {
+		acc.Add(w)
+	}
+	return acc.Sum().clone()
+}
+
+// Accumulator sums many waveforms by balanced pairwise reduction,
+// using the same two-cursor merge Add uses (appendCombine). Every
+// pairwise merge writes into its own reusable buffer from an internal
+// pool — appendCombine requires a fresh destination, and distinct
+// buffers mean no merge can read storage another is writing — so a
+// hot loop that repeatedly combines envelope sets performs no
+// steady-state allocation. The zero value is ready to use. An
+// Accumulator is not safe for concurrent use; give each worker its
+// own.
+type Accumulator struct {
+	ws   []PWL
+	cur  []PWL
+	pool [][]Point
+}
+
+// Reset clears the accumulated waveforms, keeping the buffers.
+func (a *Accumulator) Reset() { a.ws = a.ws[:0] }
+
+// Add appends one waveform to the set being summed. Zero (empty)
+// waveforms are skipped — they cannot contribute breakpoints.
+func (a *Accumulator) Add(w PWL) {
+	if len(w.pts) > 0 {
+		a.ws = append(a.ws, w)
+	}
+}
+
+// Len returns the number of accumulated (non-zero) waveforms.
+func (a *Accumulator) Len() int { return len(a.ws) }
+
+// Sum reduces the accumulated waveforms and returns a PWL viewing the
+// final merge buffer. The result aliases the accumulator's scratch:
+// it is valid only until the next Sum call. Callers that need to
+// retain the waveform must use SumCopy. Two waveforms take the exact
+// code path of Add, so the pair sum is bit-identical; for three or
+// more the tree association may differ from a left-to-right cascade
+// by ulp-level rounding.
+func (a *Accumulator) Sum() PWL {
+	switch len(a.ws) {
+	case 0:
+		return Zero()
+	case 1:
+		// A single waveform sums to itself, bit for bit.
+		return a.ws[0]
+	}
+	src := append(a.cur[:0], a.ws...)
+	a.cur = src[:0]
+	nbuf := 0
+	for len(src) > 1 {
+		w := 0
+		for i := 0; i+1 < len(src); i += 2 {
+			if nbuf == len(a.pool) {
+				a.pool = append(a.pool, nil)
+			}
+			out := appendCombine(a.pool[nbuf][:0], src[i], src[i+1], +1)
+			a.pool[nbuf] = out
+			nbuf++
+			src[w] = PWL{pts: out}
+			w++
+		}
+		if len(src)%2 == 1 {
+			// The unpaired waveform rides into the next round; its
+			// backing (a caller waveform or an earlier round's buffer)
+			// is not written again this call.
+			src[w] = src[len(src)-1]
+			w++
+		}
+		src = src[:w]
+	}
+	return src[0]
+}
+
+// SumCopy is Sum with the result copied out of the scratch buffer, so
+// it remains valid indefinitely.
+func (a *Accumulator) SumCopy() PWL { return a.Sum().clone() }
+
+// clone returns a PWL backed by its own freshly allocated points.
+func (w PWL) clone() PWL {
+	if len(w.pts) == 0 {
+		return Zero()
+	}
+	return PWL{pts: append([]Point(nil), w.pts...)}
+}

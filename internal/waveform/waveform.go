@@ -101,6 +101,11 @@ func (w PWL) Points() []Point {
 	return out
 }
 
+// AppendTo appends the waveform's breakpoints to buf and returns the
+// extended slice — the allocation-free export used together with View
+// by hot paths that cache waveforms in caller-owned storage.
+func (w PWL) AppendTo(buf []Point) []Point { return append(buf, w.pts...) }
+
 // NumPoints returns the number of breakpoints.
 func (w PWL) NumPoints() int { return len(w.pts) }
 
@@ -230,67 +235,125 @@ func linearCombine(a, b PWL, sign float64) PWL {
 	if len(a.pts) == 0 && len(b.pts) == 0 {
 		return Zero()
 	}
-	out := make([]Point, 0, len(a.pts)+len(b.pts))
-	i, j := 0, 0
-	// segVal returns the value of w at time t given the index of the
-	// first breakpoint at-or-after t (constant extension outside).
-	segVal := func(w PWL, idx int, t float64) float64 {
-		switch {
-		case len(w.pts) == 0:
-			return 0
-		case idx == 0:
-			return w.pts[0].V
-		case idx >= len(w.pts):
-			return w.pts[len(w.pts)-1].V
-		}
-		p, q := w.pts[idx-1], w.pts[idx]
-		if q.T == p.T {
-			return q.V
-		}
-		f := (t - p.T) / (q.T - p.T)
-		return p.V + f*(q.V-p.V)
-	}
-	for i < len(a.pts) || j < len(b.pts) {
-		var t float64
-		switch {
-		case i >= len(a.pts):
-			t = b.pts[j].T
-		case j >= len(b.pts):
-			t = a.pts[i].T
-		case a.pts[i].T <= b.pts[j].T:
-			t = a.pts[i].T
-		default:
-			t = b.pts[j].T
-		}
-		for i < len(a.pts) && a.pts[i].T <= t {
-			i++
-		}
-		for j < len(b.pts) && b.pts[j].T <= t {
-			j++
-		}
-		v := segVal(a, i, t) + sign*segVal(b, j, t)
-		if n := len(out); n > 0 && t <= out[n-1].T+Eps {
-			out[n-1] = Point{T: math.Max(out[n-1].T, t), V: v}
-			continue
-		}
-		out = append(out, Point{T: t, V: v})
-	}
-	return PWL{pts: out}
+	return PWL{pts: appendCombine(make([]Point, 0, len(a.pts)+len(b.pts)), a, b, sign)}
 }
 
-// Sum returns the pointwise sum of all waveforms.
-func Sum(ws ...PWL) PWL {
-	acc := Zero()
-	for _, w := range ws {
-		acc = Add(acc, w)
+// appendCombine appends the breakpoints of a + sign·b to dst and
+// returns the extended slice. dst should arrive with length 0; it is
+// the scratch-buffer form of linearCombine.
+func appendCombine(dst []Point, a, b PWL, sign float64) []Point {
+	ap, bp := a.pts, b.pts
+	// Disjoint spans reduce to scaled copies with the far side's
+	// constant extension added — the common case when summing noise
+	// envelopes spread across the clock period. The per-point sums
+	// below are exactly the va + sign·vb the merge loop would compute.
+	if len(ap) > 0 && len(bp) > 0 {
+		switch {
+		case ap[len(ap)-1].T < bp[0].T-Eps:
+			sb := sign * bp[0].V
+			for _, p := range ap {
+				dst = append(dst, Point{T: p.T, V: p.V + sb})
+			}
+			va := ap[len(ap)-1].V
+			for _, p := range bp {
+				dst = append(dst, Point{T: p.T, V: va + sign*p.V})
+			}
+			return dst
+		case bp[len(bp)-1].T < ap[0].T-Eps:
+			va := ap[0].V
+			for _, p := range bp {
+				dst = append(dst, Point{T: p.T, V: va + sign*p.V})
+			}
+			sb := sign * bp[len(bp)-1].V
+			for _, p := range ap {
+				dst = append(dst, Point{T: p.T, V: p.V + sb})
+			}
+			return dst
+		}
 	}
-	return acc
+	i, j := 0, 0
+	for i < len(ap) || j < len(bp) {
+		var t float64
+		switch {
+		case i >= len(ap):
+			t = bp[j].T
+		case j >= len(bp):
+			t = ap[i].T
+		case ap[i].T <= bp[j].T:
+			t = ap[i].T
+		default:
+			t = bp[j].T
+		}
+		for i < len(ap) && ap[i].T <= t {
+			i++
+		}
+		for j < len(bp) && bp[j].T <= t {
+			j++
+		}
+		// Manually inlined segVal on both sides, same operation order.
+		var va, vb float64
+		switch {
+		case len(ap) == 0:
+			va = 0
+		case i == 0:
+			va = ap[0].V
+		case i >= len(ap):
+			va = ap[len(ap)-1].V
+		default:
+			p, q := ap[i-1], ap[i]
+			if q.T == p.T {
+				va = q.V
+			} else {
+				f := (t - p.T) / (q.T - p.T)
+				va = p.V + f*(q.V-p.V)
+			}
+		}
+		switch {
+		case len(bp) == 0:
+			vb = 0
+		case j == 0:
+			vb = bp[0].V
+		case j >= len(bp):
+			vb = bp[len(bp)-1].V
+		default:
+			p, q := bp[j-1], bp[j]
+			if q.T == p.T {
+				vb = q.V
+			} else {
+				f := (t - p.T) / (q.T - p.T)
+				vb = p.V + f*(q.V-p.V)
+			}
+		}
+		v := va + sign*vb
+		if n := len(dst); n > 0 && t <= dst[n-1].T+Eps {
+			dst[n-1] = Point{T: math.Max(dst[n-1].T, t), V: v}
+			continue
+		}
+		dst = append(dst, Point{T: t, V: v})
+	}
+	return dst
 }
 
 // Sub returns the pointwise difference a - b.
 func Sub(a, b PWL) PWL {
 	return linearCombine(a, b, -1)
 }
+
+// SubInto computes a - b into buf (reused if capacity allows) and
+// returns a PWL viewing the result plus the grown buffer. The returned
+// PWL aliases the buffer: it is valid only until the buffer's next
+// reuse. It is the allocation-free form of Sub for hot paths that
+// consume the difference immediately (delay-noise t50 extraction).
+func SubInto(a, b PWL, buf []Point) (PWL, []Point) {
+	buf = appendCombine(buf[:0], a, b, -1)
+	return PWL{pts: buf}, buf
+}
+
+// View wraps pts in a PWL without copying or validation. The caller
+// must keep the points sorted by time and must not mutate them while
+// the PWL is in use. Intended for scratch-buffer reuse on hot paths;
+// everything else should use New.
+func View(pts []Point) PWL { return PWL{pts: pts} }
 
 // Max returns the pointwise maximum of a and b, inserting breakpoints
 // at segment intersections so the result is exact.
