@@ -22,6 +22,7 @@ import (
 	"topkagg/internal/core"
 	"topkagg/internal/gen"
 	"topkagg/internal/noise"
+	"topkagg/internal/obs"
 )
 
 // result is one benchmark measurement in the output file.
@@ -40,6 +41,11 @@ type report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"numCPU"`
 	Results    []result `json:"results"`
+	// Metrics holds, per model, the observability snapshot of one
+	// instrumented fixpoint run (sweep counts, worklist depths, memo
+	// hit rates) — the enabled-path evidence the perf criteria ask for.
+	// The timed benchmarks above run uninstrumented.
+	Metrics map[string]*obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -153,6 +159,15 @@ func run(out string, quick bool) error {
 		rep.Results = append(rep.Results, res)
 		fmt.Printf("%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	rep.Metrics = map[string]*obs.Snapshot{}
+	for _, name := range []string{"i1", "i3"} {
+		reg := obs.New()
+		if _, err := models[name].WithObs(reg).Run(nil); err != nil {
+			return err
+		}
+		rep.Metrics[name] = reg.Snapshot()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -56,6 +56,8 @@ type config struct {
 	workers                            int
 	fixWorkers                         int
 	batch                              string
+	metrics                            bool
+	debugAddr                          string
 }
 
 // run is the whole command: parse args, execute, report. It returns
@@ -82,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.workers, "workers", 0, "worker goroutines for -batch (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.fixWorkers, "fixpoint-workers", 0, "worker goroutines inside each noise-fixpoint sweep (0 = GOMAXPROCS)")
 	fs.StringVar(&cfg.batch, "batch", "", "JSON batch-query file; all queries share one analyzer")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "print the engine metrics summary table after the run")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +115,19 @@ func (cfg *config) execute(w io.Writer) error {
 	if cfg.fixWorkers > 0 {
 		m = m.WithWorkers(cfg.fixWorkers)
 	}
+	var reg *topkagg.Metrics
+	if cfg.metrics || cfg.debugAddr != "" {
+		reg = topkagg.NewMetrics()
+		m = m.WithObs(reg)
+	}
+	if cfg.debugAddr != "" {
+		d, err := topkagg.ServeDebug(reg, cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		fmt.Fprintf(w, "debug endpoint on http://%s/ (metrics, expvar, pprof)\n", d.Addr())
+	}
 	opt := topkagg.Options{}
 	if cfg.exact {
 		opt = topkagg.ExactOptions()
@@ -126,10 +143,22 @@ func (cfg *config) execute(w io.Writer) error {
 			fr.EarlyFiltered, fr.LateFiltered, fr.UnobservableFiltered, fr.MagnitudeFiltered)
 	}
 
+	var runErr error
 	if cfg.batch != "" {
-		return cfg.runBatch(w, c, m, opt)
+		runErr = cfg.runBatch(w, c, m, opt)
+	} else {
+		runErr = cfg.runSingle(w, c, m, opt)
 	}
-	return cfg.runSingle(w, c, m, opt)
+	// The metrics table prints even after a partially failed batch:
+	// what the engines did up to the failure is exactly what the flag
+	// asks to see.
+	if cfg.metrics {
+		fmt.Fprintln(w, "\nengine metrics:")
+		if err := reg.Snapshot().WriteTable(w); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
 }
 
 // runSingle is the original one-query mode.

@@ -189,6 +189,44 @@ func TestRunFlags(t *testing.T) {
 			wantOut:  []string{"top-2 add set", "prune-dom", "max-width"},
 		},
 		{
+			name:     "metrics single mode",
+			args:     []string{"-netlist", ckt, "-k", "2", "-metrics"},
+			wantCode: 0,
+			wantOut: []string{
+				"engine metrics:",
+				"noise.fixpoint.sweeps",
+				"noise.fixpoint.worklist_depth",
+				"core.topk.candidates",
+				"sta.incremental.cone_size",
+				"span.noise.run",
+				"span.core.topk",
+			},
+		},
+		{
+			name:     "metrics batch mode",
+			args:     []string{"-netlist", ckt, "-batch", batches["good.json"], "-metrics"},
+			wantCode: 0,
+			wantOut: []string{
+				"engine metrics:",
+				"serve.queries",
+				"serve.query_ns/addition",
+				"serve.batch_size",
+				"noise.incremental.runs",
+			},
+		},
+		{
+			name:     "debug endpoint announce",
+			args:     []string{"-netlist", ckt, "-k", "1", "-debug-addr", "127.0.0.1:0"},
+			wantCode: 0,
+			wantOut:  []string{"debug endpoint on http://127.0.0.1:"},
+		},
+		{
+			name:     "debug endpoint bad address",
+			args:     []string{"-netlist", ckt, "-k", "1", "-debug-addr", "nosuchhost.invalid:99999"},
+			wantCode: 1,
+			wantErr:  "debug endpoint",
+		},
+		{
 			name:     "negative workers",
 			args:     []string{"-netlist", ckt, "-batch", batches["good.json"], "-workers", "-3"},
 			wantCode: 1,

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/bruteforce"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestDifferentialAgainstBruteForce is the differential harness of the
+// observability PR: 50 seeded random small circuits, pruned top-k
+// addition and elimination vs the exhaustive brute-force baseline for
+// k ∈ {1,2,3}, compared at the bit level (math.Float64bits).
+//
+// Bit-level comparison is meaningful because both sides measure masks
+// with the same reference engine (Model.Run), whose results are
+// deterministic for any worker count — when both pick a set of equal
+// quality, the delays agree bit for bit, not merely within tolerance.
+// What each cardinality guarantees differs:
+//
+//   - k = 1: the enumeration scores every primary aggressor exactly,
+//     so the selection must be byte-identical to brute force on every
+//     seed and both modes.
+//   - k = 2,3: the implicit enumeration is heuristic — a candidate set
+//     the construction rules never generate cannot win — so the
+//     guarantee is the optimality *bound* (never beyond the
+//     brute-force optimum, bitwise comparable) plus a deterministic
+//     floor on how many curve points match exactly. The floor (280 of
+//     300 points; currently 291) catches any regression in candidate
+//     generation or pruning without asserting more than the paper's
+//     algorithm promises.
+//
+// Every reported delay is additionally re-measured with an independent
+// reference run of the selected mask, which must reproduce the
+// reported number bit for bit unless the rescoring monotone clamp
+// replaced it with the previous cardinality's delay (then THAT must
+// match bit for bit).
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	const maxK = 3
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	exact, points := 0, 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		c, err := gen.Build(gen.Spec{Name: "diff", Gates: 10, Couplings: 9, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serial inner sweeps: worker-count invariance is asserted
+		// separately; here the comparison itself is the point.
+		m := noise.NewModel(c).WithWorkers(1)
+
+		for _, elim := range []bool{false, true} {
+			mode := "addition"
+			run := TopKAddition
+			bfRun := bruteforce.Addition
+			if elim {
+				mode = "elimination"
+				run = TopKElimination
+				bfRun = bruteforce.Elimination
+			}
+			res, err := run(m, maxK, Exact())
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, mode, err)
+			}
+			for k := 1; k <= maxK && k <= len(res.PerK); k++ {
+				bf, err := bfRun(m, k, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.PerK[k-1].Delay
+				points++
+				if math.Float64bits(got) == math.Float64bits(bf.Delay) {
+					exact++
+				} else if k == 1 {
+					t.Errorf("seed %d %s k=1: pruned %.17g != brute force %.17g (sets %v vs %v)",
+						seed, mode, got, bf.Delay, res.PerK[0].IDs, bf.IDs)
+				}
+				// The optimality bound holds unconditionally: brute
+				// force maximizes addition delay and minimizes
+				// elimination delay over all same-cardinality sets.
+				if (!elim && got > bf.Delay) || (elim && got < bf.Delay) {
+					t.Errorf("seed %d %s k=%d: pruned %.17g beats exhaustive optimum %.17g — measurement paths diverged",
+						seed, mode, k, got, bf.Delay)
+				}
+
+				// Re-measure the selected mask independently.
+				var mask noise.Mask
+				if elim {
+					mask = noise.WithoutMask(c, res.PerK[k-1].IDs)
+				} else {
+					mask = noise.MaskOf(c, res.PerK[k-1].IDs)
+				}
+				an, err := m.Run(mask)
+				if err != nil {
+					t.Fatal(err)
+				}
+				measured := an.CircuitDelay()
+				if math.Float64bits(measured) != math.Float64bits(got) {
+					clamped := k > 1 && math.Float64bits(got) == math.Float64bits(res.PerK[k-2].Delay)
+					if !clamped {
+						t.Errorf("seed %d %s k=%d: reported %.17g but independent re-measurement gives %.17g",
+							seed, mode, k, got, measured)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("byte-identical curve points: %d of %d", exact, points)
+	// Deterministic floor (fixed seeds, pure-Go float math): currently
+	// 291/300. A drop below 280 means candidate generation or pruning
+	// lost real optima.
+	if want := points * 280 / 300; exact < want {
+		t.Errorf("only %d of %d points byte-identical (floor %d) — enumeration quality regressed", exact, points, want)
+	}
+}

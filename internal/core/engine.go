@@ -949,6 +949,11 @@ func (e *engine) run(k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
+	reg := e.m.Obs
+	defer reg.Span("core.topk").End()
+	if reg != nil {
+		reg.Counter("core.topk.runs").Inc()
+	}
 	start := time.Now()
 	res := &Result{
 		K:         k,
@@ -993,6 +998,7 @@ func (e *engine) run(k int) (*Result, error) {
 		}
 		chain, chainPO = s, po
 		e.kstat.Elapsed = time.Since(kStart)
+		publishKStats(reg, e.kstat)
 		e.stats.PerK = append(e.stats.PerK, *e.kstat)
 		res.PerK = append(res.PerK, Selected{IDs: copyIDs(s.ids), Estimate: est, Delay: est})
 		res.ElapsedPerK = append(res.ElapsedPerK, time.Since(start))
@@ -1004,6 +1010,9 @@ func (e *engine) run(k int) (*Result, error) {
 			return nil, err
 		}
 		e.stats.RescoreElapsed = time.Since(rStart)
+	}
+	if reg != nil {
+		reg.Counter("core.topk.rescore_runs").Add(int64(e.stats.RescoreRuns))
 	}
 	return res, nil
 }

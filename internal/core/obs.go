@@ -1,0 +1,39 @@
+package core
+
+import (
+	"topkagg/internal/obs"
+)
+
+// publishKStats mirrors one cardinality's enumeration counters into the
+// model's metric registry (no-op without one). Publication happens
+// serially at the end of each cardinality — the per-victim counts were
+// already merged into KStats by the serial level merge in iterate — so
+// the published totals are deterministic for any worker count.
+//
+// Metric names (see DESIGN.md §8):
+//
+//	core.topk.runs              enumerations started
+//	core.topk.cardinalities     cardinalities completed
+//	core.topk.candidates        candidate sets generated (all rules)
+//	core.topk.duplicates        candidates removed by dedupe
+//	core.topk.pruned_dominance  candidates dropped by Theorem 1 pruning
+//	core.topk.pruned_beam       candidates dropped by the width cap
+//	core.topk.verified          candidates re-measured by the reference engine
+//	core.topk.rescore_runs      reference evaluations during rescoring
+//	core.topk.ilist_width       histogram: widest I-list per cardinality
+//	core.topk.lists             histogram: victims with non-empty lists per cardinality
+//	core.topk.cardinality_ns    histogram: wall time per cardinality
+func publishKStats(r *obs.Registry, ks *KStats) {
+	if r == nil {
+		return
+	}
+	r.Counter("core.topk.cardinalities").Inc()
+	r.Counter("core.topk.candidates").Add(int64(ks.Candidates))
+	r.Counter("core.topk.duplicates").Add(int64(ks.Duplicates))
+	r.Counter("core.topk.pruned_dominance").Add(int64(ks.PrunedDominance))
+	r.Counter("core.topk.pruned_beam").Add(int64(ks.PrunedBeam))
+	r.Counter("core.topk.verified").Add(int64(ks.Verified))
+	r.Histogram("core.topk.ilist_width").Observe(int64(ks.MaxIListWidth))
+	r.Histogram("core.topk.lists").Observe(int64(ks.Lists))
+	r.Histogram("core.topk.cardinality_ns").Observe(int64(ks.Elapsed))
+}

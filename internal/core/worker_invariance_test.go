@@ -1,0 +1,104 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+	"topkagg/internal/obs"
+)
+
+// stripTime returns a Stats copy with every wall-clock field zeroed,
+// leaving only the deterministic enumeration counters.
+func stripTime(st *Stats) *Stats {
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	cp.RescoreElapsed = 0
+	cp.PerK = append([]KStats(nil), st.PerK...)
+	for i := range cp.PerK {
+		cp.PerK[i].Elapsed = 0
+	}
+	return &cp
+}
+
+// TestStatsWorkerInvariance is the regression test behind the KStats
+// atomicity audit: the engine generates candidates level-parallel but
+// merges every per-victim result serially after the workers join, so
+// Stats, KStats, and every published metric counter must be identical
+// for any worker count — not approximately, identically. The noise
+// fixpoint counters ride on the same guarantee (per-worker scratch
+// counters flushed serially after each run over a deterministic eval
+// set). A mismatch here means a counter moved onto a shared path
+// without synchronization, exactly the bug class the audit looked for.
+// Run under -race to catch the unsynchronized write itself.
+func TestStatsWorkerInvariance(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "winv", Gates: 30, Couplings: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, elim := range []bool{false, true} {
+		run := TopKAddition
+		mode := "addition"
+		if elim {
+			run = TopKElimination
+			mode = "elimination"
+		}
+		type outcome struct {
+			res  *Result
+			snap *obs.Snapshot
+		}
+		byWorkers := map[int]outcome{}
+		for _, w := range []int{1, 8} {
+			reg := obs.New()
+			m := noise.NewModel(c).WithWorkers(w).WithObs(reg)
+			res, err := run(m, 4, Options{SlackFrac: 1, VerifyTop: 4})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mode, w, err)
+			}
+			byWorkers[w] = outcome{res: res, snap: reg.Snapshot()}
+		}
+		serial, parallel := byWorkers[1], byWorkers[8]
+
+		if !reflect.DeepEqual(stripTime(serial.res.Stats), stripTime(parallel.res.Stats)) {
+			t.Errorf("%s: Stats differ between workers=1 and workers=8:\n  w1: %+v\n  w8: %+v",
+				mode, stripTime(serial.res.Stats), stripTime(parallel.res.Stats))
+		}
+
+		// Every metric counter — enumeration, fixpoint, memo, STA — must
+		// match exactly. Counter names are identical by construction
+		// (same code paths ran), so compare the full maps.
+		if !reflect.DeepEqual(serial.snap.Counters, parallel.snap.Counters) {
+			for name, v1 := range serial.snap.Counters {
+				if v8 := parallel.snap.Counters[name]; v8 != v1 {
+					t.Errorf("%s: counter %s: workers=1 -> %d, workers=8 -> %d", mode, name, v1, v8)
+				}
+			}
+			for name := range parallel.snap.Counters {
+				if _, ok := serial.snap.Counters[name]; !ok {
+					t.Errorf("%s: counter %s exists only under workers=8", mode, name)
+				}
+			}
+		}
+
+		// Histograms of counts (not durations) must agree in shape:
+		// same observation count, sum, and extremes.
+		for name, h1 := range serial.snap.Histograms {
+			if strings.HasPrefix(name, "span.") || strings.Contains(name, "_ns") {
+				continue
+			}
+			h8, ok := parallel.snap.Histograms[name]
+			if !ok {
+				t.Errorf("%s: histogram %s missing under workers=8", mode, name)
+				continue
+			}
+			if h1.Count != h8.Count || h1.Sum != h8.Sum || h1.Min != h8.Min || h1.Max != h8.Max {
+				t.Errorf("%s: histogram %s differs: workers=1 count=%d sum=%d min=%d max=%d, workers=8 count=%d sum=%d min=%d max=%d",
+					mode, name, h1.Count, h1.Sum, h1.Min, h1.Max, h8.Count, h8.Sum, h8.Min, h8.Max)
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@ package kselect
 import (
 	"fmt"
 	"math"
+
+	"topkagg/internal/obs"
 )
 
 // Params tune the knee detection.
@@ -20,6 +22,10 @@ type Params struct {
 	// threshold for the curve to count as settled. Zero selects
 	// DefaultWindow.
 	Window int
+	// Obs, when non-nil, records knee-detection metrics:
+	// "kselect.calls", "kselect.settled" and the histograms
+	// "kselect.good_k" / "kselect.curve_len".
+	Obs *obs.Registry
 }
 
 // Defaults for the zero Params value.
@@ -52,6 +58,7 @@ func GoodK(curve []float64, base, all float64, p Params) (k int, settled bool, e
 	if len(curve) == 0 {
 		return 0, false, fmt.Errorf("kselect: empty delay curve")
 	}
+	defer func() { p.record(len(curve), k, settled, err) }()
 	span := math.Abs(all - base)
 	if span <= 0 {
 		// No crosstalk at all: k = 1 trivially suffices.
@@ -75,6 +82,19 @@ func GoodK(curve []float64, base, all float64, p Params) (k int, settled bool, e
 		}
 	}
 	return len(curve), false, nil
+}
+
+// record publishes one knee detection to the registry, if any.
+func (p Params) record(curveLen, k int, settled bool, err error) {
+	if p.Obs == nil || err != nil {
+		return
+	}
+	p.Obs.Counter("kselect.calls").Inc()
+	if settled {
+		p.Obs.Counter("kselect.settled").Inc()
+	}
+	p.Obs.Histogram("kselect.good_k").Observe(int64(k))
+	p.Obs.Histogram("kselect.curve_len").Observe(int64(curveLen))
 }
 
 // Knee is a convenience over GoodK that extracts the delay curve from

@@ -29,12 +29,14 @@ type envEntry struct {
 }
 
 // evalScratch is one worker's allocation-free workspace: the k-way
-// envelope accumulator, the ramp-minus-envelope subtraction buffer and
-// the two-point victim ramp. Each sweep worker owns exactly one.
+// envelope accumulator, the ramp-minus-envelope subtraction buffer,
+// the two-point victim ramp and the worker-local observability counts.
+// Each sweep worker owns exactly one.
 type evalScratch struct {
-	acc  waveform.Accumulator
-	sub  []waveform.Point
-	ramp [2]waveform.Point
+	acc    waveform.Accumulator
+	sub    []waveform.Point
+	ramp   [2]waveform.Point
+	counts evalCounts
 }
 
 // fixpoint is the worklist-driven engine behind Run and
@@ -99,6 +101,8 @@ type fixpoint struct {
 
 	scratch []evalScratch
 	workers int
+
+	obs *fixObs // resolved metric handles; nil when uninstrumented
 }
 
 // newFixpoint builds the sweep state for one analysis: the victim set
@@ -142,6 +146,7 @@ func newFixpoint(m *Model, active Mask, inc *sta.Incremental) *fixpoint {
 		f.workers = 1
 	}
 	f.scratch = make([]evalScratch, f.workers)
+	f.obs = newFixObs(m.Obs)
 	return f
 }
 
@@ -198,6 +203,10 @@ func (f *fixpoint) iterate() (iters int, converged bool) {
 	for iter := 1; iter <= f.m.MaxIterations; iter++ {
 		iters = iter
 		f.buildQueue()
+		if o := f.obs; o != nil {
+			o.sweeps.Inc()
+			o.worklistDepth.Observe(int64(len(f.queue)))
+		}
 		maxDelta := f.sweep()
 		f.markChanged(f.inc.Update())
 		if maxDelta <= f.m.Tol {
@@ -205,6 +214,7 @@ func (f *fixpoint) iterate() (iters int, converged bool) {
 			break
 		}
 	}
+	f.obs.flush(f.scratch, iters, converged)
 	return iters, converged
 }
 
@@ -287,6 +297,7 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 	// notifications, identical for every worker count.
 	wins := f.notified
 	s.acc.Reset()
+	s.counts.evals++
 	allHit := true
 	for _, id := range f.vIDs[vi] {
 		cp := m.C.Coupling(id)
@@ -297,9 +308,13 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 		}
 		e := &f.envs[2*int(id)+side]
 		if !e.valid || e.win != wins[agg] {
+			s.counts.envMisses++
 			if !e.pvalid || e.win.Slew != wins[agg].Slew {
+				s.counts.pulseMiss++
 				e.pulse = m.PulseParams(v, cp, wins[agg].Slew)
 				e.pvalid = true
+			} else {
+				s.counts.pulseHits++
 			}
 			e.win = wins[agg]
 			// Inline Envelope with the memoized pulse, building into the
@@ -313,6 +328,8 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 			}
 			e.valid = true
 			allHit = false
+		} else {
+			s.counts.envHits++
 		}
 		s.acc.Add(e.env)
 	}
@@ -320,8 +337,10 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 	if allHit && f.sumOK[vi] {
 		// No aggressor window moved since the last evaluation, so the
 		// combined envelope is the cached one, bit for bit.
+		s.counts.sumHits++
 		env = waveform.View(f.sumPts[vi])
 	} else {
+		s.counts.sumMisses++
 		f.sumPts[vi] = s.acc.Sum().AppendTo(f.sumPts[vi][:0])
 		env = waveform.View(f.sumPts[vi])
 		f.sumOK[vi] = true
@@ -337,8 +356,10 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 	if f.rawOK[vi] && vw.LAT == f.rawLAT[vi] && vw.Slew == f.rawSlew[vi] {
 		// Identical envelope, reference arrival and slew: the pure
 		// delay-noise function returns the memoized value.
+		s.counts.rawHits++
 		n = f.rawVal[vi]
 	} else {
+		s.counts.rawMisses++
 		n = m.delayNoiseInto(vw, env, s)
 		f.rawLAT[vi], f.rawSlew[vi], f.rawVal[vi] = vw.LAT, vw.Slew, n
 		f.rawOK[vi] = true

@@ -39,17 +39,24 @@ type IncrementalStats struct {
 // prev or the masks; many incremental analyses may share one prev
 // concurrently.
 func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, IncrementalStats, error) {
+	defer m.Obs.Span("noise.run_incremental").End()
+	if m.Obs != nil {
+		m.Obs.Counter("noise.incremental.runs").Inc()
+	}
 	if prev == nil {
 		an, err := m.Run(mask)
+		m.incrementalDone(m.C.NumNets(), true)
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
 	}
 	changed := changedCouplings(m.C, prevMask, mask)
 	if len(changed) == 0 {
+		m.incrementalDone(0, false)
 		return prev, IncrementalStats{}, nil
 	}
 	affected := m.changeCone(changed)
 	if len(affected) >= m.C.NumNets()*3/5 {
 		an, err := m.Run(mask)
+		m.incrementalDone(m.C.NumNets(), true)
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
 	}
 
@@ -79,7 +86,21 @@ func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, 
 		Iterations: iters,
 		Converged:  converged,
 	}
+	m.incrementalDone(len(affected), false)
 	return an, IncrementalStats{Affected: len(affected)}, nil
+}
+
+// incrementalDone records one RunIncremental outcome: the size of the
+// recomputed cone and whether it degenerated to a full run. No-op
+// without a registry.
+func (m *Model) incrementalDone(affected int, full bool) {
+	if m.Obs == nil {
+		return
+	}
+	m.Obs.Histogram("noise.incremental.affected").Observe(int64(affected))
+	if full {
+		m.Obs.Counter("noise.incremental.full_fallbacks").Inc()
+	}
 }
 
 // changedCouplings returns the IDs whose activation differs between

@@ -13,6 +13,7 @@ import (
 
 	"topkagg/internal/cell"
 	"topkagg/internal/circuit"
+	"topkagg/internal/obs"
 	"topkagg/internal/sta"
 	"topkagg/internal/waveform"
 )
@@ -108,6 +109,19 @@ type Model struct {
 	// already parallelise whole analyses (e.g. the brute-force
 	// searcher) set 1 to avoid oversubscription.
 	Workers int
+	// Obs, when non-nil, receives fixpoint and incremental-STA metrics
+	// (see internal/obs and DESIGN.md §8). Nil disables instrumentation
+	// at near-zero cost; analysis results are identical either way.
+	Obs *obs.Registry
+}
+
+// WithObs returns a shallow copy of the model publishing metrics to r
+// (nil r disables instrumentation on the copy). The copy shares the
+// circuit and all other configuration.
+func (m *Model) WithObs(r *obs.Registry) *Model {
+	cp := *m
+	cp.Obs = r
+	return &cp
 }
 
 // WithWorkers returns a shallow copy of the model with the sweep
@@ -290,6 +304,7 @@ func (a *Analysis) PropagatedShift(n circuit.NetID) float64 {
 // concurrently; the returned Analysis is immutable shared data for
 // every consumer that treats it as read-only (all packages here do).
 func (m *Model) Run(active Mask) (*Analysis, error) {
+	defer m.Obs.Span("noise.run").End()
 	opt := sta.Options{PIArrival: m.PIArrival}
 	base, err := sta.Analyze(m.C, opt)
 	if err != nil {
@@ -301,6 +316,7 @@ func (m *Model) Run(active Mask) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("noise: %w", err)
 	}
+	inc.Instrument(m.Obs)
 	f := newFixpoint(m, active, inc)
 	f.seedAll()
 	iters, converged := f.iterate()

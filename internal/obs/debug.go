@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugHandler returns the registry's debug mux:
+//
+//	/debug/metrics   JSON Snapshot of every registered metric
+//	/debug/vars      expvar (includes this registry once published)
+//	/debug/pprof/*   the standard pprof profiles
+//	/                plain-text index of the above
+//
+// The handler reads live metrics on every request; it is safe to keep
+// serving while analyses run.
+func (r *Registry) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "topkagg debug endpoint\n\n"+
+			"/debug/metrics  metrics snapshot (JSON)\n"+
+			"/debug/vars     expvar\n"+
+			"/debug/pprof/   profiles\n")
+	})
+	return mux
+}
+
+// expvarOnce guards expvar publication: expvar panics on duplicate
+// names, and tests may build several registries per process.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry under the given expvar name (at
+// most once per process; later calls, and calls with the name already
+// taken, are no-ops). No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		if expvar.Get(name) != nil {
+			return
+		}
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts the debug endpoint on addr (e.g. "localhost:6060"
+// or "127.0.0.1:0") in a background goroutine and returns the running
+// server. The registry is also published to expvar as "topkagg".
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	r.PublishExpvar("topkagg")
+	srv := &http.Server{Handler: r.DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket b holds values v with
+// bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b), with bucket 0 taking
+// v <= 0. 64 buckets cover the whole non-negative int64 range, which
+// spans both byte/size metrics and nanosecond latencies (2^63 ns is
+// ~292 years).
+const histBuckets = 64
+
+// Histogram is a lock-free histogram over int64 values with
+// power-of-two buckets, tracking count, sum, min and max exactly and
+// quantiles to within a 2x bucket bound. Recording is a handful of
+// atomic adds — no locks, no allocation. A nil Histogram discards all
+// observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // initialized to MaxInt64 by newHistogram
+	max     atomic.Int64 // initialized to MinInt64 by newHistogram
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper is the inclusive upper bound of a bucket, used for
+// quantile reads.
+func bucketUpper(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<b - 1
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns how many values were observed; zero on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values; zero on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is one histogram's point-in-time summary. Min/Max
+// are exact; the quantiles are bucket upper bounds (within 2x of the
+// true value).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// snapshot summarizes the histogram. Concurrent observations may land
+// between the field reads; each field is individually consistent.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50 = quantile(counts[:], total, 0.50)
+	s.P90 = quantile(counts[:], total, 0.90)
+	s.P99 = quantile(counts[:], total, 0.99)
+	// The bucket bound can exceed the exact max (and undershoot the
+	// exact min); clamp so the summary is internally consistent.
+	for _, p := range []*int64{&s.P50, &s.P90, &s.P99} {
+		if *p > s.Max {
+			*p = s.Max
+		}
+		if *p < s.Min {
+			*p = s.Min
+		}
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket where the cumulative
+// count first reaches q of the total.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}

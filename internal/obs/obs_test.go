@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return the same counter")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read zero")
+	}
+	h := r.Histogram("y")
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+	sp := r.Span("z")
+	sp.Child("c").End()
+	sp.End()
+	r.SetSpanSink(nil)
+	r.PublishExpvar("nil-reg")
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestDisabledPathAllocFree is the benchmark guard's alloc half: with
+// instrumentation off (nil metrics), recording must not allocate — it
+// is what lets the fixpoint hot path keep its allocs/op with obs
+// disabled.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(42)
+		r.Span("s").End()
+	}); n != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestEnabledRecordAllocFree pins the enabled hot path: counter adds
+// and histogram observations on resolved metrics never allocate.
+func TestEnabledRecordAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(42)
+	}); n != 0 {
+		t.Fatalf("enabled recording allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("sizes")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 || s.Sum != 1106 {
+		t.Fatalf("count/sum = %d/%d, want 5/1106", s.Count, s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-1106.0/5) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	// Quantiles are bucket upper bounds: p50 covers the value 3
+	// (bucket [2,4) -> 3), p99 covers 1000 (bucket [512,1024) ->
+	// 1023, clamped to the exact max).
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %d, want 3", s.P50)
+	}
+	if s.P99 != 1000 {
+		t.Fatalf("p99 = %d, want 1000 (clamped to max)", s.P99)
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	r := New()
+	h := r.Histogram("deltas")
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.snapshot()
+	if s.Count != 2 || s.Min != -5 || s.Max != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	c := r.Counter("c")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed + int64(i))
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per || c.Value() != workers*per {
+		t.Fatalf("count = %d / %d, want %d", h.Count(), c.Value(), workers*per)
+	}
+}
+
+// captureSink records completed spans for assertions.
+type captureSink struct {
+	mu    sync.Mutex
+	paths []string
+}
+
+func (cs *captureSink) SpanEnd(path string, _ time.Time, _ time.Duration) {
+	cs.mu.Lock()
+	cs.paths = append(cs.paths, path)
+	cs.mu.Unlock()
+}
+
+func TestSpanHierarchyAndSink(t *testing.T) {
+	r := New()
+	cs := &captureSink{}
+	r.SetSpanSink(cs)
+	root := r.Span("run")
+	child := root.Child("sweep")
+	child.End()
+	root.End()
+	if want := []string{"run/sweep", "run"}; fmt.Sprint(cs.paths) != fmt.Sprint(want) {
+		t.Fatalf("sink paths = %v, want %v", cs.paths, want)
+	}
+	s := r.Snapshot()
+	if s.Histograms["span.run"].Count != 1 || s.Histograms["span.run/sweep"].Count != 1 {
+		t.Fatalf("span histograms missing: %v", s.Histograms)
+	}
+}
+
+func TestSnapshotTableAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("noise.fixpoint.sweeps").Add(12)
+	r.Histogram("serve.query_ns").Observe(int64(1500 * time.Microsecond))
+	r.Histogram("noise.fixpoint.worklist_depth").Observe(40)
+
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["noise.fixpoint.sweeps"] != 12 {
+		t.Fatalf("JSON round trip lost counter: %s", data)
+	}
+
+	var sb strings.Builder
+	if err := snap.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"noise.fixpoint.sweeps", "12", "serve.query_ns", "1.5ms", "worklist_depth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	r := New()
+	r.Counter("demo.count").Add(3)
+	srv := httptest.NewServer(r.DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/metrics"); code != http.StatusOK || !strings.Contains(body, "demo.count") {
+		t.Fatalf("metrics endpoint: code %d body %s", code, body)
+	}
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Fatalf("expvar endpoint: code %d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code %d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: code %d, want 404", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "debug/metrics") {
+		t.Fatalf("index: code %d body %s", code, body)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	d, err := r.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every registered metric,
+// JSON-serializable for machine consumers (cmd/benchjson, the debug
+// endpoint) and renderable as a human table (WriteTable).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. A nil registry
+// yields an empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, name := range r.counterNames() {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range r.histNames() {
+		s.Histograms[name] = r.Histogram(name).snapshot()
+	}
+	return s
+}
+
+// isDuration reports whether a metric name denotes nanosecond
+// durations by convention: a "_ns" suffix (optionally before a
+// "/label" qualifier) or a "span." prefix.
+func isDuration(name string) bool {
+	if strings.HasPrefix(name, "span.") {
+		return true
+	}
+	base := name
+	if i := strings.IndexByte(base, '/'); i >= 0 {
+		base = base[:i]
+	}
+	return strings.HasSuffix(base, "_ns")
+}
+
+// fmtVal renders one histogram value, as a duration for *_ns/span
+// metrics and as a plain integer otherwise.
+func fmtVal(name string, v int64) string {
+	if isDuration(name) {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// WriteTable renders the snapshot as a two-section human summary:
+// counters first, then histograms with count/mean/p50/p99/max, both
+// sorted by name. Duration-valued histograms render as durations.
+func (s *Snapshot) WriteTable(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%-44s %12s\n", "counter", "value"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "%-44s %12d\n", n, s.Counters[n]); err != nil {
+				return err
+			}
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%-44s %10s %12s %12s %12s %12s\n",
+			"histogram", "count", "mean", "p50", "p99", "max"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			h := s.Histograms[n]
+			mean := fmtVal(n, int64(h.Mean))
+			if _, err := fmt.Fprintf(w, "%-44s %10d %12s %12s %12s %12s\n",
+				n, h.Count, mean, fmtVal(n, h.P50), fmtVal(n, h.P99), fmtVal(n, h.Max)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,72 @@
+package obs
+
+import "time"
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent use; the registry's histogram for the span path is
+// updated regardless of the sink, so a sink is only needed for export
+// (logging, OTLP bridges, test capture).
+type SpanSink interface {
+	// SpanEnd is called once per completed span with its full
+	// slash-joined path (e.g. "serve.query/prepare"), start time and
+	// duration.
+	SpanEnd(path string, start time.Time, d time.Duration)
+}
+
+// SetSpanSink installs (or, with nil, removes) the sink completed
+// spans are forwarded to. Safe to call concurrently with tracing.
+// No-op on a nil registry.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	if r == nil {
+		return
+	}
+	r.sink.Store(spanSinkBox{s: s})
+}
+
+func (r *Registry) spanSink() SpanSink {
+	if b, ok := r.sink.Load().(spanSinkBox); ok {
+		return b.s
+	}
+	return nil
+}
+
+// Span is one timed region in a hierarchy. A nil Span (from a nil
+// registry) is inert: Child returns nil and End does nothing, so
+// tracing call sites need no enabled checks and a disabled span costs
+// one pointer test — no clock read, no allocation.
+type Span struct {
+	r     *Registry
+	path  string
+	start time.Time
+}
+
+// Span starts a root span. Duration lands in the histogram
+// "span.<path>" on End, plus the installed SpanSink, if any.
+func (r *Registry) Span(path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, path: path, start: time.Now()}
+}
+
+// Child starts a sub-span whose path extends the parent's
+// ("parent/name"). Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End completes the span: its duration is recorded in the registry
+// histogram "span.<path>" and forwarded to the span sink. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.r.Histogram("span." + s.path).Observe(int64(d))
+	if sink := s.r.spanSink(); sink != nil {
+		sink.SpanEnd(s.path, s.start, d)
+	}
+}

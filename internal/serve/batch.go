@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topkagg/internal/circuit"
 )
@@ -26,15 +27,31 @@ func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
 	if len(queries) == 0 {
 		return out
 	}
+	var batchStart time.Time
+	if a.obs != nil {
+		batchStart = time.Now()
+		a.obs.batches.Inc()
+		a.obs.batchSize.Observe(int64(len(queries)))
+	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var workerStart time.Time
+			if a.obs != nil {
+				workerStart = time.Now()
+			}
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= len(queries) {
+					// Busy time counts from first pickup to queue drain;
+					// worker_busy_ns · workers vs batch_ns shows pool
+					// utilization.
+					if a.obs != nil {
+						a.obs.workerBusyNs.Observe(int64(time.Since(workerStart)))
+					}
 					return
 				}
 				out[i] = a.Do(queries[i])
@@ -42,6 +59,9 @@ func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
 		}()
 	}
 	wg.Wait()
+	if a.obs != nil {
+		a.obs.batchNs.Observe(int64(time.Since(batchStart)))
+	}
 	return out
 }
 

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"time"
+
+	"topkagg/internal/obs"
+)
+
+// serveObs bundles the Analyzer's resolved metric handles, built once
+// in NewAnalyzer from the model's registry. A nil *serveObs (no
+// registry on the model) disables serve instrumentation entirely — in
+// particular, no time.Now calls are made on the query path.
+//
+// Metric names (see DESIGN.md §8):
+//
+//	serve.queries             queries answered (failed ones included)
+//	serve.errors              queries whose Response carries an error
+//	serve.prep_hits           shared-state cache hits
+//	serve.prep_misses         shared-state cache misses (preparations built)
+//	serve.fixpoint_runs       full fixpoints executed (at most 1 per Analyzer)
+//	serve.batches             RunBatch invocations
+//	serve.query_ns/<op>       histogram: per-query latency by op
+//	serve.batch_size          histogram: queries per batch
+//	serve.batch_ns            histogram: batch wall time
+//	serve.worker_busy_ns      histogram: per-worker busy time within a batch
+//	                          (sum/batch_ns·workers = pool utilization)
+type serveObs struct {
+	queries, errors    *obs.Counter
+	prepHits, prepMiss *obs.Counter
+	fixpoints          *obs.Counter
+	batches            *obs.Counter
+	queryNs            [3]*obs.Histogram // indexed by Op
+	batchSize          *obs.Histogram
+	batchNs            *obs.Histogram
+	workerBusyNs       *obs.Histogram
+}
+
+// newServeObs resolves the handles, or returns nil for a nil registry.
+func newServeObs(r *obs.Registry) *serveObs {
+	if r == nil {
+		return nil
+	}
+	return &serveObs{
+		queries:   r.Counter("serve.queries"),
+		errors:    r.Counter("serve.errors"),
+		prepHits:  r.Counter("serve.prep_hits"),
+		prepMiss:  r.Counter("serve.prep_misses"),
+		fixpoints: r.Counter("serve.fixpoint_runs"),
+		batches:   r.Counter("serve.batches"),
+		queryNs: [3]*obs.Histogram{
+			Addition:    r.Histogram("serve.query_ns/addition"),
+			Elimination: r.Histogram("serve.query_ns/elimination"),
+			WhatIf:      r.Histogram("serve.query_ns/whatif"),
+		},
+		batchSize:    r.Histogram("serve.batch_size"),
+		batchNs:      r.Histogram("serve.batch_ns"),
+		workerBusyNs: r.Histogram("serve.worker_busy_ns"),
+	}
+}
+
+// queryDone records one answered query. No-op when disabled.
+func (o *serveObs) queryDone(op Op, start time.Time, failed bool) {
+	if o == nil {
+		return
+	}
+	o.queries.Inc()
+	if failed {
+		o.errors.Inc()
+	}
+	if op >= 0 && int(op) < len(o.queryNs) {
+		o.queryNs[op].Observe(int64(time.Since(start)))
+	}
+}

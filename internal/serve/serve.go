@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topkagg/internal/circuit"
 	"topkagg/internal/core"
@@ -122,6 +123,8 @@ type Analyzer struct {
 	preps map[prepKey]*prepEntry
 
 	queries, hits, misses, fixpoints atomic.Int64
+
+	obs *serveObs // resolved from the model's registry; nil disables
 }
 
 type prepKey struct {
@@ -140,9 +143,11 @@ type prepEntry struct {
 // NewAnalyzer creates an Analyzer over the model with the given
 // enumeration options. The options are fixed for the Analyzer's
 // lifetime — they shape the cached state (victim selection, active
-// mask), so varying them requires a separate Analyzer.
+// mask), so varying them requires a separate Analyzer. When the model
+// carries a metric registry (noise.Model.Obs), the Analyzer publishes
+// per-query latency and cache metrics to it.
 func NewAnalyzer(m *noise.Model, opt core.Options) *Analyzer {
-	return &Analyzer{m: m, opt: opt, preps: map[prepKey]*prepEntry{}}
+	return &Analyzer{m: m, opt: opt, preps: map[prepKey]*prepEntry{}, obs: newServeObs(m.Obs)}
 }
 
 // fullAnalysis memoizes the one fixpoint run every preparation and
@@ -150,6 +155,9 @@ func NewAnalyzer(m *noise.Model, opt core.Options) *Analyzer {
 func (a *Analyzer) fullAnalysis() (*noise.Analysis, error) {
 	a.fullOnce.Do(func() {
 		a.fixpoints.Add(1)
+		if a.obs != nil {
+			a.obs.fixpoints.Inc()
+		}
 		a.full, a.fullErr = a.m.Run(a.opt.Active)
 	})
 	return a.full, a.fullErr
@@ -169,8 +177,14 @@ func (a *Analyzer) sharedFor(elim bool, net circuit.NetID) (shared *core.Shared,
 	a.mu.Unlock()
 	if ok {
 		a.hits.Add(1)
+		if a.obs != nil {
+			a.obs.prepHits.Inc()
+		}
 	} else {
 		a.misses.Add(1)
+		if a.obs != nil {
+			a.obs.prepMiss.Inc()
+		}
 	}
 	e.once.Do(func() {
 		full, ferr := a.fullAnalysis()
@@ -191,7 +205,12 @@ func (a *Analyzer) sharedFor(elim bool, net circuit.NetID) (shared *core.Shared,
 // panicked, so a batch survives malformed entries.
 func (a *Analyzer) Do(q Query) Response {
 	a.queries.Add(1)
+	var start time.Time
+	if a.obs != nil {
+		start = time.Now()
+	}
 	resp := Response{Query: q}
+	defer func() { a.obs.queryDone(q.Op, start, resp.Err != nil) }()
 	if q.Net != WholeCircuit && (int(q.Net) < 0 || int(q.Net) >= a.m.C.NumNets()) {
 		resp.Err = fmt.Errorf("serve: no net %d in circuit %s", q.Net, a.m.C.Name)
 		return resp

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+	"topkagg/internal/obs"
+)
+
+// TestAnalyzerConcurrentStress hammers one obs-instrumented Analyzer
+// from many goroutines with a mixed workload — top-k addition and
+// elimination at circuit and per-net targets, what-if fixes, malformed
+// queries, and whole KSweep batches racing the individual calls — and
+// requires every response to be byte-identical to the one a cold
+// serial Analyzer produced for the same query. Run it under -race: the
+// test's value is as much the interleavings it provokes (concurrent
+// first-touch of the fixpoint, racing preparations for the same key,
+// metric publication from every worker) as the equality it asserts.
+func TestAnalyzerConcurrentStress(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "stress", Gates: 30, Couplings: 25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{SlackFrac: 1, VerifyTop: 4}
+
+	// Mixed workload: every op, several targets, an error case, and a
+	// duplicate so cache hits race fresh preparations.
+	nets := []circuit.NetID{WholeCircuit}
+	for id := 0; id < c.NumNets() && len(nets) < 4; id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, circuit.NetID(id))
+		}
+	}
+	var queries []Query
+	for _, n := range nets {
+		queries = append(queries,
+			Query{Op: Addition, Net: n, K: 3},
+			Query{Op: Elimination, Net: n, K: 2},
+			Query{Op: WhatIf, Net: n, Fix: []circuit.CouplingID{0, 1}},
+		)
+	}
+	queries = append(queries,
+		Query{Op: WhatIf, Net: WholeCircuit}, // empty fix: base delay
+		Query{Op: Addition, Net: circuit.NetID(c.NumNets() + 5), K: 2}, // bad net
+		Query{Op: Addition, Net: WholeCircuit, K: 0},                   // bad k
+		queries[0], // duplicate
+	)
+
+	// Expected responses come from a cold Analyzer driven serially,
+	// one fresh analyzer per query so nothing is shared on this side.
+	expected := make([]Response, len(queries))
+	for i, q := range queries {
+		expected[i] = NewAnalyzer(noise.NewModel(c), opt).Do(q)
+	}
+
+	// The analyzer under stress carries a live metric registry so the
+	// observability hot path is exercised by every racing goroutine.
+	reg := obs.New()
+	a := NewAnalyzer(noise.NewModel(c).WithObs(reg), opt)
+
+	goroutines, rounds := 12, 4
+	if testing.Short() {
+		goroutines, rounds = 6, 2
+	}
+	check := func(t *testing.T, i int, got Response) {
+		t.Helper()
+		want := expected[i]
+		if (got.Err == nil) != (want.Err == nil) {
+			t.Errorf("query %d (%s net %d): error mismatch: got %v, want %v",
+				i, got.Query.Op, got.Query.Net, got.Err, want.Err)
+			return
+		}
+		if want.Err != nil {
+			return
+		}
+		if math.Float64bits(got.Delay) != math.Float64bits(want.Delay) {
+			t.Errorf("query %d (%s net %d): delay %.17g != serial %.17g",
+				i, got.Query.Op, got.Query.Net, got.Delay, want.Delay)
+		}
+		if !resultsEqual(got.Result, want.Result) {
+			t.Errorf("query %d (%s net %d): concurrent result differs from cold serial run",
+				i, got.Query.Op, got.Query.Net)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the workload in a different
+				// rotation so distinct preparations race each other.
+				for off := 0; off < len(queries); off++ {
+					i := (off + g) % len(queries)
+					check(t, i, a.Do(queries[i]))
+				}
+			}
+		}(g)
+	}
+	// Two extra goroutines drive whole batches through the worker pool
+	// while the individual calls are in flight.
+	sweep := KSweep(Addition, nets, 3)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, resp := range a.RunBatch(sweep, 4) {
+				if resp.Err != nil {
+					t.Errorf("batch %s net %d: %v", resp.Query.Op, resp.Query.Net, resp.Err)
+					continue
+				}
+				// Batch responses are addition queries at k=3; their
+				// serial counterparts sit at stride 3 in the workload.
+				var want *core.Result
+				for i, q := range queries {
+					if q.Op == Addition && q.Net == resp.Query.Net && q.K == 3 {
+						want = expected[i].Result
+						break
+					}
+				}
+				if want == nil {
+					t.Errorf("batch query for net %d has no serial counterpart", resp.Query.Net)
+					continue
+				}
+				if !resultsEqual(resp.Result, want) {
+					t.Errorf("batch %s net %d: result differs from cold serial run",
+						resp.Query.Op, resp.Query.Net)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cache accounting must add up exactly despite the races: one
+	// fixpoint ever, every query counted, every top-k query either a
+	// prep hit or a prep miss, at most one miss per (mode, target).
+	// Invalid top-k queries fail argument validation before the cache
+	// lookup, so only the valid ones count toward prep accounting.
+	topk := 0
+	for i, q := range queries {
+		if (q.Op == Addition || q.Op == Elimination) && expected[i].Err == nil {
+			topk++
+		}
+	}
+	wantQueries := int64(goroutines*rounds*len(queries) + 2*len(sweep))
+	st := a.Stats()
+	if st.FixpointRuns != 1 {
+		t.Errorf("FixpointRuns = %d, want exactly 1", st.FixpointRuns)
+	}
+	if st.Queries != wantQueries {
+		t.Errorf("Queries = %d, want %d", st.Queries, wantQueries)
+	}
+	wantLookups := int64(goroutines*rounds*topk + 2*len(sweep))
+	if st.PrepHits+st.PrepMisses != wantLookups {
+		t.Errorf("PrepHits+PrepMisses = %d+%d, want %d", st.PrepHits, st.PrepMisses, wantLookups)
+	}
+	// At most one miss per distinct (mode, target): the duplicate
+	// collapses onto its original and the invalid queries error before
+	// reaching the cache, so the cap is 2*len(nets).
+	if want := int64(2 * len(nets)); st.PrepMisses > want {
+		t.Errorf("PrepMisses = %d, want <= %d distinct preparations", st.PrepMisses, want)
+	}
+
+	// The metric registry must agree with the Analyzer's own counters.
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.queries"]; got != wantQueries {
+		t.Errorf("serve.queries = %d, want %d", got, wantQueries)
+	}
+	if got := snap.Counters["serve.fixpoint_runs"]; got != 1 {
+		t.Errorf("serve.fixpoint_runs = %d, want 1", got)
+	}
+	if got := snap.Counters["serve.prep_hits"] + snap.Counters["serve.prep_misses"]; got != wantLookups {
+		t.Errorf("serve.prep_hits+serve.prep_misses = %d, want %d", got, wantLookups)
+	}
+	if got := snap.Counters["serve.errors"]; got == 0 {
+		t.Error("serve.errors = 0, want > 0 (workload includes invalid queries)")
+	}
+	if got := snap.Counters["serve.batches"]; got != 2 {
+		t.Errorf("serve.batches = %d, want 2", got)
+	}
+	latency := int64(0)
+	for _, name := range []string{"serve.query_ns/addition", "serve.query_ns/elimination", "serve.query_ns/whatif"} {
+		latency += snap.Histograms[name].Count
+	}
+	if latency != wantQueries {
+		t.Errorf("query_ns histogram counts sum to %d, want %d", latency, wantQueries)
+	}
+}

@@ -1,9 +1,11 @@
 package spef
 
 import (
+	"os"
 	"testing"
 
 	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
 	"topkagg/internal/netlist"
 )
 
@@ -21,5 +23,45 @@ func FuzzApply(f *testing.F) {
 			t.Fatal(err)
 		}
 		_ = ApplyString(src, c) // must not panic; errors are fine
+	})
+}
+
+// FuzzParseSPEF fuzzes the full SPEF reader against a realistic
+// circuit, seeded with the repo's sample parasitics (testdata/
+// sample.spef, written by Write from the c17 benchmark) plus edge-case
+// fragments. The parser must return an error for every malformed
+// input, never panic; whatever it accepts must leave the circuit
+// analyzable (non-negative parasitics).
+func FuzzParseSPEF(f *testing.F) {
+	seed, err := os.ReadFile("../../testdata/sample.spef")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add("*SPEF \"IEEE 1481-1998\"\n*C_UNIT 1 PF\n*D_NET N1 0.5\n*CAP\n1 N1 N2 0.25\n*END\n")
+	f.Add("*D_NET N1 1e309\n")       // overflow
+	f.Add("*D_NET N1 -1\n")          // negative total
+	f.Add("*CAP\n1 N1 2\n")          // section outside a net
+	f.Add("*D_NET N1 1\n*CAP\n1\n")  // short cap line
+	f.Add("*C_UNIT -1 FF\n*D_NET\n") // negative unit, missing fields
+	lib := cell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := netlist.ParseString(baseNetlist, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyString(src, c); err != nil {
+			return
+		}
+		for _, n := range c.Nets() {
+			if n.Cgnd < 0 || n.Rwire < 0 {
+				t.Fatalf("accepted SPEF produced negative parasitics on %s: Cgnd=%g Rwire=%g", n.Name, n.Cgnd, n.Rwire)
+			}
+		}
+		for i := 0; i < c.NumCouplings(); i++ {
+			if cp := c.Coupling(circuit.CouplingID(i)); cp.Cc < 0 {
+				t.Fatalf("accepted SPEF produced negative coupling %d: %g", i, cp.Cc)
+			}
+		}
 	})
 }

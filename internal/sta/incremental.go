@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"topkagg/internal/circuit"
+	"topkagg/internal/obs"
 )
 
 // Incremental maintains the timing of one circuit under a mutable
@@ -31,6 +32,10 @@ type Incremental struct {
 	inHeap  []bool
 	heap    []int // min-heap of topological positions pending recompute
 	changed []circuit.NetID
+
+	// Observability handles (nil when not instrumented; see Instrument).
+	updates  *obs.Counter
+	coneSize *obs.Histogram
 }
 
 // NewIncremental builds an Incremental by running one full analysis
@@ -86,6 +91,19 @@ func newIncremental(c *circuit.Circuit, opt Options, res *Result, extra []float6
 	}
 }
 
+// Instrument attaches observability: every Update thereafter counts
+// itself under "sta.incremental.updates" and records how many nets it
+// recomputed (the re-timing cone size) in the histogram
+// "sta.incremental.cone_size". A nil registry leaves the Incremental
+// uninstrumented at zero cost.
+func (inc *Incremental) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	inc.updates = r.Counter("sta.incremental.updates")
+	inc.coneSize = r.Histogram("sta.incremental.cone_size")
+}
+
 // Result returns the live timing view. Its windows are mutated in
 // place by Update; callers needing a stable copy use Snapshot.
 func (inc *Incremental) Result() *Result { return inc.res }
@@ -120,8 +138,10 @@ func (inc *Incremental) SetExtraLAT(n circuit.NetID, v float64) {
 // callers must consume it before then.
 func (inc *Incremental) Update() []circuit.NetID {
 	inc.changed = inc.changed[:0]
+	recomputed := 0
 	for len(inc.heap) > 0 {
 		nid := inc.pop()
+		recomputed++
 		old := inc.res.Windows[nid]
 		w := computeWindow(inc.c, inc.opt, inc.res.Windows, nid)
 		if w == old {
@@ -132,6 +152,10 @@ func (inc *Incremental) Update() []circuit.NetID {
 		for _, gid := range inc.c.Net(nid).Loads {
 			inc.push(inc.c.Gate(gid).Output)
 		}
+	}
+	if inc.updates != nil {
+		inc.updates.Inc()
+		inc.coneSize.Observe(int64(recomputed))
 	}
 	return inc.changed
 }

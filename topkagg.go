@@ -51,6 +51,7 @@ import (
 	"topkagg/internal/mc"
 	"topkagg/internal/netlist"
 	"topkagg/internal/noise"
+	"topkagg/internal/obs"
 	"topkagg/internal/pathreport"
 	"topkagg/internal/serve"
 	"topkagg/internal/sizing"
@@ -132,6 +133,16 @@ type (
 	EngineStats = core.Stats
 	// KStats instruments one cardinality of an enumeration.
 	KStats = core.KStats
+	// Metrics is a registry of counters, histograms and spans the
+	// analysis engines publish into when attached to a Model (see
+	// NewMetrics and Model.WithObs). Nil-safe: a nil *Metrics disables
+	// all instrumentation at near-zero cost.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time, JSON-serializable copy of
+	// every metric in a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// DebugServer is a running metrics/expvar/pprof HTTP endpoint.
+	DebugServer = obs.DebugServer
 )
 
 // Query operations and targets for the batch Analyzer.
@@ -193,6 +204,19 @@ func Benchmarks() []Spec { return gen.Paper() }
 // NewModel creates a noise model for a circuit with default iteration
 // controls.
 func NewModel(c *Circuit) *Model { return noise.NewModel(c) }
+
+// NewMetrics creates an empty metric registry. Attach it with
+// Model.WithObs (or by setting Model.Obs) to have the fixpoint, STA,
+// enumeration and batch layers publish counters, histograms and spans
+// into it; read them back with its Snapshot method, serve them over
+// HTTP with ServeDebug, or render them with Snapshot.WriteTable.
+func NewMetrics() *Metrics { return obs.New() }
+
+// ServeDebug starts an HTTP debug endpoint for the registry on addr
+// (e.g. "localhost:6060"), exposing /debug/metrics (JSON snapshot),
+// /debug/vars (expvar) and /debug/pprof/. Close the returned server
+// when done.
+func ServeDebug(r *Metrics, addr string) (*DebugServer, error) { return r.ServeDebug(addr) }
 
 // TopKAddition computes, for every cardinality 1..k, the coupling set
 // whose activation adds the most circuit delay to noiseless timing.
