@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +42,17 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// Exit codes. Timeout and degraded are distinct so scripts can tell "no
+// answer in time" (retry with a larger budget) from "best-effort answer
+// printed" (usable, but not the full curve).
+const (
+	exitOK       = 0
+	exitErr      = 1
+	exitUsage    = 2
+	exitTimeout  = 3 // the time/work budget expired before any usable result
+	exitDegraded = 4 // a partial or degraded result was printed
+)
 
 // config carries the parsed flag values; run logic lives on methods so
 // tests can drive the command without a process boundary.
@@ -58,6 +70,10 @@ type config struct {
 	batch                              string
 	metrics                            bool
 	debugAddr                          string
+	timeout                            time.Duration
+	budget                             int64
+
+	stderr io.Writer // degraded-result warnings
 }
 
 // run is the whole command: parse args, execute, report. It returns
@@ -86,30 +102,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.batch, "batch", "", "JSON batch-query file; all queries share one analyzer")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "print the engine metrics summary table after the run")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-query wall-clock limit; a run stopped mid-enumeration prints its best-effort prefix (0 = none)")
+	fs.Int64Var(&cfg.budget, "budget", 0, "per-query work allowance in candidate evaluations (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
-	if err := cfg.execute(stdout); err != nil {
+	cfg.stderr = stderr
+	code, err := cfg.execute(stdout)
+	if err != nil {
 		fmt.Fprintln(stderr, "topk:", err)
-		return 1
 	}
-	return 0
+	return code
 }
 
-func (cfg *config) execute(w io.Writer) error {
+func (cfg *config) execute(w io.Writer) (int, error) {
 	if cfg.workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+		return exitErr, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
 	}
 	if cfg.fixWorkers < 0 {
-		return fmt.Errorf("-fixpoint-workers must be >= 0, got %d", cfg.fixWorkers)
+		return exitErr, fmt.Errorf("-fixpoint-workers must be >= 0, got %d", cfg.fixWorkers)
+	}
+	if cfg.timeout < 0 {
+		return exitErr, fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
+	}
+	if cfg.budget < 0 {
+		return exitErr, fmt.Errorf("-budget must be >= 0, got %d", cfg.budget)
 	}
 	lib, err := loadLibrary(cfg.lib)
 	if err != nil {
-		return err
+		return exitErr, err
 	}
 	c, err := loadCircuit(lib, cfg.netlist, cfg.verilog, cfg.spef, cfg.bench)
 	if err != nil {
-		return err
+		return exitErr, err
 	}
 	m := topkagg.NewModel(c)
 	if cfg.fixWorkers > 0 {
@@ -123,7 +148,7 @@ func (cfg *config) execute(w io.Writer) error {
 	if cfg.debugAddr != "" {
 		d, err := topkagg.ServeDebug(reg, cfg.debugAddr)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		defer d.Close()
 		fmt.Fprintf(w, "debug endpoint on http://%s/ (metrics, expvar, pprof)\n", d.Addr())
@@ -136,18 +161,19 @@ func (cfg *config) execute(w io.Writer) error {
 	if cfg.prefilter {
 		fr, err := topkagg.FalseAggressors(m, topkagg.FilterOptions{})
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		fmt.Fprintf(w, "false-aggressor filter: %d of %d couplings removable; false directions: %d early, %d late, %d unobservable, %d sub-threshold\n\n",
 			len(fr.False), c.NumCouplings(),
 			fr.EarlyFiltered, fr.LateFiltered, fr.UnobservableFiltered, fr.MagnitudeFiltered)
 	}
 
+	var code int
 	var runErr error
 	if cfg.batch != "" {
-		runErr = cfg.runBatch(w, c, m, opt)
+		code, runErr = cfg.runBatch(w, c, m, opt)
 	} else {
-		runErr = cfg.runSingle(w, c, m, opt)
+		code, runErr = cfg.runSingle(w, c, m, opt)
 	}
 	// The metrics table prints even after a partially failed batch:
 	// what the engines did up to the failure is exactly what the flag
@@ -155,42 +181,88 @@ func (cfg *config) execute(w io.Writer) error {
 	if cfg.metrics {
 		fmt.Fprintln(w, "\nengine metrics:")
 		if err := reg.Snapshot().WriteTable(w); err != nil && runErr == nil {
-			runErr = err
+			code, runErr = exitErr, err
 		}
 	}
-	return runErr
+	return code, runErr
+}
+
+// limits builds the per-query execution limits from the flags.
+func (cfg *config) limits() topkagg.QueryLimits {
+	return topkagg.QueryLimits{Timeout: cfg.timeout, MaxWork: cfg.budget}
+}
+
+// limited reports whether any execution limit is in force.
+func (cfg *config) limited() bool { return cfg.timeout > 0 || cfg.budget > 0 }
+
+// classify maps an error to its exit code: a budget-stopped run that
+// produced nothing is a timeout, everything else is a hard error.
+func classify(err error) int {
+	switch topkagg.StopReason(err) {
+	case "deadline", "canceled", "work-budget":
+		return exitTimeout
+	default:
+		return exitErr
+	}
 }
 
 // runSingle is the original one-query mode.
-func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) error {
+func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) (int, error) {
 	var target topkagg.NetID = topkagg.WholeCircuit
 	if cfg.net != "" {
 		id, ok := c.NetByName(cfg.net)
 		if !ok {
-			return fmt.Errorf("no net %q", cfg.net)
+			return exitErr, fmt.Errorf("no net %q", cfg.net)
 		}
 		target = id
 	}
+	var op topkagg.QueryOp
+	switch cfg.mode {
+	case "add":
+		op = topkagg.OpAddition
+	case "elim":
+		op = topkagg.OpElimination
+	default:
+		return exitErr, fmt.Errorf("unknown -mode %q (want add or elim)", cfg.mode)
+	}
 	var res *topkagg.Result
 	var err error
-	switch {
-	case cfg.mode == "add" && target >= 0:
-		res, err = topkagg.TopKAdditionAt(m, target, cfg.k, opt)
-	case cfg.mode == "add":
-		res, err = topkagg.TopKAddition(m, cfg.k, opt)
-	case cfg.mode == "elim" && target >= 0:
-		res, err = topkagg.TopKEliminationAt(m, target, cfg.k, opt)
-	case cfg.mode == "elim":
-		res, err = topkagg.TopKElimination(m, cfg.k, opt)
-	default:
-		err = fmt.Errorf("unknown -mode %q (want add or elim)", cfg.mode)
-	}
-	if err != nil {
-		return err
+	code := exitOK
+	if cfg.limited() {
+		// Route through the analyzer so the limits apply and a stopped
+		// run degrades to its best-effort prefix instead of failing.
+		a := topkagg.NewAnalyzer(m, opt)
+		resp := a.DoCtx(context.Background(), topkagg.Query{Op: op, Net: target, K: cfg.k, Limits: cfg.limits()})
+		if resp.Err != nil {
+			return classify(resp.Err), resp.Err
+		}
+		res = resp.Result
+		if resp.Degraded != "" {
+			fmt.Fprintf(cfg.stderr, "topk: degraded result (%s): %d of %d cardinalities completed\n",
+				resp.Degraded, len(res.PerK), cfg.k)
+			code = exitDegraded
+		}
+	} else {
+		switch {
+		case op == topkagg.OpAddition && target >= 0:
+			res, err = topkagg.TopKAdditionAt(m, target, cfg.k, opt)
+		case op == topkagg.OpAddition:
+			res, err = topkagg.TopKAddition(m, cfg.k, opt)
+		case target >= 0:
+			res, err = topkagg.TopKEliminationAt(m, target, cfg.k, opt)
+		default:
+			res, err = topkagg.TopKElimination(m, cfg.k, opt)
+		}
+		if err != nil {
+			return exitErr, err
+		}
 	}
 
 	if cfg.asJSON {
-		return emitJSON(w, c, cfg.mode, res)
+		if err := emitJSON(w, c, cfg.mode, res); err != nil {
+			return exitErr, err
+		}
+		return code, nil
 	}
 	fmt.Fprintf(w, "circuit %s: %d gates, %d couplings, %d victim nets analyzed\n",
 		c.Name, c.NumGates(), c.NumCouplings(), res.Victims)
@@ -201,8 +273,12 @@ func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, 
 	fmt.Fprintf(w, "%s: noiseless arrival %.4f ns, all-aggressor arrival %.4f ns\n", scope, res.BaseDelay, res.AllDelay)
 	fmt.Fprintf(w, "enumeration time %s\n", res.Elapsed)
 	if len(res.PerK) == 0 {
+		if res.Partial {
+			fmt.Fprintln(w, "no cardinality completed within the budget")
+			return exitTimeout, nil
+		}
 		fmt.Fprintln(w, "no aggressor sets found (no couplings affect the analyzed paths)")
-		return nil
+		return code, nil
 	}
 	if cfg.curve {
 		fmt.Fprintln(w, "\nk  delay(ns)  set")
@@ -223,7 +299,7 @@ func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, 
 	if cfg.report || cfg.plot != "" {
 		an, err := m.Run(nil)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		if cfg.report {
 			fmt.Fprintln(w)
@@ -232,13 +308,13 @@ func (cfg *config) runSingle(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, 
 		if cfg.plot != "" {
 			id, ok := c.NetByName(cfg.plot)
 			if !ok {
-				return fmt.Errorf("no net %q", cfg.plot)
+				return exitErr, fmt.Errorf("no net %q", cfg.plot)
 			}
 			fmt.Fprintln(w)
 			fmt.Fprint(w, topkagg.NoisePlot(an, m, id))
 		}
 	}
-	return nil
+	return code, nil
 }
 
 // batchQuery is one entry of the -batch JSON file.
@@ -255,22 +331,23 @@ type batchQuery struct {
 
 // runBatch loads the batch file, answers every query over one shared
 // analyzer and prints aligned per-query results. Per-query failures
-// are reported inline; the command fails if any query failed.
-func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) error {
+// are reported inline; the command fails if any query failed, and
+// degrades its exit code when any query returned a best-effort result.
+func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, opt topkagg.Options) (int, error) {
 	data, err := os.ReadFile(cfg.batch)
 	if err != nil {
-		return err
+		return exitErr, err
 	}
 	var specs []batchQuery
 	if err := json.Unmarshal(data, &specs); err != nil {
-		return fmt.Errorf("%s: %w", cfg.batch, err)
+		return exitErr, fmt.Errorf("%s: %w", cfg.batch, err)
 	}
 	if len(specs) == 0 {
-		return fmt.Errorf("%s: batch contains no queries", cfg.batch)
+		return exitErr, fmt.Errorf("%s: batch contains no queries", cfg.batch)
 	}
 	queries := make([]topkagg.Query, len(specs))
 	for i, s := range specs {
-		q := topkagg.Query{Net: topkagg.WholeCircuit, K: s.K}
+		q := topkagg.Query{Net: topkagg.WholeCircuit, K: s.K, Limits: cfg.limits()}
 		switch s.Op {
 		case "add", "addition":
 			q.Op = topkagg.OpAddition
@@ -279,12 +356,12 @@ func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, o
 		case "whatif":
 			q.Op = topkagg.OpWhatIf
 		default:
-			return fmt.Errorf("%s: query %d: unknown op %q (want add, elim or whatif)", cfg.batch, i, s.Op)
+			return exitErr, fmt.Errorf("%s: query %d: unknown op %q (want add, elim or whatif)", cfg.batch, i, s.Op)
 		}
 		if s.Net != "" {
 			id, ok := c.NetByName(s.Net)
 			if !ok {
-				return fmt.Errorf("%s: query %d: no net %q", cfg.batch, i, s.Net)
+				return exitErr, fmt.Errorf("%s: query %d: no net %q", cfg.batch, i, s.Net)
 			}
 			q.Net = id
 		}
@@ -302,23 +379,51 @@ func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, o
 	resps := a.RunBatch(queries, cfg.workers)
 	elapsed := time.Since(start)
 
+	failed, timedOut, degraded := 0, 0, 0
+	for i, r := range resps {
+		switch {
+		case r.Err != nil:
+			failed++
+			if classify(r.Err) == exitTimeout {
+				timedOut++
+			}
+		case r.Degraded != "":
+			degraded++
+			fmt.Fprintf(cfg.stderr, "topk: query %d degraded (%s)\n", i, r.Degraded)
+		}
+	}
+	code := exitOK
+	switch {
+	case failed > 0 && failed == timedOut && degraded == 0:
+		code = exitTimeout
+	case failed > 0:
+		code = exitErr
+	case degraded > 0:
+		code = exitDegraded
+	}
+
 	if cfg.asJSON {
-		return emitBatchJSON(w, c, specs, resps)
+		if err := emitBatchJSON(w, c, specs, resps); err != nil {
+			return exitErr, err
+		}
+		return code, nil
 	}
 	fmt.Fprintf(w, "circuit %s: %d gates, %d couplings\n", c.Name, c.NumGates(), c.NumCouplings())
 	fmt.Fprintf(w, "batch: %d queries in %s (workers=%d)\n\n", len(resps), elapsed.Round(time.Microsecond), cfg.workers)
-	failed := 0
 	for i, r := range resps {
 		fmt.Fprintf(w, "[%d] %s %s", i, r.Query.Op, describeTarget(c, r.Query.Net))
 		switch {
 		case r.Err != nil:
-			failed++
 			fmt.Fprintf(w, ": error: %v\n", r.Err)
 		case r.Query.Op == topkagg.OpWhatIf:
 			fmt.Fprintf(w, " fix=%v: delay %.4f ns\n", r.Query.Fix, r.Delay)
 		default:
 			top := r.Result.Top()
-			fmt.Fprintf(w, " k=%d: delay %.4f ns, set %v\n", r.Query.K, top.Delay, top.IDs)
+			fmt.Fprintf(w, " k=%d: delay %.4f ns, set %v", r.Query.K, top.Delay, top.IDs)
+			if r.Partial {
+				fmt.Fprintf(w, " (partial: %d of %d cardinalities)", len(r.Result.PerK), r.Query.K)
+			}
+			fmt.Fprintln(w)
 			if cfg.stats {
 				printStats(w, r.Result.Stats)
 			}
@@ -330,9 +435,9 @@ func (cfg *config) runBatch(w io.Writer, c *topkagg.Circuit, m *topkagg.Model, o
 			st.Queries, st.FixpointRuns, st.PrepHits, st.PrepMisses)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d batch queries failed", failed, len(resps))
+		return code, fmt.Errorf("%d of %d batch queries failed", failed, len(resps))
 	}
-	return nil
+	return code, nil
 }
 
 func describeTarget(c *topkagg.Circuit, net topkagg.NetID) string {
@@ -417,19 +522,21 @@ func emitJSON(w io.Writer, c *topkagg.Circuit, mode string, res *topkagg.Result)
 // jsonBatchResp is one element of -batch -json output, aligned with
 // the input queries by position.
 type jsonBatchResp struct {
-	Op      string     `json:"op"`
-	Net     string     `json:"net,omitempty"`
-	K       int        `json:"k,omitempty"`
-	Fix     []int      `json:"fix,omitempty"`
-	Error   string     `json:"error,omitempty"`
-	DelayNs float64    `json:"delayNs,omitempty"`
-	PerK    []jsonPerK `json:"perK,omitempty"`
+	Op       string     `json:"op"`
+	Net      string     `json:"net,omitempty"`
+	K        int        `json:"k,omitempty"`
+	Fix      []int      `json:"fix,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Partial  bool       `json:"partial,omitempty"`
+	Degraded string     `json:"degraded,omitempty"`
+	DelayNs  float64    `json:"delayNs,omitempty"`
+	PerK     []jsonPerK `json:"perK,omitempty"`
 }
 
 func emitBatchJSON(w io.Writer, c *topkagg.Circuit, specs []batchQuery, resps []topkagg.Response) error {
 	out := make([]jsonBatchResp, len(resps))
 	for i, r := range resps {
-		jr := jsonBatchResp{Op: specs[i].Op, Net: specs[i].Net, Fix: specs[i].Fix}
+		jr := jsonBatchResp{Op: specs[i].Op, Net: specs[i].Net, Fix: specs[i].Fix, Partial: r.Partial, Degraded: r.Degraded}
 		switch {
 		case r.Err != nil:
 			jr.Error = r.Err.Error()

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -339,5 +340,123 @@ func TestBatchDefaultsK(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "k=2") {
 		t.Fatalf("batch must inherit -k: %s", stdout.String())
+	}
+}
+
+// TestBudgetExhaustedSingle: a work budget too small for even one
+// cardinality yields the timeout exit code and a degraded-result
+// warning, not a crash or a silent success.
+func TestBudgetExhaustedSingle(t *testing.T) {
+	ckt, _ := writeTestFiles(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-netlist", ckt, "-k", "2", "-budget", "1"}, &stdout, &stderr)
+	if code != exitTimeout {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitTimeout, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no cardinality completed within the budget") {
+		t.Fatalf("stdout missing budget notice:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "work-budget") {
+		t.Fatalf("stderr missing degradation reason:\n%s", stderr.String())
+	}
+}
+
+// TestTimeoutExpiredSingle: an immediately-expiring timeout surfaces as
+// the timeout exit code with a typed deadline error on stderr.
+func TestTimeoutExpiredSingle(t *testing.T) {
+	ckt, _ := writeTestFiles(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-netlist", ckt, "-k", "2", "-timeout", "1ns"}, &stdout, &stderr)
+	if code != exitTimeout {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitTimeout, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "deadline") {
+		t.Fatalf("stderr missing deadline reason:\n%s", stderr.String())
+	}
+}
+
+// TestBudgetSweepReachesDegradedAndComplete: growing the work budget
+// walks the exit codes monotonically from timeout (nothing finished)
+// through degraded (a best-effort prefix printed) to success, and the
+// degraded run reports its partial curve.
+func TestBudgetSweepReachesDegradedAndComplete(t *testing.T) {
+	ckt, _ := writeTestFiles(t, nil)
+	seen := map[int]bool{}
+	for b := int64(1); b < 10000; b++ {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-netlist", ckt, "-k", "2", "-budget", fmt.Sprint(b)}, &stdout, &stderr)
+		seen[code] = true
+		if code == exitDegraded {
+			if !strings.Contains(stderr.String(), "degraded result (work-budget)") {
+				t.Fatalf("degraded run missing stderr notice:\n%s", stderr.String())
+			}
+		}
+		if code == exitOK {
+			if stderr.Len() != 0 {
+				t.Fatalf("complete run must not warn: %s", stderr.String())
+			}
+			break
+		}
+		if code != exitTimeout && code != exitDegraded {
+			t.Fatalf("budget=%d: unexpected exit %d\nstderr:\n%s", b, code, stderr.String())
+		}
+	}
+	for _, want := range []int{exitTimeout, exitDegraded, exitOK} {
+		if !seen[want] {
+			t.Fatalf("exit code %d never seen across the sweep (saw %v)", want, seen)
+		}
+	}
+}
+
+// TestBatchWithBudget: per-query limits apply inside a batch; stopped
+// top-k queries degrade to partial responses (exit code degraded)
+// while unaffected queries still answer completely.
+func TestBatchWithBudget(t *testing.T) {
+	ckt, batches := writeTestFiles(t, map[string]string{
+		"mix.json": `[{"op":"add","k":2},{"op":"whatif","fix":[0]}]`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-netlist", ckt, "-batch", batches["mix.json"], "-budget", "1"}, &stdout, &stderr)
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitDegraded, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "degraded (work-budget)") {
+		t.Fatalf("stderr missing per-query degradation:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "whatif circuit fix=[0]: delay") {
+		t.Fatalf("unlimited whatif must still answer:\n%s", stdout.String())
+	}
+}
+
+// TestBatchJSONCarriesDegradation: -json batch output marks partial
+// responses and their reason.
+func TestBatchJSONCarriesDegradation(t *testing.T) {
+	ckt, batches := writeTestFiles(t, map[string]string{
+		"one.json": `[{"op":"add","k":2}]`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-netlist", ckt, "-batch", batches["one.json"], "-budget", "1", "-json"}, &stdout, &stderr)
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitDegraded, stderr.String())
+	}
+	var out []jsonBatchResp
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(out) != 1 || !out[0].Partial || out[0].Degraded != "work-budget" {
+		t.Fatalf("JSON missing degradation marks: %+v", out)
+	}
+}
+
+// TestNegativeLimitFlags: invalid limit values are rejected up front.
+func TestNegativeLimitFlags(t *testing.T) {
+	ckt, _ := writeTestFiles(t, nil)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-netlist", ckt, "-budget", "-5"}, &stdout, &stderr); code != exitErr {
+		t.Fatalf("negative budget: exit %d, want %d", code, exitErr)
+	}
+	stderr.Reset()
+	if code := run([]string{"-netlist", ckt, "-timeout", "-1s"}, &stdout, &stderr); code != exitErr {
+		t.Fatalf("negative timeout: exit %d, want %d", code, exitErr)
 	}
 }

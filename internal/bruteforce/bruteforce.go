@@ -24,8 +24,14 @@ type Result struct {
 	Delay float64
 	// Evaluated counts the noise-analysis runs performed.
 	Evaluated int
-	// TimedOut reports whether the deadline expired mid-search.
+	// TimedOut reports whether the search stopped before exhausting the
+	// space: the search deadline expired, or (parallel Ctx variants) the
+	// context was canceled.
 	TimedOut bool
+	// Stopped is the typed stop condition when the context (rather than
+	// the search's own deadline) ended a *ParallelCtx search early; nil
+	// otherwise. See internal/budget.
+	Stopped error
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
 }

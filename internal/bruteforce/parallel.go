@@ -1,13 +1,17 @@
 package bruteforce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
+	"topkagg/internal/faultinject"
 	"topkagg/internal/noise"
 )
 
@@ -18,21 +22,35 @@ import (
 // worker count: ties between equal-delay optima resolve to the
 // lexicographically smallest coupling set. workers <= 0 selects
 // GOMAXPROCS.
-func AdditionParallel(m *noise.Model, k int, budget time.Duration, workers int) (*Result, error) {
-	return searchParallel(m, k, budget, workers, func(ids []circuit.CouplingID) noise.Mask {
+func AdditionParallel(m *noise.Model, k int, timeout time.Duration, workers int) (*Result, error) {
+	return AdditionParallelCtx(context.Background(), m, k, timeout, workers)
+}
+
+// AdditionParallelCtx is AdditionParallel honoring the context:
+// cancellation and context deadlines stop the search at the next
+// evaluation boundary and return the best-so-far partial result with
+// Stopped set, like a search timeout does.
+func AdditionParallelCtx(ctx context.Context, m *noise.Model, k int, timeout time.Duration, workers int) (*Result, error) {
+	return searchParallel(ctx, m, k, timeout, workers, func(ids []circuit.CouplingID) noise.Mask {
 		return noise.MaskOf(m.C, ids)
 	}, func(cand, best float64) bool { return cand > best })
 }
 
 // EliminationParallel is Elimination distributed over workers
 // goroutines.
-func EliminationParallel(m *noise.Model, k int, budget time.Duration, workers int) (*Result, error) {
-	return searchParallel(m, k, budget, workers, func(ids []circuit.CouplingID) noise.Mask {
+func EliminationParallel(m *noise.Model, k int, timeout time.Duration, workers int) (*Result, error) {
+	return EliminationParallelCtx(context.Background(), m, k, timeout, workers)
+}
+
+// EliminationParallelCtx is EliminationParallel honoring the context
+// (see AdditionParallelCtx).
+func EliminationParallelCtx(ctx context.Context, m *noise.Model, k int, timeout time.Duration, workers int) (*Result, error) {
+	return searchParallel(ctx, m, k, timeout, workers, func(ids []circuit.CouplingID) noise.Mask {
 		return noise.WithoutMask(m.C, ids)
 	}, func(cand, best float64) bool { return cand < best })
 }
 
-func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
+func searchParallel(ctx context.Context, m *noise.Model, k int, timeout time.Duration, workers int,
 	mask func([]circuit.CouplingID) noise.Mask,
 	better func(cand, best float64) bool) (*Result, error) {
 
@@ -52,18 +70,25 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 	m = m.WithWorkers(1)
 	start := time.Now()
 	var deadline time.Time
-	if budget > 0 {
-		deadline = start.Add(budget)
+	if timeout > 0 {
+		deadline = start.Add(timeout)
 	}
+	b := budget.New(ctx)
 
 	var (
 		next      atomic.Int64 // next first-element index to claim
+		stopped   atomic.Bool  // any stop: deadline, cancellation, error, panic
 		timedOut  atomic.Bool
 		evaluated atomic.Int64
+		stopErr   atomic.Pointer[budget.Error] // cancellation, sticky first
 		firstErr  error
 		errOnce   sync.Once
 		wg        sync.WaitGroup
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
 	type local struct {
 		ids   []circuit.CouplingID
 		delay float64
@@ -75,11 +100,19 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A crashed worker must not take the process (or the other
+			// workers' partial optima) down: convert the panic into the
+			// search's typed error and stop the pool.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(budget.NewPanicError("bruteforce", r))
+				}
+			}()
 			idx := make([]int, k)
 			ids := make([]circuit.CouplingID, k)
 			best := &locals[w]
 			for {
-				if timedOut.Load() {
+				if stopped.Load() {
 					return
 				}
 				first := int(next.Add(1) - 1)
@@ -96,10 +129,10 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 					for i, x := range idx {
 						ids[i] = circuit.CouplingID(x)
 					}
+					faultinject.Fire(faultinject.SiteBruteforceEval)
 					an, err := m.Run(mask(ids))
 					if err != nil {
-						errOnce.Do(func() { firstErr = err })
-						timedOut.Store(true)
+						fail(err)
 						return
 					}
 					evaluated.Add(1)
@@ -110,8 +143,18 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 						best.ids = append(best.ids[:0], ids...)
 						best.found = true
 					}
+					if err := b.Err(); err != nil {
+						var be *budget.Error
+						if errors.As(err, &be) {
+							stopErr.CompareAndSwap(nil, be)
+						}
+						timedOut.Store(true)
+						stopped.Store(true)
+						return
+					}
 					if !deadline.IsZero() && time.Now().After(deadline) {
 						timedOut.Store(true)
+						stopped.Store(true)
 						return
 					}
 					// Next combination with idx[0] pinned.
@@ -136,6 +179,9 @@ func searchParallel(m *noise.Model, k int, budget time.Duration, workers int,
 	}
 
 	res := &Result{Evaluated: int(evaluated.Load()), TimedOut: timedOut.Load(), Elapsed: time.Since(start)}
+	if e := stopErr.Load(); e != nil {
+		res.Stopped = e
+	}
 	for _, l := range locals {
 		if !l.found {
 			continue

@@ -1,0 +1,260 @@
+// Package budget provides the cooperative stop machinery the analysis
+// stack shares: a nil-safe budget handle (B) that threads a
+// context.Context plus an optional work allowance through the engine
+// layers, a typed error (Error) that classifies why work stopped early
+// (cancellation, deadline, exhausted work budget, crashed worker), and
+// a typed capture of recovered worker panics (PanicError).
+//
+// The design constraint is the hot path: every engine loop polls the
+// budget at bounded granularity, so the disabled path must cost one
+// predictable branch. A nil *B is the disabled budget — Err and Charge
+// on it return nil immediately — mirroring the nil *obs.Registry
+// pattern, so callers never branch on "is there a budget".
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Reason classifies why an operation stopped before completing.
+type Reason int
+
+const (
+	// None means the operation was not stopped (zero value).
+	None Reason = iota
+	// Canceled means the context was canceled by the caller.
+	Canceled
+	// DeadlineExceeded means the context's deadline expired.
+	DeadlineExceeded
+	// WorkExhausted means the operation consumed its work allowance.
+	WorkExhausted
+	// WorkerPanic means a worker goroutine panicked and was recovered.
+	WorkerPanic
+)
+
+func (r Reason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline"
+	case WorkExhausted:
+		return "work-budget"
+	case WorkerPanic:
+		return "worker-panic"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Transient reports whether the reason describes a per-attempt
+// condition rather than a property of the inputs: a retry of the same
+// work with a fresh budget could succeed. Caches use this to decide
+// whether a failed build may be memoized (permanent errors) or must be
+// evicted so a later query retries (transient ones).
+func (r Reason) Transient() bool { return r != None }
+
+// Error is the typed early-stop error the engine layers return. It
+// unwraps to the matching context error so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) work
+// across the whole stack.
+type Error struct {
+	// Reason classifies the stop.
+	Reason Reason
+	// Op names the layer that observed it (e.g. "noise.fixpoint").
+	Op string
+	// Err is the underlying cause: the context error for
+	// Canceled/DeadlineExceeded, the *PanicError for WorkerPanic, nil
+	// for WorkExhausted.
+	Err error
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s: stopped (%s): %v", e.Op, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("%s: stopped (%s)", e.Op, e.Reason)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// ReasonOf extracts the stop reason from an error chain, or None when
+// the chain carries no *Error. Bare context errors are classified too,
+// so callers can pass whatever an engine returned.
+func ReasonOf(err error) Reason {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Reason
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return WorkerPanic
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return Canceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return DeadlineExceeded
+	}
+	return None
+}
+
+// IsStop reports whether the error is an early-stop condition (any
+// budget reason). Permanent errors — bad inputs, validation failures —
+// return false.
+func IsStop(err error) bool { return ReasonOf(err) != None }
+
+// PanicError captures one recovered worker panic: where, what, and the
+// goroutine stack at the recover point.
+type PanicError struct {
+	// Op names the worker pool that recovered the panic.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// NewPanicError captures the current goroutine's stack; call it inside
+// the deferred recover handler.
+func NewPanicError(op string, value any) *PanicError {
+	buf := make([]byte, 16<<10)
+	return &PanicError{Op: op, Value: value, Stack: buf[:runtime.Stack(buf, false)]}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: worker panic: %v", e.Op, e.Value)
+}
+
+// B threads a context and an optional work allowance through the
+// engine layers. The zero of the type is never used directly: a nil *B
+// is the unlimited budget (Err and Charge return nil at the cost of
+// one branch), and non-nil budgets come from New or WithWork.
+//
+// A budget is sticky: the first stop condition observed is recorded
+// and every later Err returns the same *Error, so all workers of a
+// pool agree on why they stopped. B is safe for concurrent use.
+type B struct {
+	ctx  context.Context
+	done <-chan struct{} // ctx.Done(), resolved once; nil for background
+	op   string          // label stamped on the Errors this budget mints
+
+	limit int64        // work allowance; 0 = unlimited
+	used  atomic.Int64 // work charged so far
+
+	stop atomic.Pointer[Error] // first stop condition, sticky
+}
+
+// New returns a budget carrying only the context's cancellation and
+// deadline. A background (never-canceled) context still yields a
+// non-nil budget; pass nil *B for the truly unlimited case.
+func New(ctx context.Context) *B { return WithWork(ctx, 0) }
+
+// WithWork returns a budget carrying the context plus a work allowance
+// of limit units (0 = unlimited). What one unit means is defined by
+// the charging layer; core charges one unit per candidate aggressor
+// set scored and per reference re-measurement.
+func WithWork(ctx context.Context, limit int64) *B {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &B{ctx: ctx, done: ctx.Done(), op: "budget", limit: limit}
+}
+
+// Context returns the budget's context (context.Background for nil).
+func (b *B) Context() context.Context {
+	if b == nil || b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Err polls the budget: nil while work may continue, the sticky typed
+// *Error once any stop condition holds. The fast path (nil budget, or
+// live budget with no stop) is a few predictable branches and one
+// channel poll — cheap enough for per-64-evaluations granularity.
+func (b *B) Err() error {
+	if b == nil {
+		return nil
+	}
+	if e := b.stop.Load(); e != nil {
+		return e
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			return b.fail(reasonOfCtx(b.ctx), b.ctx.Err())
+		default:
+		}
+	}
+	return nil
+}
+
+// Charge consumes n units of the work allowance and then polls the
+// budget. Exceeding the allowance trips the sticky WorkExhausted stop;
+// the charge itself is atomic, so concurrent workers race benignly —
+// at most a bounded overshoot of one batch per worker.
+func (b *B) Charge(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.limit > 0 && b.used.Add(n) > b.limit {
+		return b.fail(WorkExhausted, nil)
+	}
+	return b.Err()
+}
+
+// Fail records an external stop condition (typically a recovered
+// worker panic) so every other poller of this budget stops too. The
+// first recorded condition wins; Fail returns the winner.
+func (b *B) Fail(reason Reason, cause error) error {
+	if b == nil {
+		if cause != nil {
+			return &Error{Reason: reason, Op: "budget", Err: cause}
+		}
+		return &Error{Reason: reason, Op: "budget"}
+	}
+	return b.fail(reason, cause)
+}
+
+func (b *B) fail(reason Reason, cause error) *Error {
+	e := &Error{Reason: reason, Op: b.op, Err: cause}
+	if b.stop.CompareAndSwap(nil, e) {
+		return e
+	}
+	return b.stop.Load()
+}
+
+// Used returns the work charged so far (0 for nil).
+func (b *B) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Remaining returns the unconsumed work allowance, or -1 when the
+// budget is unlimited (nil B or zero limit).
+func (b *B) Remaining() int64 {
+	if b == nil || b.limit == 0 {
+		return -1
+	}
+	if r := b.limit - b.used.Load(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// reasonOfCtx maps a done context to Canceled or DeadlineExceeded.
+func reasonOfCtx(ctx context.Context) Reason {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return DeadlineExceeded
+	}
+	return Canceled
+}

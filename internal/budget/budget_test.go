@@ -1,0 +1,195 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *B
+	if err := b.Err(); err != nil {
+		t.Fatalf("nil budget Err = %v, want nil", err)
+	}
+	if err := b.Charge(1 << 40); err != nil {
+		t.Fatalf("nil budget Charge = %v, want nil", err)
+	}
+	if got := b.Used(); got != 0 {
+		t.Fatalf("nil budget Used = %d, want 0", got)
+	}
+	if got := b.Remaining(); got != -1 {
+		t.Fatalf("nil budget Remaining = %d, want -1", got)
+	}
+	if ctx := b.Context(); ctx != context.Background() {
+		t.Fatalf("nil budget Context = %v, want Background", ctx)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx)
+	if err := b.Err(); err != nil {
+		t.Fatalf("live budget Err = %v, want nil", err)
+	}
+	cancel()
+	err := b.Err()
+	if err == nil {
+		t.Fatal("Err after cancel = nil, want error")
+	}
+	if got := ReasonOf(err); got != Canceled {
+		t.Fatalf("ReasonOf = %v, want Canceled", got)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not unwrap to context.Canceled", err)
+	}
+	// Sticky: the same condition is returned forever after.
+	if err2 := b.Err(); err2 != err {
+		t.Fatalf("Err not sticky: %v then %v", err, err2)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := New(ctx).Err()
+	if got := ReasonOf(err); got != DeadlineExceeded {
+		t.Fatalf("ReasonOf = %v, want DeadlineExceeded (err=%v)", got, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v does not unwrap to context.DeadlineExceeded", err)
+	}
+}
+
+func TestWorkExhaustion(t *testing.T) {
+	b := WithWork(context.Background(), 10)
+	for i := 0; i < 10; i++ {
+		if err := b.Charge(1); err != nil {
+			t.Fatalf("Charge %d = %v, want nil", i, err)
+		}
+	}
+	err := b.Charge(1)
+	if got := ReasonOf(err); got != WorkExhausted {
+		t.Fatalf("ReasonOf = %v, want WorkExhausted (err=%v)", got, err)
+	}
+	if got := b.Used(); got != 11 {
+		t.Fatalf("Used = %d, want 11", got)
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+	// Err (not just Charge) must also report the sticky stop.
+	if got := ReasonOf(b.Err()); got != WorkExhausted {
+		t.Fatalf("Err after exhaustion: reason %v, want WorkExhausted", got)
+	}
+}
+
+func TestChargeConcurrent(t *testing.T) {
+	b := WithWork(context.Background(), 1000)
+	var wg sync.WaitGroup
+	succeeded := make([]int64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Charge until the allowance trips.
+			for b.Charge(1) == nil {
+				succeeded[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range succeeded {
+		total += n
+	}
+	// Exactly the allowance succeeds, regardless of interleaving, and
+	// the overshoot is bounded by one failing charge per worker.
+	if total != 1000 {
+		t.Errorf("successful charges = %d, want exactly 1000", total)
+	}
+	if got := b.Used(); got != 1000+8 {
+		t.Errorf("Used = %d, want 1008 (allowance + one failing charge per worker)", got)
+	}
+}
+
+func TestFailRecordsPanic(t *testing.T) {
+	b := New(context.Background())
+	pe := NewPanicError("pool", "boom")
+	err := b.Fail(WorkerPanic, pe)
+	if got := ReasonOf(err); got != WorkerPanic {
+		t.Fatalf("ReasonOf = %v, want WorkerPanic", got)
+	}
+	var got *PanicError
+	if !errors.As(err, &got) || got != pe {
+		t.Fatalf("err %v does not unwrap to the panic capture", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError captured no stack")
+	}
+	// First condition wins over later ones.
+	if err2 := b.Fail(Canceled, nil); ReasonOf(err2) != WorkerPanic {
+		t.Fatalf("second Fail returned %v, want the first condition", err2)
+	}
+	// Fail on a nil budget still mints a usable error.
+	if err := (*B)(nil).Fail(WorkExhausted, nil); ReasonOf(err) != WorkExhausted {
+		t.Fatalf("nil-budget Fail reason = %v", ReasonOf(err))
+	}
+}
+
+func TestReasonOfClassifiesBareAndWrapped(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Reason
+	}{
+		{nil, None},
+		{errors.New("plain"), None},
+		{context.Canceled, Canceled},
+		{context.DeadlineExceeded, DeadlineExceeded},
+		{&Error{Reason: WorkExhausted, Op: "x"}, WorkExhausted},
+		{NewPanicError("x", 1), WorkerPanic},
+	}
+	for _, c := range cases {
+		if got := ReasonOf(c.err); got != c.want {
+			t.Errorf("ReasonOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+		// Wrapping must not change the classification.
+		if c.err != nil {
+			wrapped := errorsJoinish(c.err)
+			if got := ReasonOf(wrapped); got != c.want {
+				t.Errorf("ReasonOf(wrapped %v) = %v, want %v", c.err, got, c.want)
+			}
+		}
+	}
+	if IsStop(nil) || IsStop(errors.New("plain")) {
+		t.Error("IsStop true for a non-stop error")
+	}
+	if !IsStop(context.Canceled) {
+		t.Error("IsStop false for context.Canceled")
+	}
+}
+
+// errorsJoinish wraps like the engine layers do (fmt.Errorf %w).
+func errorsJoinish(err error) error {
+	return &wrapped{err}
+}
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "layer: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
+func TestReasonStrings(t *testing.T) {
+	for r, want := range map[Reason]string{
+		None: "none", Canceled: "canceled", DeadlineExceeded: "deadline",
+		WorkExhausted: "work-budget", WorkerPanic: "worker-panic",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+		if r.Transient() != (r != None) {
+			t.Errorf("%v.Transient() = %v", r, r.Transient())
+		}
+	}
+}

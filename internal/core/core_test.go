@@ -342,7 +342,7 @@ gate h1 INV_X1 b -> z
 couple n2 n3 1.0
 `
 	m := model(t, src)
-	e, err := newPrepared(m, Options{SlackFrac: 0.1}, addition, WholeCircuit, nil)
+	e, err := newPrepared(m, Options{SlackFrac: 0.1}, addition, WholeCircuit, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ couple n2 n3 1.0
 	if !e.isVictim[n2] {
 		t.Fatal("critical-path net must be a victim")
 	}
-	eAll, err := newPrepared(m, Exact(), addition, WholeCircuit, nil)
+	eAll, err := newPrepared(m, Exact(), addition, WholeCircuit, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
+	"topkagg/internal/faultinject"
 	"topkagg/internal/noise"
 	"topkagg/internal/sta"
 	"topkagg/internal/waveform"
@@ -75,6 +78,8 @@ type prepared struct {
 type engine struct {
 	*prepared
 
+	bud *budget.B // cooperative stop; nil runs unbounded
+
 	stats *Stats
 	kstat *KStats // the cardinality currently being enumerated
 
@@ -94,11 +99,11 @@ type engine struct {
 // primary-aggressor envelopes. A non-nil full skips the fixpoint run
 // and must be the result of m.Run(opt.Active) — the batch layer uses
 // this to amortize the fixpoint across many preparations.
-func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, full *noise.Analysis) (*prepared, error) {
+func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, full *noise.Analysis, bud *budget.B) (*prepared, error) {
 	e := &prepared{m: m, c: m.C, opt: opt, mode: md, target: target}
 	if full == nil {
 		var err error
-		full, err = e.m.Run(e.opt.Active)
+		full, err = e.m.RunBudget(bud, e.opt.Active)
 		if err != nil {
 			return nil, err
 		}
@@ -110,20 +115,34 @@ func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, ful
 	} else {
 		e.aggWin = e.full.Timing.Windows
 	}
+	// The per-victim preparation loops (dominance bounds, primary
+	// envelopes, elimination totals) are each linear passes; polling
+	// the budget between them bounds a stopped preparation to one pass.
 	e.selectVictims()
+	if err := bud.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare: %w", err)
+	}
 	e.prepareDominanceIntervals()
+	if err := bud.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare: %w", err)
+	}
 	e.preparePrimaries()
 	if e.mode == elimination {
+		if err := bud.Err(); err != nil {
+			return nil, fmt.Errorf("core: prepare: %w", err)
+		}
 		e.prepareTotals()
 	}
 	return e, nil
 }
 
-// newEngine starts a fresh enumeration over the prepared state. Each
-// engine is single-use; concurrent runs each take their own.
-func (p *prepared) newEngine() *engine {
+// newEngine starts a fresh enumeration over the prepared state with
+// the given budget (nil = unbounded). Each engine is single-use;
+// concurrent runs each take their own.
+func (p *prepared) newEngine(bud *budget.B) *engine {
 	return &engine{
 		prepared: p,
+		bud:      bud,
 		stats:    &Stats{},
 		prev:     map[circuit.NetID][]*aggSet{},
 		cur:      map[circuit.NetID][]*aggSet{},
@@ -622,7 +641,13 @@ func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
 // in one topological pass. Same-cardinality lookups that miss (the
 // referenced net comes later in topological order) fall back to
 // e.last, the previous pass of the same cardinality.
-func (e *engine) iterate(i int) {
+//
+// The pass stops early — returning a typed error and leaving e.cur
+// unusable — when the budget trips (each victim's raw candidate count
+// is charged as work) or a level worker panics; panics are recovered
+// at the goroutine boundary so a crashed worker never takes down the
+// process or other queries sharing the prepared state.
+func (e *engine) iterate(i int) error {
 	e.cur = make(map[circuit.NetID][]*aggSet, len(e.victims))
 	if ks := e.kstat; ks != nil {
 		// Each pass rebuilds every list, so the width figures describe
@@ -633,6 +658,9 @@ func (e *engine) iterate(i int) {
 	for _, lvl := range e.levels {
 		if len(lvl) == 0 {
 			continue
+		}
+		if err := e.bud.Err(); err != nil {
+			return fmt.Errorf("core: %w", err)
 		}
 		// Same-level victims never read each other's current lists
 		// (cross-references fall back to e.last), so they can be
@@ -646,6 +674,7 @@ func (e *engine) iterate(i int) {
 		outs := make([]out, len(lvl))
 		var wg sync.WaitGroup
 		var next atomic.Int64
+		var panicked atomic.Pointer[budget.PanicError]
 		n := workers
 		if n > len(lvl) {
 			n = len(lvl)
@@ -654,13 +683,28 @@ func (e *engine) iterate(i int) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, budget.NewPanicError("core.topk", r))
+					}
+				}()
 				for {
 					j := int(next.Add(1) - 1)
 					if j >= len(lvl) {
 						return
 					}
+					if panicked.Load() != nil {
+						return
+					}
+					faultinject.Fire(faultinject.SiteCoreVictim)
 					v := lvl[j]
 					raw := e.candidates(v, i)
+					// One unit of work per candidate set scored; the
+					// charge also polls cancellation, so stopping
+					// latency is bounded by one victim's candidates.
+					if e.bud.Charge(int64(len(raw))) != nil {
+						return
+					}
 					cands := dedupe(raw)
 					outs[j].cands = len(raw)
 					outs[j].dups = len(raw) - len(cands)
@@ -690,6 +734,12 @@ func (e *engine) iterate(i int) {
 			}()
 		}
 		wg.Wait()
+		if pe := panicked.Load(); pe != nil {
+			return fmt.Errorf("core: %w", pe)
+		}
+		if err := e.bud.Err(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 		for j, v := range lvl {
 			if i == 1 {
 				e.atoms1[v] = outs[j].atoms
@@ -709,24 +759,28 @@ func (e *engine) iterate(i int) {
 			}
 		}
 	}
+	return nil
 }
 
 // advance produces the final cardinality-i lists. Elimination runs two
 // passes so that higher-order references to nets later in topological
 // order resolve; addition's cross-references (prev-cardinality lists)
 // are already complete after one pass.
-func (e *engine) advance(i int) {
+func (e *engine) advance(i int) error {
 	passes := 1
 	if e.mode == elimination {
 		passes = 2
 	}
 	e.last = nil
 	for p := 0; p < passes; p++ {
-		e.iterate(i)
+		if err := e.iterate(i); err != nil {
+			return err
+		}
 		e.last = e.cur
 	}
 	e.last = nil
 	e.prev = e.cur
+	return nil
 }
 
 // bestAt returns the best cardinality-i set over the primary outputs'
@@ -893,6 +947,12 @@ func (e *engine) bestVerified(pos []circuit.NetID, chain *aggSet, chainPO circui
 	bestDelay := 0.0
 	for i := range cands {
 		c := &cands[i]
+		// One unit of work per reference re-measurement; the budget
+		// also threads into the measurement's own fixpoint, so a
+		// deadline can stop a verification mid-run.
+		if err := e.bud.Charge(1); err != nil {
+			return nil, 0, 0, fmt.Errorf("core: verify: %w", err)
+		}
 		var mask noise.Mask
 		if e.mode == addition {
 			mask = noise.MaskOf(e.c, c.s.ids)
@@ -907,9 +967,9 @@ func (e *engine) bestVerified(pos []circuit.NetID, chain *aggSet, chainPO circui
 			err error
 		)
 		if e.mode == elimination {
-			an, _, err = e.m.RunIncremental(e.full, prevMask, mask)
+			an, _, err = e.m.RunIncrementalBudget(e.bud, e.full, prevMask, mask)
 		} else {
-			an, err = e.m.Run(mask)
+			an, err = e.m.RunBudget(e.bud, mask)
 		}
 		if err != nil {
 			return nil, 0, 0, err
@@ -968,6 +1028,22 @@ func (e *engine) run(k int) (*Result, error) {
 		res.AllDelay = e.full.Timing.Window(e.target).LAT
 	}
 	targets := e.targets()
+	// stop converts an early-stop error into the partial-result
+	// contract: cancellation, deadline and work exhaustion degrade to
+	// whatever cardinalities completed (Partial + Stopped set, nil
+	// error), while a recovered worker panic stays a hard typed error —
+	// a crashed enumeration proves nothing about any cardinality.
+	stop := func(err error) (*Result, error) {
+		if budget.ReasonOf(err) == budget.WorkerPanic || !budget.IsStop(err) {
+			return nil, err
+		}
+		res.Partial = true
+		res.Stopped = err
+		if reg != nil {
+			reg.Counter("core.topk.partials").Inc()
+		}
+		return res, nil
+	}
 	// chain carries the best selection forward: extending the previous
 	// winner by one more unit is always a valid cardinality-i set, so
 	// the reported per-cardinality estimates never regress even when
@@ -977,7 +1053,13 @@ func (e *engine) run(k int) (*Result, error) {
 	for i := 1; i <= k; i++ {
 		e.kstat = &KStats{K: i}
 		kStart := time.Now()
-		e.advance(i)
+		if err := e.advance(i); err != nil {
+			// The in-flight cardinality is discarded whole: PerK keeps
+			// exactly the fully-enumerated prefix, so completed entries
+			// are identical to an unbounded run's.
+			res.Elapsed = time.Since(start)
+			return stop(err)
+		}
 		s, po, est, ok := e.bestAt(targets)
 		if c, cpo, cest, cok := e.extendChain(chain, chainPO, targets); cok {
 			if !ok || (e.mode == addition && cest > est) || (e.mode == elimination && cest < est) {
@@ -987,27 +1069,34 @@ func (e *engine) run(k int) (*Result, error) {
 		if !ok {
 			break // cardinality exceeds what the coupling graph offers
 		}
+		verified := false
 		if e.opt.VerifyTop > 0 {
 			vs, vpo, vest, err := e.bestVerified(targets, chain, chainPO)
 			if err != nil {
-				return nil, err
+				res.Elapsed = time.Since(start)
+				return stop(err)
 			}
 			if vs != nil {
 				s, po, est = vs, vpo, vest
+				verified = true
 			}
 		}
 		chain, chainPO = s, po
 		e.kstat.Elapsed = time.Since(kStart)
 		publishKStats(reg, e.kstat)
 		e.stats.PerK = append(e.stats.PerK, *e.kstat)
-		res.PerK = append(res.PerK, Selected{IDs: copyIDs(s.ids), Estimate: est, Delay: est})
+		res.PerK = append(res.PerK, Selected{IDs: copyIDs(s.ids), Estimate: est, Delay: est, Verified: verified})
 		res.ElapsedPerK = append(res.ElapsedPerK, time.Since(start))
 	}
 	res.Elapsed = time.Since(start)
 	if !e.opt.NoRescore {
 		rStart := time.Now()
 		if err := e.rescore(res); err != nil {
-			return nil, err
+			e.stats.RescoreElapsed = time.Since(rStart)
+			// A stopped rescore leaves the un-measured tail flagged
+			// Verified=false (heuristic estimates); the measured prefix
+			// stands.
+			return stop(err)
 		}
 		e.stats.RescoreElapsed = time.Since(rStart)
 	}
@@ -1037,6 +1126,9 @@ func (e *prepared) targets() []circuit.NetID {
 // the active-coupling mask, so padding can only help.
 func (e *engine) rescore(res *Result) error {
 	eval := func(ids []circuit.CouplingID) (float64, error) {
+		if err := e.bud.Charge(1); err != nil {
+			return 0, fmt.Errorf("core: rescore: %w", err)
+		}
 		e.stats.RescoreRuns++
 		var mask noise.Mask
 		if e.mode == addition {
@@ -1044,7 +1136,7 @@ func (e *engine) rescore(res *Result) error {
 		} else {
 			mask = noise.WithoutMask(e.c, ids)
 		}
-		an, err := e.m.Run(mask)
+		an, err := e.m.RunBudget(e.bud, mask)
 		if err != nil {
 			return 0, err
 		}
@@ -1081,6 +1173,7 @@ func (e *engine) rescore(res *Result) error {
 			}
 		}
 		res.PerK[i].Delay = d
+		res.PerK[i].Verified = true
 	}
 	return nil
 }
@@ -1152,4 +1245,51 @@ func TopKElimination(m *noise.Model, k int, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return s.TopK(k)
+}
+
+// TopKAdditionCtx is TopKAddition honoring the context's cancellation
+// and deadline through both the preparation (fixpoint, envelopes) and
+// the enumeration. A preparation stopped early returns a typed error;
+// an enumeration stopped early returns a Partial result (see
+// Result.Partial).
+func TopKAdditionCtx(ctx context.Context, m *noise.Model, k int, opt Options) (*Result, error) {
+	b := budget.New(ctx)
+	s, err := prepareSharedB(b, m, nil, addition, WholeCircuit, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKBudget(b, k)
+}
+
+// TopKEliminationCtx is TopKElimination honoring the context (see
+// TopKAdditionCtx).
+func TopKEliminationCtx(ctx context.Context, m *noise.Model, k int, opt Options) (*Result, error) {
+	b := budget.New(ctx)
+	s, err := prepareSharedB(b, m, nil, elimination, WholeCircuit, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKBudget(b, k)
+}
+
+// TopKAdditionAtCtx is TopKAdditionAt honoring the context (see
+// TopKAdditionCtx).
+func TopKAdditionAtCtx(ctx context.Context, m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
+	b := budget.New(ctx)
+	s, err := prepareSharedB(b, m, nil, addition, net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKBudget(b, k)
+}
+
+// TopKEliminationAtCtx is TopKEliminationAt honoring the context (see
+// TopKAdditionCtx).
+func TopKEliminationAtCtx(ctx context.Context, m *noise.Model, net circuit.NetID, k int, opt Options) (*Result, error) {
+	b := budget.New(ctx)
+	s, err := prepareSharedB(b, m, nil, elimination, net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKBudget(b, k)
 }

@@ -20,11 +20,11 @@ func buildEngine(t *testing.T, src string, md mode, opt Options) *engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := newPrepared(noise.NewModel(c), opt, md, WholeCircuit, nil)
+	p, err := newPrepared(noise.NewModel(c), opt, md, WholeCircuit, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p.newEngine()
+	return p.newEngine(nil)
 }
 
 const diamond = `circuit diamond

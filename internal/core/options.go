@@ -133,6 +133,13 @@ type Selected struct {
 	// reference iterative noise engine (equal to Estimate when
 	// rescoring is disabled).
 	Delay float64
+	// Verified distinguishes proven from heuristic figures: true when
+	// Delay was measured by the reference noise engine (rescoring or
+	// per-cardinality verification), false when it is the enumeration's
+	// own envelope estimate. Partial results stopped mid-rescore carry
+	// a mixed curve — the measured prefix true, the estimated tail
+	// false.
+	Verified bool
 }
 
 // Result is the outcome of a top-k run.
@@ -159,6 +166,16 @@ type Result struct {
 	// pruning counts, list widths and wall times, plus the shared-state
 	// cache counters when the run went through the serve layer.
 	Stats *Stats
+	// Partial reports that the enumeration stopped before reaching K
+	// (deadline, cancellation or work budget): PerK holds exactly the
+	// cardinalities that completed, each identical to what an unbounded
+	// run computes for it. Worker panics never yield a partial result —
+	// they surface as errors.
+	Partial bool
+	// Stopped is the typed early-stop condition when Partial is true
+	// (unwraps to context.Canceled / context.DeadlineExceeded where
+	// applicable; see internal/budget), nil otherwise.
+	Stopped error
 }
 
 // Top returns the highest-cardinality selection (the top-k set).

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 	"topkagg/internal/noise"
 )
@@ -50,11 +52,30 @@ func PrepareEliminationFrom(m *noise.Model, full *noise.Analysis, net circuit.Ne
 	return prepareShared(m, full, elimination, net, opt)
 }
 
+// PrepareAdditionBudget is PrepareAdditionFrom under a budget: the
+// preparation (including its fixpoint run, when full is nil) polls b
+// and stops early with a typed error. The serve layer builds its
+// cached preparations under the triggering query's budget through
+// this.
+func PrepareAdditionBudget(b *budget.B, m *noise.Model, full *noise.Analysis, net circuit.NetID, opt Options) (*Shared, error) {
+	return prepareSharedB(b, m, full, addition, net, opt)
+}
+
+// PrepareEliminationBudget is PrepareEliminationFrom under a budget
+// (see PrepareAdditionBudget).
+func PrepareEliminationBudget(b *budget.B, m *noise.Model, full *noise.Analysis, net circuit.NetID, opt Options) (*Shared, error) {
+	return prepareSharedB(b, m, full, elimination, net, opt)
+}
+
 func prepareShared(m *noise.Model, full *noise.Analysis, md mode, net circuit.NetID, opt Options) (*Shared, error) {
+	return prepareSharedB(nil, m, full, md, net, opt)
+}
+
+func prepareSharedB(b *budget.B, m *noise.Model, full *noise.Analysis, md mode, net circuit.NetID, opt Options) (*Shared, error) {
 	if net != WholeCircuit && (int(net) < 0 || int(net) >= m.C.NumNets()) {
 		return nil, fmt.Errorf("core: no net %d in circuit %s", net, m.C.Name)
 	}
-	p, err := newPrepared(m, opt, md, net, full)
+	p, err := newPrepared(m, opt, md, net, full, b)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +88,22 @@ func prepareShared(m *noise.Model, full *noise.Analysis, md mode, net circuit.Ne
 // identical k, the result is identical to a cold TopK* call with the
 // same configuration.
 func (s *Shared) TopK(k int) (*Result, error) {
-	return s.p.newEngine().run(k)
+	return s.p.newEngine(nil).run(k)
+}
+
+// TopKCtx is TopK honoring the context's cancellation and deadline:
+// the enumeration polls it between candidate batches and degrades to
+// a Partial result carrying the cardinalities that completed (see
+// Result.Partial).
+func (s *Shared) TopKCtx(ctx context.Context, k int) (*Result, error) {
+	return s.TopKBudget(budget.New(ctx), k)
+}
+
+// TopKBudget is TopK under a full budget — cancellation, deadline and
+// a candidate-evaluation work allowance (budget.WithWork). A nil
+// budget runs unbounded.
+func (s *Shared) TopKBudget(b *budget.B, k int) (*Result, error) {
+	return s.p.newEngine(b).run(k)
 }
 
 // FullAnalysis returns the memoized fixpoint of the configuration's

@@ -1,0 +1,7 @@
+//go:build faultinject_off
+
+package faultinject
+
+// enabled is false under the faultinject_off tag: Fire compiles to an
+// empty function and every probe disappears from the binary.
+const enabled = false

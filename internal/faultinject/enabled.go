@@ -1,0 +1,10 @@
+//go:build !faultinject_off
+
+package faultinject
+
+// enabled gates every probe. The default build keeps probes live (one
+// atomic load each when no plan is armed) so the chaos tests in the
+// ordinary test suite can inject faults; building with
+// -tags faultinject_off turns this constant false and the compiler
+// removes the probe bodies entirely.
+const enabled = true

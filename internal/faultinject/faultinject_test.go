@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// needProbes skips harness-behavior tests when probes are compiled
+// out (faultinject_off): Fire is a no-op there by design.
+func needProbes(t *testing.T) {
+	t.Helper()
+	if !Enabled() {
+		t.Skip("probes compiled out (faultinject_off)")
+	}
+}
+
+func TestDisarmedFireIsNoop(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with no plan")
+	}
+	Fire(SiteNoiseEval) // must not panic
+}
+
+func TestPanicOnNthHit(t *testing.T) {
+	needProbes(t)
+	Arm(NewPlan(1).Add("site", Rule{On: 3, Panic: true}))
+	defer Disarm()
+	fire := func() (panicked bool, val any) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked, val = true, r
+			}
+		}()
+		Fire("site")
+		return
+	}
+	for i := 1; i <= 2; i++ {
+		if p, _ := fire(); p {
+			t.Fatalf("hit %d panicked early", i)
+		}
+	}
+	p, val := fire()
+	if !p {
+		t.Fatal("third hit did not panic")
+	}
+	inj, ok := val.(*Injected)
+	if !ok || inj.Site != "site" || inj.Hit != 3 {
+		t.Fatalf("panic value = %#v, want *Injected{site, 3}", val)
+	}
+	var asErr *Injected
+	if !errors.As(error(inj), &asErr) {
+		t.Fatal("*Injected does not satisfy errors.As")
+	}
+	// Later hits are quiet again.
+	if p, _ := fire(); p {
+		t.Fatal("fourth hit panicked")
+	}
+}
+
+func TestEveryAndCall(t *testing.T) {
+	needProbes(t)
+	var calls []int64
+	Arm(NewPlan(1).Add("s", Rule{Every: 2, Call: func(site string, hit int64) {
+		if site != "s" {
+			t.Errorf("callback site = %q", site)
+		}
+		calls = append(calls, hit)
+	}}))
+	defer Disarm()
+	for i := 0; i < 6; i++ {
+		Fire("s")
+	}
+	if len(calls) != 3 || calls[0] != 2 || calls[1] != 4 || calls[2] != 6 {
+		t.Fatalf("calls = %v, want [2 4 6]", calls)
+	}
+}
+
+func TestProbIsSeededDeterministic(t *testing.T) {
+	needProbes(t)
+	run := func(seed int64) []int64 {
+		var hits []int64
+		Arm(NewPlan(seed).Add("s", Rule{Prob: 0.5, Call: func(_ string, h int64) {
+			hits = append(hits, h)
+		}}))
+		defer Disarm()
+		for i := 0; i < 64; i++ {
+			Fire("s")
+		}
+		return hits
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("prob rule fired %d/64 times; want strictly between", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different trigger counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different trigger sequence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDelay(t *testing.T) {
+	needProbes(t)
+	Arm(NewPlan(1).Add("s", Rule{On: 1, Delay: 20 * time.Millisecond}))
+	defer Disarm()
+	start := time.Now()
+	Fire("s")
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestHitsCountsOnlyRuledSites(t *testing.T) {
+	needProbes(t)
+	p := NewPlan(1).Add("a", Rule{})
+	Arm(p)
+	defer Disarm()
+	recovered := func() (ok bool) {
+		defer func() { ok = recover() == nil }()
+		Fire("a")
+		Fire("b") // no rule: no counter either
+		return
+	}
+	if !recovered() {
+		t.Fatal("unexpected panic")
+	}
+	if got := p.Hits("a"); got != 1 {
+		t.Fatalf("Hits(a) = %d, want 1", got)
+	}
+	if got := p.Hits("b"); got != 0 {
+		t.Fatalf("Hits(b) = %d, want 0", got)
+	}
+}

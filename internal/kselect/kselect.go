@@ -58,6 +58,14 @@ func GoodK(curve []float64, base, all float64, p Params) (k int, settled bool, e
 	if len(curve) == 0 {
 		return 0, false, fmt.Errorf("kselect: empty delay curve")
 	}
+	for i, d := range curve {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return 0, false, fmt.Errorf("kselect: non-finite delay %v at cardinality %d", d, i+1)
+		}
+	}
+	if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(all) || math.IsInf(all, 0) {
+		return 0, false, fmt.Errorf("kselect: non-finite delay span (base=%v, all=%v)", base, all)
+	}
 	defer func() { p.record(len(curve), k, settled, err) }()
 	span := math.Abs(all - base)
 	if span <= 0 {

@@ -385,11 +385,13 @@ func Write(w io.Writer, lib *cell.Library) error {
 	return err
 }
 
-// String renders the library as Liberty text.
+// String renders the library as Liberty text. A render failure (not
+// reachable with a strings.Builder sink, but kept total so corrupt
+// libraries degrade instead of crashing) renders as a Liberty comment.
 func String(lib *cell.Library) string {
 	var sb strings.Builder
 	if err := Write(&sb, lib); err != nil {
-		panic(err) // strings.Builder cannot fail
+		return fmt.Sprintf("/* liberty: render failed: %v */\n", err)
 	}
 	return sb.String()
 }

@@ -1,13 +1,18 @@
 package netlist
 
 import (
+	"math"
 	"testing"
 
 	"topkagg/internal/cell"
+	"topkagg/internal/sta"
 )
 
-// FuzzParse checks that arbitrary input never panics the parser and
-// that anything it accepts survives a canonical-form round trip.
+// FuzzParse checks that arbitrary input never panics the parser, that
+// anything it accepts survives a canonical-form round trip, and that an
+// accepted circuit survives timing analysis — no panic deep in the
+// engine, and any windows produced are finite (sta rejects the rest
+// with a typed NonFiniteError).
 func FuzzParse(f *testing.F) {
 	f.Add(sample)
 	f.Add("circuit x\n")
@@ -30,6 +35,19 @@ func FuzzParse(f *testing.F) {
 		}
 		if String(c2) != text {
 			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", text, String(c2))
+		}
+		// Accepted circuits must be analyzable without panicking: a
+		// parser that lets NaN capacitances or cyclic structures through
+		// must still fail closed, with an error, further down the stack.
+		res, err := sta.Analyze(c, sta.Options{})
+		if err != nil {
+			return
+		}
+		for id, w := range res.Windows {
+			if math.IsNaN(w.EAT) || math.IsNaN(w.LAT) || math.IsNaN(w.Slew) ||
+				math.IsInf(w.EAT, 0) || math.IsInf(w.LAT, 0) || math.IsInf(w.Slew, 0) {
+				t.Fatalf("non-finite window escaped analysis on net %d: %+v", id, w)
+			}
 		}
 	})
 }

@@ -193,11 +193,13 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	return bw.Flush()
 }
 
-// String renders the circuit in canonical text form.
+// String renders the circuit in canonical text form. A render failure
+// (not reachable with a strings.Builder sink, but kept total so corrupt
+// circuits degrade instead of crashing) renders as a comment line.
 func String(c *circuit.Circuit) string {
 	var sb strings.Builder
 	if err := Write(&sb, c); err != nil {
-		panic(err) // strings.Builder cannot fail
+		return fmt.Sprintf("# netlist: render failed: %v\n", err)
 	}
 	return sb.String()
 }

@@ -5,10 +5,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
+	"topkagg/internal/faultinject"
 	"topkagg/internal/sta"
 	"topkagg/internal/waveform"
 )
+
+// budgetStride is how many victim evaluations a sweep worker performs
+// between budget polls: coarse enough that the disabled path (nil
+// budget, one branch per poll) is invisible next to the envelope math,
+// fine enough that cancellation latency stays at a handful of
+// evaluations.
+const budgetStride = 64
 
 // envEntry memoizes the trapezoidal envelope one coupling induces on
 // one of its two endpoint nets, keyed on the aggressor window it was
@@ -102,16 +111,18 @@ type fixpoint struct {
 	scratch []evalScratch
 	workers int
 
-	obs *fixObs // resolved metric handles; nil when uninstrumented
+	bud *budget.B // cooperative stop; nil runs unbounded
+	obs *fixObs   // resolved metric handles; nil when uninstrumented
 }
 
 // newFixpoint builds the sweep state for one analysis: the victim set
 // under the given mask, its per-victim active-coupling lists, the
 // envelope memo cache and the per-worker scratch. inc carries the
-// starting timing and noise vector.
-func newFixpoint(m *Model, active Mask, inc *sta.Incremental) *fixpoint {
+// starting timing and noise vector; bud (nil = unlimited) lets the
+// caller cancel the ascent between evaluation batches.
+func newFixpoint(m *Model, active Mask, inc *sta.Incremental, bud *budget.B) *fixpoint {
 	c := m.C
-	f := &fixpoint{m: m, inc: inc}
+	f := &fixpoint{m: m, inc: inc, bud: bud}
 	f.vIndex = make([]int32, c.NumNets())
 	for i := range f.vIndex {
 		f.vIndex[i] = -1
@@ -199,15 +210,28 @@ func windowMoved(a, b sta.Window, tol float64) bool {
 // movement of a sweep is within Tol or the iteration budget runs out.
 // Callers seed the dirty set first (seedAll for a cold run, the change
 // cone for an incremental one).
-func (f *fixpoint) iterate() (iters int, converged bool) {
+//
+// A non-nil error means the ascent was stopped before settling — the
+// caller's budget tripped (cancellation, deadline, work allowance) or
+// a sweep worker panicked — and the in-flight timing state must be
+// discarded: a sweep that stops mid-queue commits nothing, so no
+// partially-evaluated iteration ever reaches the returned Analysis.
+func (f *fixpoint) iterate() (iters int, converged bool, err error) {
 	for iter := 1; iter <= f.m.MaxIterations; iter++ {
+		if err = f.bud.Err(); err != nil {
+			break
+		}
 		iters = iter
 		f.buildQueue()
 		if o := f.obs; o != nil {
 			o.sweeps.Inc()
 			o.worklistDepth.Observe(int64(len(f.queue)))
 		}
-		maxDelta := f.sweep()
+		maxDelta, serr := f.sweep()
+		if serr != nil {
+			err = serr
+			break
+		}
 		f.markChanged(f.inc.Update())
 		if maxDelta <= f.m.Tol {
 			converged = true
@@ -215,7 +239,8 @@ func (f *fixpoint) iterate() (iters int, converged bool) {
 		}
 	}
 	f.obs.flush(f.scratch, iters, converged)
-	return iters, converged
+	f.obs.stopObserved(err)
+	return iters, converged, err
 }
 
 // buildQueue drains the dirty set into the evaluation queue in victim
@@ -235,7 +260,14 @@ func (f *fixpoint) buildQueue() {
 // It returns the largest single-net noise increase of the sweep and
 // re-marks the victims whose noise moved (their reference correction
 // changes next sweep).
-func (f *fixpoint) sweep() float64 {
+//
+// A sweep is all-or-nothing: when the budget trips or a worker
+// panics, the commit loop never runs, so the incremental timing keeps
+// exactly the previous iteration's state. Worker panics are recovered
+// at the goroutine boundary (a panic in a bare goroutine would kill
+// the process, not just the query) and surfaced as a typed
+// *budget.PanicError.
+func (f *fixpoint) sweep() (float64, error) {
 	n := len(f.queue)
 	if cap(f.results) < n {
 		f.results = make([]float64, n)
@@ -246,27 +278,43 @@ func (f *fixpoint) sweep() float64 {
 		workers = n
 	}
 	if workers <= 1 {
-		s := &f.scratch[0]
-		for qi, vi := range f.queue {
-			res[qi] = f.evaluate(vi, s)
+		if err := f.sweepSerial(res); err != nil {
+			return 0, err
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		var panicked atomic.Pointer[budget.PanicError]
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(s *evalScratch) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, budget.NewPanicError("noise.fixpoint", r))
+					}
+				}()
 				for {
 					qi := int(next.Add(1) - 1)
 					if qi >= n {
 						return
+					}
+					if qi&(budgetStride-1) == 0 {
+						if panicked.Load() != nil || f.bud.Err() != nil {
+							return
+						}
 					}
 					res[qi] = f.evaluate(f.queue[qi], s)
 				}
 			}(&f.scratch[w])
 		}
 		wg.Wait()
+		if pe := panicked.Load(); pe != nil {
+			return 0, pe
+		}
+		if err := f.bud.Err(); err != nil {
+			return 0, err
+		}
 	}
 	maxDelta := 0.0
 	extra := f.inc.ExtraLAT()
@@ -281,7 +329,28 @@ func (f *fixpoint) sweep() float64 {
 		// Update and the markTol gate in markChanged).
 		f.inc.SetExtraLAT(v, nv)
 	}
-	return maxDelta
+	return maxDelta, nil
+}
+
+// sweepSerial is the single-worker evaluation loop, with the same
+// budget polling and panic capture as the parallel pool so callers
+// see identical stop semantics at any worker count.
+func (f *fixpoint) sweepSerial(res []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = budget.NewPanicError("noise.fixpoint", r)
+		}
+	}()
+	s := &f.scratch[0]
+	for qi, vi := range f.queue {
+		if qi&(budgetStride-1) == 0 {
+			if e := f.bud.Err(); e != nil {
+				return e
+			}
+		}
+		res[qi] = f.evaluate(vi, s)
+	}
+	return nil
 }
 
 // evaluate recomputes one victim's worst-case delay noise from its
@@ -290,6 +359,7 @@ func (f *fixpoint) sweep() float64 {
 // its own cache entries) and writes only the worker's scratch, so
 // concurrent evaluations of distinct victims never interfere.
 func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
+	faultinject.Fire(faultinject.SiteNoiseEval)
 	m := f.m
 	v := f.victims[vi]
 	// Envelopes and the reference ramp are built from the notified

@@ -1,8 +1,10 @@
 package noise
 
 import (
+	"context"
 	"fmt"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 	"topkagg/internal/sta"
 )
@@ -39,12 +41,25 @@ type IncrementalStats struct {
 // prev or the masks; many incremental analyses may share one prev
 // concurrently.
 func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, IncrementalStats, error) {
+	return m.RunIncrementalBudget(nil, prev, prevMask, mask)
+}
+
+// RunIncrementalCtx is RunIncremental honoring the context's
+// cancellation and deadline with the same bounded-granularity polling
+// and all-or-nothing sweep commit as RunCtx.
+func (m *Model) RunIncrementalCtx(ctx context.Context, prev *Analysis, prevMask, mask Mask) (*Analysis, IncrementalStats, error) {
+	return m.RunIncrementalBudget(budget.New(ctx), prev, prevMask, mask)
+}
+
+// RunIncrementalBudget is the budget-carrying form of RunIncremental;
+// a nil budget runs unbounded.
+func (m *Model) RunIncrementalBudget(b *budget.B, prev *Analysis, prevMask, mask Mask) (*Analysis, IncrementalStats, error) {
 	defer m.Obs.Span("noise.run_incremental").End()
 	if m.Obs != nil {
 		m.Obs.Counter("noise.incremental.runs").Inc()
 	}
 	if prev == nil {
-		an, err := m.Run(mask)
+		an, err := m.RunBudget(b, mask)
 		m.incrementalDone(m.C.NumNets(), true)
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
 	}
@@ -55,7 +70,7 @@ func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, 
 	}
 	affected := m.changeCone(changed)
 	if len(affected) >= m.C.NumNets()*3/5 {
-		an, err := m.Run(mask)
+		an, err := m.RunBudget(b, mask)
 		m.incrementalDone(m.C.NumNets(), true)
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
 	}
@@ -71,14 +86,17 @@ func (m *Model) RunIncremental(prev *Analysis, prevMask, mask Mask) (*Analysis, 
 	for v := range affected {
 		inc.SetExtraLAT(v, 0) // the cone restarts; couplings may have been removed
 	}
-	f := newFixpoint(m, mask, inc)
+	f := newFixpoint(m, mask, inc, b)
 	f.markChanged(inc.Update())
 	for v := range affected {
 		if vi := f.vIndex[v]; vi >= 0 {
 			f.dirty[vi] = true
 		}
 	}
-	iters, converged := f.iterate()
+	iters, converged, err := f.iterate()
+	if err != nil {
+		return nil, IncrementalStats{}, fmt.Errorf("noise: incremental: %w", err)
+	}
 	an := &Analysis{
 		Base:       prev.Base,
 		Timing:     inc.Snapshot(),

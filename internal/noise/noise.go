@@ -8,9 +8,12 @@
 package noise
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/cell"
 	"topkagg/internal/circuit"
 	"topkagg/internal/obs"
@@ -273,8 +276,41 @@ type Analysis struct {
 	Converged bool
 }
 
+// ErrNotConverged is the sentinel every *NotConvergedError matches
+// via errors.Is, so callers can test for non-convergence without
+// caring about the iteration count it carries.
+var ErrNotConverged = errors.New("noise: fixpoint did not converge")
+
+// NotConvergedError is the typed non-convergence condition: the
+// fixpoint exhausted its iteration cap before every net's noise
+// settled within Tol. The analysis it annotates is still a sound
+// lower bound (the ascent is monotone from below), just not proven
+// stationary — callers decide whether that is degraded-but-usable or
+// fatal.
+type NotConvergedError struct {
+	// Iterations is the number of sweeps performed (the cap).
+	Iterations int
+}
+
+func (e *NotConvergedError) Error() string {
+	return fmt.Sprintf("noise: fixpoint did not converge within %d iterations", e.Iterations)
+}
+
+// Is makes errors.Is(err, ErrNotConverged) true for this type.
+func (e *NotConvergedError) Is(target error) bool { return target == ErrNotConverged }
+
 // CircuitDelay returns the noisy circuit delay.
 func (a *Analysis) CircuitDelay() float64 { return a.Timing.CircuitDelay() }
+
+// ConvergenceErr returns nil for a converged analysis and a typed
+// *NotConvergedError otherwise — the query-visible form of the
+// Converged flag.
+func (a *Analysis) ConvergenceErr() error {
+	if a.Converged {
+		return nil
+	}
+	return &NotConvergedError{Iterations: a.Iterations}
+}
 
 // PropagatedShift returns the part of net n's latest-arrival shift
 // that was inherited from its fanin rather than injected on n itself.
@@ -303,7 +339,22 @@ func (a *Analysis) PropagatedShift(n circuit.NetID) float64 {
 // Run does not mutate the model or the circuit and is safe to call
 // concurrently; the returned Analysis is immutable shared data for
 // every consumer that treats it as read-only (all packages here do).
-func (m *Model) Run(active Mask) (*Analysis, error) {
+func (m *Model) Run(active Mask) (*Analysis, error) { return m.RunBudget(nil, active) }
+
+// RunCtx is Run honoring the context's cancellation and deadline: the
+// fixpoint polls it at bounded granularity (per iteration and every
+// budgetStride evaluations inside a sweep) and returns a typed
+// early-stop error — no partially-committed sweep ever reaches an
+// Analysis. The error unwraps to context.Canceled or
+// context.DeadlineExceeded as appropriate.
+func (m *Model) RunCtx(ctx context.Context, active Mask) (*Analysis, error) {
+	return m.RunBudget(budget.New(ctx), active)
+}
+
+// RunBudget is the budget-carrying engine entry point RunCtx and the
+// upper layers (core, serve) share; a nil budget runs unbounded. See
+// Run for the analysis semantics.
+func (m *Model) RunBudget(b *budget.B, active Mask) (*Analysis, error) {
 	defer m.Obs.Span("noise.run").End()
 	opt := sta.Options{PIArrival: m.PIArrival}
 	base, err := sta.Analyze(m.C, opt)
@@ -317,9 +368,12 @@ func (m *Model) Run(active Mask) (*Analysis, error) {
 		return nil, fmt.Errorf("noise: %w", err)
 	}
 	inc.Instrument(m.Obs)
-	f := newFixpoint(m, active, inc)
+	f := newFixpoint(m, active, inc, b)
 	f.seedAll()
-	iters, converged := f.iterate()
+	iters, converged, err := f.iterate()
+	if err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
 	an := &Analysis{
 		Base:       base,
 		Timing:     inc.Snapshot(),

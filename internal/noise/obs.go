@@ -1,6 +1,9 @@
 package noise
 
-import "topkagg/internal/obs"
+import (
+	"topkagg/internal/budget"
+	"topkagg/internal/obs"
+)
 
 // fixObs bundles the resolved metric handles of one fixpoint run.
 // Handles are resolved once per engine construction (newFixpoint), so
@@ -25,6 +28,8 @@ import "topkagg/internal/obs"
 //	noise.fixpoint.sum_memo_misses
 //	noise.fixpoint.raw_memo_hits    raw delay-noise memo hits
 //	noise.fixpoint.raw_memo_misses
+//	noise.fixpoint.stops            runs stopped early by budget/cancellation
+//	noise.fixpoint.panics           runs stopped by a recovered worker panic
 type fixObs struct {
 	runs, converged      *obs.Counter
 	sweeps, iterations   *obs.Counter
@@ -33,6 +38,7 @@ type fixObs struct {
 	pulseHits, pulseMiss *obs.Counter
 	sumHits, sumMisses   *obs.Counter
 	rawHits, rawMisses   *obs.Counter
+	stops, panics        *obs.Counter
 	worklistDepth        *obs.Histogram
 }
 
@@ -56,8 +62,23 @@ func newFixObs(r *obs.Registry) *fixObs {
 		sumMisses:     r.Counter("noise.fixpoint.sum_memo_misses"),
 		rawHits:       r.Counter("noise.fixpoint.raw_memo_hits"),
 		rawMisses:     r.Counter("noise.fixpoint.raw_memo_misses"),
+		stops:         r.Counter("noise.fixpoint.stops"),
+		panics:        r.Counter("noise.fixpoint.panics"),
 		worklistDepth: r.Histogram("noise.fixpoint.worklist_depth"),
 	}
+}
+
+// stopObserved classifies an early-stop error into the stop counters.
+// No-op when disabled or when the run completed.
+func (o *fixObs) stopObserved(err error) {
+	if o == nil || err == nil {
+		return
+	}
+	if budget.ReasonOf(err) == budget.WorkerPanic {
+		o.panics.Inc()
+		return
+	}
+	o.stops.Inc()
 }
 
 // evalCounts is the per-worker scratch half of the fixpoint

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 )
 
@@ -17,6 +20,19 @@ import (
 // results. Per-query failures land in their Response's Err; the batch
 // itself never fails.
 func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
+	return a.RunBatchCtx(context.Background(), queries, workers)
+}
+
+// RunBatchCtx is RunBatch under a batch-wide context. Cancelling it
+// mid-flight degrades gracefully instead of crashing or blocking:
+// queries already answered keep their complete responses (byte-
+// identical to an uncancelled run's), in-flight queries stop at their
+// next poll point with a Partial result or a typed error, and queries
+// not yet started return the typed cancellation error without running.
+// Per-query Limits still apply on top of the batch context. A worker
+// panic is confined to its query's Response; the pool and the shared
+// cache survive.
+func (a *Analyzer) RunBatchCtx(ctx context.Context, queries []Query, workers int) []Response {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -33,6 +49,7 @@ func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
 		a.obs.batches.Inc()
 		a.obs.batchSize.Observe(int64(len(queries)))
 	}
+	bctx := budget.New(ctx) // one poll handle for the skip-unstarted check
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
@@ -54,7 +71,11 @@ func (a *Analyzer) RunBatch(queries []Query, workers int) []Response {
 					}
 					return
 				}
-				out[i] = a.Do(queries[i])
+				if err := bctx.Err(); err != nil {
+					out[i] = Response{Query: queries[i], Err: fmt.Errorf("serve: %w", err)}
+					continue
+				}
+				out[i] = a.DoCtx(ctx, queries[i])
 			}
 		}()
 	}

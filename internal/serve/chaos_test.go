@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"topkagg/internal/budget"
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/faultinject"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// needProbes skips a test that depends on fault injection when the
+// probes are compiled out (faultinject_off build tag).
+func needProbes(t *testing.T) {
+	t.Helper()
+	if !faultinject.Enabled() {
+		t.Skip("fault-injection probes compiled out (faultinject_off)")
+	}
+}
+
+// chaosSetup builds the shared chaos-test fixture: a small generated
+// circuit, a valid mixed workload (top-k addition and elimination at
+// circuit and per-net targets, plus what-ifs), and the cold serial
+// reference responses each chaos run is compared against. The
+// reference is computed before any plan is armed so it never consumes
+// injection hits.
+func chaosSetup(t *testing.T, opt core.Options) (*circuit.Circuit, []Query, []Response) {
+	t.Helper()
+	c, err := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []circuit.NetID{WholeCircuit}
+	for id := 0; id < c.NumNets() && len(nets) < 4; id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, circuit.NetID(id))
+		}
+	}
+	var queries []Query
+	for _, n := range nets {
+		queries = append(queries,
+			Query{Op: Addition, Net: n, K: 3},
+			Query{Op: Elimination, Net: n, K: 2},
+			Query{Op: WhatIf, Net: n, Fix: []circuit.CouplingID{0, 1}},
+		)
+	}
+	queries = append(queries, queries[0], queries[1], queries[2]) // duplicates race cache hits
+	expected := make([]Response, len(queries))
+	for i, q := range queries {
+		expected[i] = NewAnalyzer(noise.NewModel(c), opt).Do(q)
+		if expected[i].Err != nil {
+			t.Fatalf("reference query %d failed: %v", i, expected[i].Err)
+		}
+	}
+	return c, queries, expected
+}
+
+// matchClean asserts one response is byte-identical to its cold serial
+// reference (wall-clock fields aside).
+func matchClean(t *testing.T, i int, got, want Response) {
+	t.Helper()
+	if got.Err != nil {
+		t.Errorf("query %d (%s net %d): unexpected error: %v", i, got.Query.Op, got.Query.Net, got.Err)
+		return
+	}
+	if got.Partial || got.Degraded != "" {
+		t.Errorf("query %d: unexpected degradation (partial=%v degraded=%q)", i, got.Partial, got.Degraded)
+	}
+	if math.Float64bits(got.Delay) != math.Float64bits(want.Delay) {
+		t.Errorf("query %d: delay %.17g != reference %.17g", i, got.Delay, want.Delay)
+	}
+	if !resultsEqual(got.Result, want.Result) {
+		t.Errorf("query %d (%s net %d): result differs from cold serial run", i, got.Query.Op, got.Query.Net)
+	}
+}
+
+// wantInjectedPanic asserts an error is the typed capture of a
+// deliberately injected worker panic.
+func wantInjectedPanic(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected an injected-panic error, got nil")
+	}
+	if r := budget.ReasonOf(err); r != budget.WorkerPanic {
+		t.Fatalf("error reason = %v, want WorkerPanic: %v", r, err)
+	}
+	var pe *budget.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error chain carries no *budget.PanicError: %v", err)
+	}
+	if _, ok := pe.Value.(*faultinject.Injected); !ok {
+		t.Fatalf("recovered panic value is %T, not the injected fault: %v", pe.Value, err)
+	}
+}
+
+// TestChaosQueryPanicConfinedUnderStress is the headline robustness
+// property: one injected worker panic inside a 12-goroutine batch
+// crashes exactly one query — a typed *budget.PanicError in that
+// Response — while every other response stays byte-identical to a
+// cold serial run, the process survives, and the shared cache is left
+// usable (a disarmed rerun on the same Analyzer is fully clean).
+func TestChaosQueryPanicConfinedUnderStress(t *testing.T) {
+	needProbes(t)
+	_, queries, expected := chaosSetup(t, core.Options{SlackFrac: 1, VerifyTop: 4})
+	c, _ := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	a := NewAnalyzer(noise.NewModel(c), core.Options{SlackFrac: 1, VerifyTop: 4})
+
+	plan := faultinject.NewPlan(1).Add(faultinject.SiteServeQuery, faultinject.Rule{On: 5, Panic: true})
+	faultinject.Arm(plan)
+	t.Cleanup(faultinject.Disarm)
+
+	out := a.RunBatchCtx(context.Background(), queries, 12)
+	if len(out) != len(queries) {
+		t.Fatalf("got %d responses for %d queries", len(out), len(queries))
+	}
+	panicked := 0
+	for i, r := range out {
+		if r.Err != nil {
+			wantInjectedPanic(t, r.Err)
+			if r.Result != nil || r.Partial || r.Degraded != "" {
+				t.Errorf("query %d: panicked response still carries result state", i)
+			}
+			panicked++
+			continue
+		}
+		matchClean(t, i, r, expected[i])
+	}
+	if panicked != 1 {
+		t.Fatalf("injected panic hit %d queries, want exactly 1", panicked)
+	}
+	if got := plan.Hits(faultinject.SiteServeQuery); got != int64(len(queries)) {
+		t.Errorf("probe fired %d times, want once per query (%d)", got, len(queries))
+	}
+
+	// The cache must not be poisoned: a disarmed rerun on the same
+	// Analyzer answers everything, identically, off the warm cache.
+	faultinject.Disarm()
+	for i, r := range a.RunBatch(queries, 4) {
+		matchClean(t, i, r, expected[i])
+	}
+	if st := a.Stats(); st.FixpointRuns != 1 {
+		t.Errorf("FixpointRuns = %d, want 1 (panic fired before any build)", st.FixpointRuns)
+	}
+}
+
+// TestChaosCorePanicIsolated injects a panic into a core enumeration
+// worker: the query must fail hard (typed error, never Partial — a
+// panic is a bug, not a budget), the memoized preparation must
+// survive, and an immediate retry must succeed and match the clean
+// reference.
+func TestChaosCorePanicIsolated(t *testing.T) {
+	needProbes(t)
+	_, queries, expected := chaosSetup(t, core.Options{SlackFrac: 1})
+	c, _ := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	a := NewAnalyzer(noise.NewModel(c), core.Options{SlackFrac: 1})
+	q := queries[0] // addition, whole circuit
+
+	faultinject.Arm(faultinject.NewPlan(1).Add(faultinject.SiteCoreVictim, faultinject.Rule{On: 1, Panic: true}))
+	t.Cleanup(faultinject.Disarm)
+
+	r1 := a.Do(q)
+	wantInjectedPanic(t, r1.Err)
+	if r1.Partial {
+		t.Error("panicked query reported Partial; panics must surface as errors")
+	}
+	if r1.Result != nil {
+		t.Error("panicked query still carries a Result")
+	}
+
+	// The rule was On:1, so the retry runs clean — and must reuse the
+	// preparation the panicked enumeration ran against (enumeration
+	// failures never evict the read-only shared state).
+	r2 := a.Do(q)
+	matchClean(t, 0, r2, expected[0])
+	st := a.Stats()
+	if st.PrepMisses != 1 || st.PrepHits != 1 {
+		t.Errorf("prep hits/misses = %d/%d, want 1/1 (prep survives an enumeration panic)",
+			st.PrepHits, st.PrepMisses)
+	}
+	if st.FixpointRuns != 1 {
+		t.Errorf("FixpointRuns = %d, want 1", st.FixpointRuns)
+	}
+}
+
+// TestChaosPrepPanicEvicted injects a panic into the shared-state
+// build itself: the triggering query fails with the typed panic, the
+// poisoned cache entry is evicted, and the next identical query
+// rebuilds from scratch and succeeds — observable as a second prep
+// miss.
+func TestChaosPrepPanicEvicted(t *testing.T) {
+	needProbes(t)
+	_, queries, expected := chaosSetup(t, core.Options{SlackFrac: 1})
+	c, _ := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	a := NewAnalyzer(noise.NewModel(c), core.Options{SlackFrac: 1})
+	q := queries[0]
+
+	faultinject.Arm(faultinject.NewPlan(1).Add(faultinject.SiteServePrep, faultinject.Rule{On: 1, Panic: true}))
+	t.Cleanup(faultinject.Disarm)
+
+	r1 := a.Do(q)
+	wantInjectedPanic(t, r1.Err)
+	if st := a.Stats(); st.PrepMisses != 1 {
+		t.Fatalf("PrepMisses = %d after poisoned build, want 1", st.PrepMisses)
+	}
+
+	r2 := a.Do(q)
+	matchClean(t, 0, r2, expected[0])
+	r3 := a.Do(q)
+	matchClean(t, 0, r3, expected[0])
+	st := a.Stats()
+	if st.PrepMisses != 2 {
+		t.Errorf("PrepMisses = %d, want 2 (the poisoned entry must be evicted and rebuilt)", st.PrepMisses)
+	}
+	if st.PrepHits != 1 {
+		t.Errorf("PrepHits = %d, want 1 (third query reuses the rebuilt entry)", st.PrepHits)
+	}
+}
+
+// TestChaosDeadlineOneQueryStress runs a 12-goroutine batch in which
+// exactly one query carries an already-expired deadline: that query —
+// and only that query — degrades to a Partial response or a typed
+// deadline error, every other response matches the cold serial
+// reference, and the shared cache stays consistent for a rerun. This
+// also exercises the waiter-retry path: if the doomed query happens to
+// be the one building shared state, its co-waiters must rebuild under
+// their own (unlimited) budgets rather than inherit the deadline.
+func TestChaosDeadlineOneQueryStress(t *testing.T) {
+	_, queries, expected := chaosSetup(t, core.Options{SlackFrac: 1, VerifyTop: 4})
+	c, _ := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	a := NewAnalyzer(noise.NewModel(c), core.Options{SlackFrac: 1, VerifyTop: 4})
+
+	const doomed = 0 // first query: most likely to be a cache builder
+	limited := make([]Query, len(queries))
+	copy(limited, queries)
+	limited[doomed].Limits = Limits{Timeout: time.Nanosecond}
+
+	out := a.RunBatch(limited, 12)
+	for i, r := range out {
+		if i == doomed {
+			switch {
+			case r.Err != nil:
+				if reason := budget.ReasonOf(r.Err); reason != budget.DeadlineExceeded {
+					t.Errorf("doomed query error reason = %v, want DeadlineExceeded: %v", reason, r.Err)
+				}
+			case r.Partial:
+				if r.Degraded != DegradedDeadline {
+					t.Errorf("doomed query Degraded = %q, want %q", r.Degraded, DegradedDeadline)
+				}
+				if len(r.Result.PerK) >= len(expected[i].Result.PerK) {
+					t.Errorf("doomed 1ns query completed %d cardinalities, reference has %d",
+						len(r.Result.PerK), len(expected[i].Result.PerK))
+				}
+			default:
+				t.Errorf("doomed 1ns query returned a complete response")
+			}
+			continue
+		}
+		got := r
+		got.Query.Limits = Limits{} // the echo differs only by limits
+		matchClean(t, i, got, expected[i])
+	}
+
+	// Cache consistency: an unlimited rerun on the same Analyzer is
+	// fully clean, including the previously doomed query.
+	for i, r := range a.RunBatch(queries, 4) {
+		matchClean(t, i, r, expected[i])
+	}
+	if st := a.Stats(); st.FixpointRuns < 1 || st.FixpointRuns > 2 {
+		t.Errorf("FixpointRuns = %d, want 1 or 2 (one doomed build may be evicted and redone)", st.FixpointRuns)
+	}
+}
+
+// TestBatchCancellationDeterminism cancels a batch mid-flight at a
+// deterministic logical point (the 400th core victim evaluation) and
+// checks the cancellation contract: every response is either complete
+// and byte-identical to an uncancelled cold run, a Partial prefix of
+// it (same selections, same scores, cardinality by cardinality), or a
+// typed cancellation error — and the shared cache survives, so a
+// fresh uncancelled batch on the same Analyzer matches the reference
+// exactly.
+func TestBatchCancellationDeterminism(t *testing.T) {
+	needProbes(t)
+	// NoRescore keeps Delay == Estimate on both sides so a partial
+	// prefix is comparable entry-for-entry against the reference.
+	opt := core.Options{SlackFrac: 1, NoRescore: true}
+	_, queries, expected := chaosSetup(t, opt)
+	c, _ := gen.Build(gen.Spec{Name: "chaos", Gates: 30, Couplings: 25, Seed: 42})
+	a := NewAnalyzer(noise.NewModel(c), opt)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(faultinject.NewPlan(3).Add(faultinject.SiteCoreVictim, faultinject.Rule{
+		On:   400,
+		Call: func(string, int64) { cancel() },
+	}))
+	t.Cleanup(faultinject.Disarm)
+
+	out := a.RunBatchCtx(ctx, queries, 4)
+	var complete, partial, failed int
+	for i, r := range out {
+		switch {
+		case r.Err != nil:
+			failed++
+			if reason := budget.ReasonOf(r.Err); reason != budget.Canceled {
+				t.Errorf("query %d error reason = %v, want Canceled: %v", i, reason, r.Err)
+			}
+		case r.Partial:
+			partial++
+			if r.Degraded != DegradedCanceled {
+				t.Errorf("query %d Degraded = %q, want %q", i, r.Degraded, DegradedCanceled)
+			}
+			ref := expected[i].Result
+			if len(r.Result.PerK) >= len(ref.PerK) {
+				t.Errorf("query %d: partial result has %d cardinalities, reference %d",
+					i, len(r.Result.PerK), len(ref.PerK))
+				continue
+			}
+			for k, sel := range r.Result.PerK {
+				want := ref.PerK[k]
+				if len(sel.IDs) != len(want.IDs) {
+					t.Errorf("query %d k=%d: selection size %d != reference %d", i, k+1, len(sel.IDs), len(want.IDs))
+					continue
+				}
+				for j := range sel.IDs {
+					if sel.IDs[j] != want.IDs[j] {
+						t.Errorf("query %d k=%d: selection differs from uncancelled run", i, k+1)
+						break
+					}
+				}
+				if math.Float64bits(sel.Estimate) != math.Float64bits(want.Estimate) ||
+					math.Float64bits(sel.Delay) != math.Float64bits(want.Delay) {
+					t.Errorf("query %d k=%d: completed cardinality score differs from uncancelled run", i, k+1)
+				}
+			}
+		default:
+			complete++
+			matchClean(t, i, r, expected[i])
+		}
+	}
+	if failed+partial == 0 {
+		t.Fatal("cancellation never landed: every query completed (injection point too late)")
+	}
+	t.Logf("cancelled batch: %d complete, %d partial, %d typed-cancel", complete, partial, failed)
+
+	// The cache must be reusable after cancellation: a fresh
+	// uncancelled batch on the same Analyzer is fully clean.
+	faultinject.Disarm()
+	for i, r := range a.RunBatchCtx(context.Background(), queries, 4) {
+		matchClean(t, i, r, expected[i])
+	}
+}

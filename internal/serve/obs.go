@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/obs"
 )
 
@@ -24,6 +25,12 @@ import (
 //	serve.batch_ns            histogram: batch wall time
 //	serve.worker_busy_ns      histogram: per-worker busy time within a batch
 //	                          (sum/batch_ns·workers = pool utilization)
+//	serve.partials            best-effort (Partial) responses returned
+//	serve.degraded            responses with any Degraded reason
+//	serve.stops/canceled      queries stopped by caller cancellation
+//	serve.stops/deadline      queries stopped by a deadline or timeout
+//	serve.stops/work_budget   queries stopped by an exhausted work allowance
+//	serve.stops/worker_panic  queries that recovered a worker panic
 type serveObs struct {
 	queries, errors    *obs.Counter
 	prepHits, prepMiss *obs.Counter
@@ -33,6 +40,9 @@ type serveObs struct {
 	batchSize          *obs.Histogram
 	batchNs            *obs.Histogram
 	workerBusyNs       *obs.Histogram
+
+	partials, degraded                     *obs.Counter
+	canceled, deadline, workEx, workerPanc *obs.Counter
 }
 
 // newServeObs resolves the handles, or returns nil for a nil registry.
@@ -55,6 +65,12 @@ func newServeObs(r *obs.Registry) *serveObs {
 		batchSize:    r.Histogram("serve.batch_size"),
 		batchNs:      r.Histogram("serve.batch_ns"),
 		workerBusyNs: r.Histogram("serve.worker_busy_ns"),
+		partials:     r.Counter("serve.partials"),
+		degraded:     r.Counter("serve.degraded"),
+		canceled:     r.Counter("serve.stops/canceled"),
+		deadline:     r.Counter("serve.stops/deadline"),
+		workEx:       r.Counter("serve.stops/work_budget"),
+		workerPanc:   r.Counter("serve.stops/worker_panic"),
 	}
 }
 
@@ -69,5 +85,35 @@ func (o *serveObs) queryDone(op Op, start time.Time, failed bool) {
 	}
 	if op >= 0 && int(op) < len(o.queryNs) {
 		o.queryNs[op].Observe(int64(time.Since(start)))
+	}
+}
+
+// outcome records the degradation shape of one finished response —
+// partial/degraded counts plus a per-reason stop breakdown, whether
+// the stop surfaced as a Partial result or a typed error. No-op when
+// disabled.
+func (o *serveObs) outcome(resp *Response) {
+	if o == nil {
+		return
+	}
+	if resp.Partial {
+		o.partials.Inc()
+	}
+	if resp.Degraded != "" {
+		o.degraded.Inc()
+	}
+	reason := budget.ReasonOf(resp.Err)
+	if reason == budget.None && resp.Result != nil {
+		reason = budget.ReasonOf(resp.Result.Stopped)
+	}
+	switch reason {
+	case budget.Canceled:
+		o.canceled.Inc()
+	case budget.DeadlineExceeded:
+		o.deadline.Inc()
+	case budget.WorkExhausted:
+		o.workEx.Inc()
+	case budget.WorkerPanic:
+		o.workerPanc.Inc()
 	}
 }

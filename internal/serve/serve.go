@@ -22,13 +22,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 	"topkagg/internal/core"
+	"topkagg/internal/faultinject"
 	"topkagg/internal/noise"
 )
 
@@ -64,6 +67,18 @@ func (op Op) String() string {
 	}
 }
 
+// Limits bound one query's execution. The zero value is unlimited.
+type Limits struct {
+	// Timeout caps the query's wall-clock time; past it the engines
+	// stop at the next poll point and the Response degrades to a
+	// Partial result or a typed error. 0 means no timeout.
+	Timeout time.Duration
+	// MaxWork caps the enumeration work in candidate-evaluation units
+	// (each candidate aggressor set scored and each reference
+	// re-measurement costs one unit). 0 means unlimited.
+	MaxWork int64
+}
+
 // Query is one unit of work for an Analyzer.
 type Query struct {
 	// Op selects the computation.
@@ -77,7 +92,20 @@ type Query struct {
 	K int
 	// Fix lists the couplings a WhatIf scenario deactivates.
 	Fix []circuit.CouplingID
+	// Limits bound this query's execution (zero = unlimited). They
+	// compose with a caller context: DoCtx stops at whichever of the
+	// context and the limits trips first.
+	Limits Limits
 }
+
+// Degradation reasons reported in Response.Degraded. The budget-driven
+// ones are the budget.Reason strings.
+const (
+	DegradedCanceled     = "canceled"
+	DegradedDeadline     = "deadline"
+	DegradedWork         = "work-budget"
+	DegradedNotConverged = "not-converged"
+)
 
 // Response is the outcome of one Query, aligned with it by index in
 // RunBatch's result.
@@ -91,8 +119,18 @@ type Response struct {
 	// Delay is a WhatIf scenario's resulting delay, ns.
 	Delay float64
 	// Err reports a failed query; other queries in the batch are
-	// unaffected.
+	// unaffected. Worker panics surface here as wrapped
+	// *budget.PanicError values, never as process crashes.
 	Err error
+	// Partial reports a best-effort result: the query's budget (timeout,
+	// work allowance or cancellation) stopped the enumeration early and
+	// Result carries exactly the cardinalities that completed, each
+	// identical to an unbounded run's. Err is nil when Partial is set.
+	Partial bool
+	// Degraded names why a successful response is less than the full
+	// answer: one of the Degraded* constants. Empty for complete,
+	// fully-converged responses and for hard errors (inspect Err then).
+	Degraded string
 }
 
 // Stats aggregates what an Analyzer's caches did across all queries.
@@ -115,11 +153,8 @@ type Analyzer struct {
 	m   *noise.Model
 	opt core.Options
 
-	fullOnce sync.Once
-	full     *noise.Analysis
-	fullErr  error
-
 	mu    sync.Mutex
+	full  *fullEntry
 	preps map[prepKey]*prepEntry
 
 	queries, hits, misses, fixpoints atomic.Int64
@@ -132,10 +167,22 @@ type prepKey struct {
 	net  circuit.NetID
 }
 
-// prepEntry builds its Shared exactly once; concurrent first queries
-// for the same key block on the sync.Once instead of preparing twice.
+// fullEntry single-flights the one fixpoint run: the first query
+// builds (under its own budget), concurrent queries wait on done.
+// Entries that fail transiently — the builder's budget tripped or a
+// worker panicked — are evicted from the Analyzer before done closes,
+// so a later query retries instead of inheriting a stale stop; only
+// permanent model errors stay cached.
+type fullEntry struct {
+	done chan struct{}
+	an   *noise.Analysis
+	err  error
+}
+
+// prepEntry single-flights one (mode, target) preparation with the
+// same transient-eviction discipline as fullEntry.
 type prepEntry struct {
-	once   sync.Once
+	done   chan struct{}
 	shared *core.Shared
 	err    error
 }
@@ -150,67 +197,196 @@ func NewAnalyzer(m *noise.Model, opt core.Options) *Analyzer {
 	return &Analyzer{m: m, opt: opt, preps: map[prepKey]*prepEntry{}, obs: newServeObs(m.Obs)}
 }
 
+// retryableStop reports whether a failed cache build may be retried by
+// a waiter whose own budget is still alive: the build died of the
+// BUILDER's budget (cancel, deadline, work), which says nothing about
+// the inputs or about the waiter. Worker panics are not retried — they
+// indicate a bug and must surface — but the entry is still evicted, so
+// the next query gets a fresh attempt.
+func retryableStop(err error) bool {
+	switch budget.ReasonOf(err) {
+	case budget.Canceled, budget.DeadlineExceeded, budget.WorkExhausted:
+		return true
+	}
+	return false
+}
+
 // fullAnalysis memoizes the one fixpoint run every preparation and
-// what-if hangs off.
-func (a *Analyzer) fullAnalysis() (*noise.Analysis, error) {
-	a.fullOnce.Do(func() {
-		a.fixpoints.Add(1)
-		if a.obs != nil {
-			a.obs.fixpoints.Inc()
+// what-if hangs off. The first caller builds under its own budget;
+// concurrent callers wait on the entry (bounded by their own budgets).
+// A waiter that inherits the BUILDER's budget failure retries — the
+// failed entry was evicted — so a query only ever fails on its own
+// budget, a panic, or a permanent model error.
+func (a *Analyzer) fullAnalysis(b *budget.B) (*noise.Analysis, error) {
+	for {
+		a.mu.Lock()
+		e := a.full
+		if e == nil {
+			e = &fullEntry{done: make(chan struct{})}
+			a.full = e
+			a.mu.Unlock()
+			// Builder: a budget failure here is necessarily our own
+			// budget's, so return it without retrying.
+			a.buildFull(b, e)
+			return e.an, e.err
 		}
-		a.full, a.fullErr = a.m.Run(a.opt.Active)
-	})
-	return a.full, a.fullErr
+		a.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-b.Context().Done():
+			return nil, fmt.Errorf("serve: %w", b.Err())
+		}
+		if e.err == nil || !retryableStop(e.err) {
+			return e.an, e.err
+		}
+		if err := b.Err(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+}
+
+// buildFull runs the fixpoint into e and publishes it. A transient
+// failure — the builder's budget tripped, or the run panicked —
+// evicts the entry before done closes, so the in-flight waiters see
+// the error but later queries rebuild fresh.
+func (a *Analyzer) buildFull(b *budget.B, e *fullEntry) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.an, e.err = nil, fmt.Errorf("serve: full analysis: %w", budget.NewPanicError("serve.full", r))
+		}
+		if e.err != nil && budget.IsStop(e.err) {
+			a.mu.Lock()
+			if a.full == e {
+				a.full = nil
+			}
+			a.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	a.fixpoints.Add(1)
+	if a.obs != nil {
+		a.obs.fixpoints.Inc()
+	}
+	e.an, e.err = a.m.RunBudget(b, a.opt.Active)
 }
 
 // sharedFor returns the memoized shared state for one (mode, target)
-// configuration, building it on first use. hit reports whether the
-// entry already existed.
-func (a *Analyzer) sharedFor(elim bool, net circuit.NetID) (shared *core.Shared, hit bool, err error) {
+// configuration, building it on first use under the querying budget.
+// hit reports whether the entry already existed at lookup. Entries
+// whose build stopped transiently are evicted (see fullEntry) so the
+// cache never pins a cancellation or panic, and a waiter that inherits
+// the builder's budget failure retries the lookup under its own.
+func (a *Analyzer) sharedFor(b *budget.B, elim bool, net circuit.NetID) (shared *core.Shared, hit bool, err error) {
 	key := prepKey{elim: elim, net: net}
-	a.mu.Lock()
-	e, ok := a.preps[key]
-	if !ok {
-		e = &prepEntry{}
-		a.preps[key] = e
-	}
-	a.mu.Unlock()
-	if ok {
+	for {
+		a.mu.Lock()
+		e, ok := a.preps[key]
+		if !ok {
+			e = &prepEntry{done: make(chan struct{})}
+			a.preps[key] = e
+		}
+		a.mu.Unlock()
+		if !ok {
+			a.misses.Add(1)
+			if a.obs != nil {
+				a.obs.prepMiss.Inc()
+			}
+			// Builder: a budget failure here is necessarily our own
+			// budget's (fullAnalysis already absorbed everyone else's),
+			// so return it without retrying.
+			a.buildPrep(b, e, key, elim, net)
+			return e.shared, false, e.err
+		}
 		a.hits.Add(1)
 		if a.obs != nil {
 			a.obs.prepHits.Inc()
 		}
-	} else {
-		a.misses.Add(1)
-		if a.obs != nil {
-			a.obs.prepMiss.Inc()
+		select {
+		case <-e.done:
+		case <-b.Context().Done():
+			return nil, true, fmt.Errorf("serve: %w", b.Err())
 		}
+		if e.err == nil || !retryableStop(e.err) {
+			return e.shared, true, e.err
+		}
+		if err := b.Err(); err != nil {
+			return nil, true, fmt.Errorf("serve: %w", err)
+		}
+		// The builder's budget stopped the build and the entry was
+		// evicted; ours is still alive, so retry the lookup.
 	}
-	e.once.Do(func() {
-		full, ferr := a.fullAnalysis()
-		if ferr != nil {
-			e.err = ferr
-			return
-		}
-		if elim {
-			e.shared, e.err = core.PrepareEliminationFrom(a.m, full, net, a.opt)
-		} else {
-			e.shared, e.err = core.PrepareAdditionFrom(a.m, full, net, a.opt)
-		}
-	})
-	return e.shared, ok, e.err
 }
 
-// Do answers one query. Errors are reported in the Response, never
-// panicked, so a batch survives malformed entries.
+// buildPrep builds one preparation into e with the same
+// transient-eviction discipline as buildFull.
+func (a *Analyzer) buildPrep(b *budget.B, e *prepEntry, key prepKey, elim bool, net circuit.NetID) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.shared, e.err = nil, fmt.Errorf("serve: prepare: %w", budget.NewPanicError("serve.prep", r))
+		}
+		if e.err != nil && budget.IsStop(e.err) {
+			a.mu.Lock()
+			if a.preps[key] == e {
+				delete(a.preps, key)
+			}
+			a.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	faultinject.Fire(faultinject.SiteServePrep)
+	full, ferr := a.fullAnalysis(b)
+	if ferr != nil {
+		e.err = ferr
+		return
+	}
+	if elim {
+		e.shared, e.err = core.PrepareEliminationBudget(b, a.m, full, net, a.opt)
+	} else {
+		e.shared, e.err = core.PrepareAdditionBudget(b, a.m, full, net, a.opt)
+	}
+}
+
+// Do answers one query without limits beyond Query.Limits. Errors are
+// reported in the Response, never panicked, so a batch survives
+// malformed entries.
 func (a *Analyzer) Do(q Query) Response {
+	return a.DoCtx(context.Background(), q)
+}
+
+// DoCtx answers one query under the context's cancellation and
+// deadline composed with Query.Limits — whichever trips first stops
+// the enumeration at its next poll point. A stopped top-k query
+// returns its best-effort prefix as a Partial response; a stopped
+// preparation or what-if returns a typed error. Worker panics are
+// recovered into Response.Err and never poison the shared cache.
+func (a *Analyzer) DoCtx(ctx context.Context, q Query) Response {
+	if q.Limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.Limits.Timeout)
+		defer cancel()
+	}
+	return a.doB(budget.WithWork(ctx, q.Limits.MaxWork), q)
+}
+
+// doB is the query engine: everything above it only shapes the budget.
+func (a *Analyzer) doB(b *budget.B, q Query) (resp Response) {
 	a.queries.Add(1)
 	var start time.Time
 	if a.obs != nil {
 		start = time.Now()
 	}
-	resp := Response{Query: q}
-	defer func() { a.obs.queryDone(q.Op, start, resp.Err != nil) }()
+	resp = Response{Query: q}
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Result = nil
+			resp.Partial = false
+			resp.Degraded = ""
+			resp.Err = fmt.Errorf("serve: query: %w", budget.NewPanicError("serve.query", r))
+		}
+		a.obs.queryDone(q.Op, start, resp.Err != nil)
+		a.obs.outcome(&resp)
+	}()
+	faultinject.Fire(faultinject.SiteServeQuery)
 	if q.Net != WholeCircuit && (int(q.Net) < 0 || int(q.Net) >= a.m.C.NumNets()) {
 		resp.Err = fmt.Errorf("serve: no net %d in circuit %s", q.Net, a.m.C.Name)
 		return resp
@@ -221,12 +397,12 @@ func (a *Analyzer) Do(q Query) Response {
 			resp.Err = fmt.Errorf("serve: %s query needs k >= 1, got %d", q.Op, q.K)
 			return resp
 		}
-		shared, hit, err := a.sharedFor(q.Op == Elimination, q.Net)
+		shared, hit, err := a.sharedFor(b, q.Op == Elimination, q.Net)
 		if err != nil {
 			resp.Err = err
 			return resp
 		}
-		res, err := shared.TopK(q.K)
+		res, err := shared.TopKBudget(b, q.K)
 		if err != nil {
 			resp.Err = err
 			return resp
@@ -237,8 +413,15 @@ func (a *Analyzer) Do(q Query) Response {
 			res.Stats.CacheMisses = 1
 		}
 		resp.Result = res
+		switch {
+		case res.Partial:
+			resp.Partial = true
+			resp.Degraded = budget.ReasonOf(res.Stopped).String()
+		case shared.FullAnalysis().ConvergenceErr() != nil:
+			resp.Degraded = DegradedNotConverged
+		}
 	case WhatIf:
-		resp.Delay, resp.Err = a.whatIf(q)
+		resp.Delay, resp.Degraded, resp.Err = a.whatIf(b, q)
 	default:
 		resp.Err = fmt.Errorf("serve: unknown query op %d", int(q.Op))
 	}
@@ -247,10 +430,10 @@ func (a *Analyzer) Do(q Query) Response {
 
 // whatIf evaluates the delay after deactivating q.Fix, incrementally
 // against the cached fixpoint.
-func (a *Analyzer) whatIf(q Query) (float64, error) {
-	full, err := a.fullAnalysis()
+func (a *Analyzer) whatIf(b *budget.B, q Query) (float64, string, error) {
+	full, err := a.fullAnalysis(b)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	prevMask := a.opt.Active
 	var mask noise.Mask
@@ -261,18 +444,22 @@ func (a *Analyzer) whatIf(q Query) (float64, error) {
 	}
 	for _, id := range q.Fix {
 		if int(id) < 0 || int(id) >= a.m.C.NumCouplings() {
-			return 0, fmt.Errorf("serve: no coupling %d in circuit %s", id, a.m.C.Name)
+			return 0, "", fmt.Errorf("serve: no coupling %d in circuit %s", id, a.m.C.Name)
 		}
 		mask[id] = false
 	}
-	an, _, err := a.m.RunIncremental(full, prevMask, mask)
+	an, _, err := a.m.RunIncrementalBudget(b, full, prevMask, mask)
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	degraded := ""
+	if an.ConvergenceErr() != nil {
+		degraded = DegradedNotConverged
 	}
 	if q.Net != WholeCircuit {
-		return an.Timing.Window(q.Net).LAT, nil
+		return an.Timing.Window(q.Net).LAT, degraded, nil
 	}
-	return an.CircuitDelay(), nil
+	return an.CircuitDelay(), degraded, nil
 }
 
 // Stats snapshots the Analyzer's cache counters.

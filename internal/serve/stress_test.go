@@ -45,7 +45,7 @@ func TestAnalyzerConcurrentStress(t *testing.T) {
 		)
 	}
 	queries = append(queries,
-		Query{Op: WhatIf, Net: WholeCircuit}, // empty fix: base delay
+		Query{Op: WhatIf, Net: WholeCircuit},                           // empty fix: base delay
 		Query{Op: Addition, Net: circuit.NetID(c.NumNets() + 5), K: 2}, // bad net
 		Query{Op: Addition, Net: WholeCircuit, K: 0},                   // bad k
 		queries[0], // duplicate

