@@ -1,12 +1,19 @@
-// Command benchjson measures the performance-critical kernels — the
-// noise fixpoint and the Table-1/2 enumeration kernels — with
-// testing.Benchmark and writes the results as machine-readable JSON
-// (default BENCH_fixpoint.json). The JSON is the artifact the perf
-// acceptance criteria are checked against and what EXPERIMENTS.md
-// records as before/after evidence:
+// Command benchjson measures the performance-critical kernels with
+// testing.Benchmark and writes the results as machine-readable JSON.
+// The JSON is the artifact the perf acceptance criteria are checked
+// against and what EXPERIMENTS.md records as before/after evidence.
+//
+// Two suites are available. The default, "fixpoint", times the noise
+// fixpoint and the end-to-end Table-1/2 kernels (default output
+// BENCH_fixpoint.json). "core" times the top-k enumeration core in
+// isolation — prepared state built outside the timer, k-sweeps over
+// the Table-1/2 circuits in both modes, a worker sweep, and the
+// exact-prune escape hatch for the digest prefilter's effect (default
+// output BENCH_core.json):
 //
 //	go run ./cmd/benchjson -o BENCH_fixpoint.json
-//	go run ./cmd/benchjson -benchtime 200ms -quick
+//	go run ./cmd/benchjson -suite core
+//	go run ./cmd/benchjson -quick
 package main
 
 import (
@@ -49,13 +56,173 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_fixpoint.json", "output JSON file")
+	out := flag.String("o", "", "output JSON file (default BENCH_<suite>.json)")
+	suite := flag.String("suite", "fixpoint", "benchmark suite: fixpoint or core")
 	quick := flag.Bool("quick", false, "skip the slow brute-force and enumeration kernels")
 	flag.Parse()
-	if err := run(*out, *quick); err != nil {
+	var err error
+	switch *suite {
+	case "fixpoint":
+		if *out == "" {
+			*out = "BENCH_fixpoint.json"
+		}
+		err = run(*out, *quick)
+	case "core":
+		if *out == "" {
+			*out = "BENCH_core.json"
+		}
+		err = runCore(*out, *quick)
+	default:
+		err = fmt.Errorf("unknown suite %q (want fixpoint or core)", *suite)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// write renders the report to stdout lines plus the JSON artifact.
+func write(out string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Results))
+	return nil
+}
+
+// measure runs one benchmark function and records/prints the result.
+func measure(rep *report, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	res := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	rep.Results = append(rep.Results, res)
+	fmt.Printf("%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+}
+
+func newReport() report {
+	return report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// runCore emits the enumeration-core suite: the same kernels as
+// internal/core's BenchmarkTopKEnumeration (prepared state outside the
+// timer, so each op is one warm TopK query), plus exact-prune
+// variants isolating the digest prefilter's contribution, plus an
+// instrumented metrics snapshot showing the digest/env-cache counters
+// and the prune latency histogram on the enabled path.
+func runCore(out string, quick bool) error {
+	models := map[string]*noise.Model{}
+	c, err := gen.Build(gen.Spec{Name: "t1", Gates: 30, Couplings: 60, Seed: 77})
+	if err != nil {
+		return err
+	}
+	models["t1"] = noise.NewModel(c)
+	for _, name := range []string{"i1", "i3"} {
+		pc, err := gen.BuildPaper(name)
+		if err != nil {
+			return err
+		}
+		models[name] = noise.NewModel(pc)
+	}
+	options := func(ckt string, exact bool) core.Options {
+		opt := core.Options{NoRescore: true, ExactPrune: exact}
+		if ckt == "t1" {
+			opt.SlackFrac = 1
+		}
+		return opt
+	}
+	prepare := func(m *noise.Model, mode, ckt string, exact bool) (*core.Shared, error) {
+		if mode == "elim" {
+			return core.PrepareElimination(m, core.WholeCircuit, options(ckt, exact))
+		}
+		return core.PrepareAddition(m, core.WholeCircuit, options(ckt, exact))
+	}
+	topk := func(shared *core.Shared, k int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shared.TopK(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	rep := newReport()
+	type cfg struct {
+		mode string
+		ckt  string
+		ks   []int
+		slow bool
+	}
+	cfgs := []cfg{
+		{"add", "t1", []int{1, 2, 4, 8}, false},
+		{"add", "i1", []int{4, 8}, true},
+		{"add", "i3", []int{4}, true},
+		{"elim", "t1", []int{1, 2, 4, 8}, false},
+		{"elim", "i1", []int{4}, true},
+	}
+	for _, tc := range cfgs {
+		if quick && tc.slow {
+			continue
+		}
+		shared, err := prepare(models[tc.ckt], tc.mode, tc.ckt, false)
+		if err != nil {
+			return err
+		}
+		for _, k := range tc.ks {
+			measure(&rep, fmt.Sprintf("topk_enum/%s/%s-k%d", tc.mode, tc.ckt, k), topk(shared, k))
+		}
+	}
+	// Exact-prune comparison at the acceptance cardinalities: the gap
+	// to the corresponding topk_enum rows is the digest prefilter.
+	for _, mode := range []string{"add", "elim"} {
+		shared, err := prepare(models["t1"], mode, "t1", true)
+		if err != nil {
+			return err
+		}
+		for _, k := range []int{4, 8} {
+			measure(&rep, fmt.Sprintf("topk_enum_exactprune/%s/t1-k%d", mode, k), topk(shared, k))
+		}
+	}
+	// Worker sweep at the deepest cardinality (results are byte-identical
+	// at every setting; only the wall clock may move).
+	for _, w := range []int{1, 2, 4, 8} {
+		shared, err := prepare(models["t1"].WithWorkers(w), "add", "t1", false)
+		if err != nil {
+			return err
+		}
+		measure(&rep, fmt.Sprintf("topk_enum_workers/add/t1-k8-w%d", w), topk(shared, 8))
+	}
+
+	rep.Metrics = map[string]*obs.Snapshot{}
+	reg := obs.New()
+	shared, err := prepare(models["t1"].WithObs(reg), "add", "t1", false)
+	if err != nil {
+		return err
+	}
+	for _, warm := range []string{"cold", "warm"} {
+		if _, err := shared.TopK(8); err != nil {
+			return err
+		}
+		rep.Metrics["t1-"+warm] = reg.Snapshot()
+	}
+	return write(out, rep)
 }
 
 func run(out string, quick bool) error {
@@ -138,27 +305,12 @@ func run(out string, quick bool) error {
 		bench{name: "table2b_elimination/i1-k10", slow: true, fn: enumeration(models["i1"], true)},
 	)
 
-	rep := report{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
+	rep := newReport()
 	for _, bm := range benches {
 		if quick && bm.slow {
 			continue
 		}
-		r := testing.Benchmark(bm.fn)
-		res := result{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
-			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		measure(&rep, bm.name, bm.fn)
 	}
 
 	rep.Metrics = map[string]*obs.Snapshot{}
@@ -169,15 +321,5 @@ func run(out string, quick bool) error {
 		}
 		rep.Metrics[name] = reg.Snapshot()
 	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Results))
-	return nil
+	return write(out, rep)
 }

@@ -61,6 +61,7 @@ type config struct {
 	k                                  int
 	mode                               string
 	exact                              bool
+	exactPrune                         bool
 	curve, report, prefilter           bool
 	plot, net                          string
 	asJSON                             bool
@@ -90,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.k, "k", 10, "set cardinality")
 	fs.StringVar(&cfg.mode, "mode", "add", "add (addition set) or elim (elimination set)")
 	fs.BoolVar(&cfg.exact, "exact", false, "disable all pruning caps (small circuits only)")
+	fs.BoolVar(&cfg.exactPrune, "exact-prune", false, "disable the envelope-digest prune prefilter (results are identical; debugging/benchmark escape hatch)")
 	fs.BoolVar(&cfg.curve, "curve", false, "print the full per-cardinality delay curve")
 	fs.BoolVar(&cfg.report, "report", false, "print the noisy critical-path report")
 	fs.BoolVar(&cfg.prefilter, "filter", false, "report false-aggressor classification before the analysis")
@@ -157,6 +159,7 @@ func (cfg *config) execute(w io.Writer) (int, error) {
 	if cfg.exact {
 		opt = topkagg.ExactOptions()
 	}
+	opt.ExactPrune = cfg.exactPrune
 
 	if cfg.prefilter {
 		fr, err := topkagg.FalseAggressors(m, topkagg.FilterOptions{})
@@ -452,10 +455,11 @@ func printStats(w io.Writer, st *topkagg.EngineStats) {
 	if st == nil {
 		return
 	}
-	fmt.Fprintln(w, "  k   cands  dups  prune-dom  prune-beam  lists  max-width  verified  time")
+	fmt.Fprintln(w, "  k   cands  dups  prune-dom  prune-beam  dig-hit  dig-fb  lists  max-width  verified  time")
 	for _, ks := range st.PerK {
-		fmt.Fprintf(w, "  %-3d %-6d %-5d %-10d %-11d %-6d %-10d %-9d %s\n",
+		fmt.Fprintf(w, "  %-3d %-6d %-5d %-10d %-11d %-8d %-7d %-6d %-10d %-9d %s\n",
 			ks.K, ks.Candidates, ks.Duplicates, ks.PrunedDominance, ks.PrunedBeam,
+			ks.DigestHits, ks.DigestFallbacks,
 			ks.Lists, ks.MaxIListWidth, ks.Verified, ks.Elapsed.Round(time.Microsecond))
 	}
 	if st.RescoreRuns > 0 {
@@ -463,6 +467,9 @@ func printStats(w io.Writer, st *topkagg.EngineStats) {
 	}
 	if st.CacheHits+st.CacheMisses > 0 {
 		fmt.Fprintf(w, "  shared state: %d cache hit(s), %d miss(es)\n", st.CacheHits, st.CacheMisses)
+	}
+	if st.EnvCacheHits+st.EnvCacheMisses > 0 {
+		fmt.Fprintf(w, "  envelope cache: %d hit(s), %d miss(es)\n", st.EnvCacheHits, st.EnvCacheMisses)
 	}
 }
 

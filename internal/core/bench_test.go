@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+var (
+	enumOnce   sync.Once
+	enumModels map[string]*noise.Model
+)
+
+// enumModel returns a cached model for the enumeration benchmarks: the
+// Table-1 synthetic circuit (t1) and the two paper benchmarks the
+// Table-2 rows are measured on.
+func enumModel(b *testing.B, name string) *noise.Model {
+	b.Helper()
+	enumOnce.Do(func() {
+		enumModels = map[string]*noise.Model{}
+		c, err := gen.Build(gen.Spec{Name: "t1", Gates: 30, Couplings: 60, Seed: 77})
+		if err != nil {
+			panic(err)
+		}
+		enumModels["t1"] = noise.NewModel(c)
+		for _, n := range []string{"i1", "i3"} {
+			pc, err := gen.BuildPaper(n)
+			if err != nil {
+				panic(err)
+			}
+			enumModels[n] = noise.NewModel(pc)
+		}
+	})
+	m, ok := enumModels[name]
+	if !ok {
+		b.Fatalf("no enumeration bench circuit %q", name)
+	}
+	return m
+}
+
+// enumOptions returns the options each benchmark circuit is measured
+// with: the Table-1 circuit analyzes every net (as the table does), the
+// paper benchmarks use the default near-critical selection.
+func enumOptions(ckt string) Options {
+	if ckt == "t1" {
+		return Options{SlackFrac: 1, NoRescore: true}
+	}
+	return Options{NoRescore: true}
+}
+
+// BenchmarkTopKEnumeration measures the top-k enumeration core in
+// isolation: the prepared state (fixpoint, victim selection, primary
+// envelopes) is built once outside the timer, so the loop times exactly
+// the per-query work — candidate generation, dominance pruning and
+// selection — that the serve layer pays per query on a warm analyzer.
+//
+// Sub-benchmarks sweep the mode (addition, elimination), the circuit
+// (Table-1 t1, Table-2 i1/i3), the cardinality k, and — at the largest
+// k — the enumeration worker count. The k-sweep is the acceptance
+// kernel of the digest/hash-consing work: candidate counts grow with k,
+// so the dominance prefilter and the set-envelope cache dominate the
+// profile there.
+func BenchmarkTopKEnumeration(b *testing.B) {
+	type cfg struct {
+		mode string
+		ckt  string
+		ks   []int
+	}
+	cfgs := []cfg{
+		{"add", "t1", []int{1, 2, 4, 8}},
+		{"add", "i1", []int{4, 8}},
+		{"add", "i3", []int{4}},
+		{"elim", "t1", []int{1, 2, 4, 8}},
+		{"elim", "i1", []int{4}},
+	}
+	for _, tc := range cfgs {
+		m := enumModel(b, tc.ckt)
+		opt := enumOptions(tc.ckt)
+		var shared *Shared
+		var err error
+		if tc.mode == "elim" {
+			shared, err = PrepareElimination(m, WholeCircuit, opt)
+		} else {
+			shared, err = PrepareAddition(m, WholeCircuit, opt)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range tc.ks {
+			b.Run(fmt.Sprintf("%s/%s/k%d", tc.mode, tc.ckt, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := shared.TopK(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	// Worker sweep at the deepest cardinality: the level pool splits
+	// candidate generation and the digest prefilter; results are
+	// byte-identical at every setting (see the worker-invariance and
+	// digest-parity tests), only the wall clock moves.
+	for _, w := range []int{1, 2, 4, 8} {
+		m := enumModel(b, "t1").WithWorkers(w)
+		shared, err := PrepareAddition(m, WholeCircuit, enumOptions("t1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("add/t1/k8/w%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shared.TopK(8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

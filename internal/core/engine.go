@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"topkagg/internal/circuit"
 	"topkagg/internal/faultinject"
 	"topkagg/internal/noise"
+	"topkagg/internal/obs"
 	"topkagg/internal/sta"
 	"topkagg/internal/waveform"
 )
@@ -64,6 +67,11 @@ type prepared struct {
 
 	prim    map[circuit.NetID][]primAgg
 	primIdx map[circuit.NetID]map[circuit.CouplingID]int
+	// envc interns Rule-1 combined envelopes per (victim, parent set,
+	// atom) so repeated derivations — elimination's second pass,
+	// repeated queries and k-sweeps over one prepared state — reuse
+	// the envelope and its score instead of re-summing and re-scoring.
+	envc *envCache
 	// Elimination scoring state, per victim: the total local
 	// (primary-aggressor) envelope, the propagated-arrival shift of the
 	// full noisy analysis, and the total arrival noise both together
@@ -92,6 +100,33 @@ type engine struct {
 	prev map[circuit.NetID][]*aggSet // irredundant lists, cardinality i-1
 	cur  map[circuit.NetID][]*aggSet // irredundant lists, cardinality i
 	last map[circuit.NetID][]*aggSet // same-cardinality lists from the previous pass
+
+	// Per-worker scratch, sized to nworkers once and recycled across
+	// levels, passes and cardinalities: gens carries the waveform sum
+	// buffer and envelope-cache tallies of the generation phase, prs
+	// the digest slabs of the prune phase.
+	nworkers  int
+	gens      []genScratch
+	prs       []pruner
+	pruneHist *obs.Histogram // prune latency, resolved once (nil when disabled)
+}
+
+// genScratch is one generation worker's reusable state.
+type genScratch struct {
+	addBuf       []waveform.Point
+	keyBuf       []byte          // rule-2 derivation-key assembly
+	us           []circuit.NetID // rule-2 reached-input sort scratch
+	hits, misses int             // envelope-cache lookups by this worker
+}
+
+// workers returns the enumeration worker count: Model.Workers when
+// positive (the same knob the fixpoint sweeps honor, so WithWorkers
+// pins the whole stack), else GOMAXPROCS.
+func (p *prepared) workers() int {
+	if p.m.Workers > 0 {
+		return p.m.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // newPrepared runs the preparatory analyses: noiseless timing, the
@@ -100,7 +135,7 @@ type engine struct {
 // and must be the result of m.Run(opt.Active) — the batch layer uses
 // this to amortize the fixpoint across many preparations.
 func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, full *noise.Analysis, bud *budget.B) (*prepared, error) {
-	e := &prepared{m: m, c: m.C, opt: opt, mode: md, target: target}
+	e := &prepared{m: m, c: m.C, opt: opt, mode: md, target: target, envc: newEnvCache()}
 	if full == nil {
 		var err error
 		full, err = e.m.RunBudget(bud, e.opt.Active)
@@ -140,13 +175,43 @@ func newPrepared(m *noise.Model, opt Options, md mode, target circuit.NetID, ful
 // the given budget (nil = unbounded). Each engine is single-use;
 // concurrent runs each take their own.
 func (p *prepared) newEngine(bud *budget.B) *engine {
-	return &engine{
+	n := p.workers()
+	e := &engine{
 		prepared: p,
 		bud:      bud,
 		stats:    &Stats{},
 		prev:     map[circuit.NetID][]*aggSet{},
 		cur:      map[circuit.NetID][]*aggSet{},
 		atoms1:   map[circuit.NetID][]*aggSet{},
+		nworkers: n,
+		gens:     make([]genScratch, n),
+		prs:      make([]pruner, n),
+	}
+	for i := range e.prs {
+		e.prs[i].exact = p.opt.ExactPrune
+		e.prs[i].noDom = p.opt.NoDominance
+		e.prs[i].width = p.opt.listWidth()
+	}
+	if reg := p.m.Obs; reg != nil {
+		e.pruneHist = reg.Histogram("core.topk.prune_ns")
+	}
+	return e
+}
+
+// flushCacheStats merges the per-worker envelope-cache tallies into
+// the run's Stats and the metric registry. Called once when the run
+// ends (including early-stopped runs).
+func (e *engine) flushCacheStats() {
+	for i := range e.gens {
+		e.stats.EnvCacheHits += e.gens[i].hits
+		e.stats.EnvCacheMisses += e.gens[i].misses
+		e.gens[i].hits, e.gens[i].misses = 0, 0
+	}
+	e.envc.hits.Add(int64(e.stats.EnvCacheHits))
+	e.envc.misses.Add(int64(e.stats.EnvCacheMisses))
+	if reg := e.m.Obs; reg != nil {
+		reg.Counter("core.topk.envcache_hits").Add(int64(e.stats.EnvCacheHits))
+		reg.Counter("core.topk.envcache_misses").Add(int64(e.stats.EnvCacheMisses))
 	}
 }
 
@@ -401,50 +466,92 @@ func (e *prepared) propagateShiftMulti(v circuit.NetID, red map[circuit.NetID]fl
 	return shift
 }
 
-// candidates builds the cardinality-i candidate list for victim v by
-// the paper's three rules: extension of lower-cardinality sets by
-// primary aggressors, pseudo input aggressors propagated from the
-// fanin, and higher-order aggressors (primaries with windows widened
-// by their own aggressors).
-func (e *engine) candidates(v circuit.NetID, i int) []*aggSet {
-	var cands []*aggSet
+// The cardinality-i candidate list for victim v is built by the
+// paper's three rules: extension of lower-cardinality sets by primary
+// aggressors (rule1Range, chunkable across workers), pseudo input
+// aggressors propagated from the fanin, and higher-order aggressors
+// (primaries with windows widened by their own aggressors) — the
+// latter two in rules23. iterate concatenates the pieces in rule
+// order, so the combined list is identical to one serial pass.
 
-	// Rule 1: singletons / extensions of I-list_{i-1} by one more
-	// cardinality-1 aggressor unit (a primary, a pseudo singleton or —
-	// in elimination — a single-coupling narrowing; see atoms1).
+// rule1Count returns how many generation units rule 1 iterates for
+// victim v at cardinality i: the primaries for i == 1, the
+// previous-cardinality irredundant list otherwise. Chunking splits
+// this range.
+func (e *engine) rule1Count(v circuit.NetID, i int) int {
 	if i == 1 {
-		for _, pa := range e.prim[v] {
+		return len(e.prim[v])
+	}
+	return len(e.prev[v])
+}
+
+// rule1Range appends to dst the rule-1 candidates of generation units
+// [lo, hi): singletons, or extensions of I-list_{i-1} by one more
+// cardinality-1 aggressor unit (a primary, a pseudo singleton or — in
+// elimination — a single-coupling narrowing; see atoms1). Extensions
+// go through the prepared state's envelope intern table: a hit reuses
+// the combined envelope and score outright; a miss sums parent and
+// atom into the worker's scratch buffer, simplifies, and publishes the
+// (immutable) result for every later derivation of the same extension.
+func (e *engine) rule1Range(v circuit.NetID, i, lo, hi int, sc *genScratch, dst []*aggSet) []*aggSet {
+	if i == 1 {
+		for _, pa := range e.prim[v][lo:hi] {
 			// pa.score is the raw delay noise of the primary alone;
 			// the candidate score must be mode-aware (for elimination,
 			// the *reduction* achieved by removing it).
-			cands = append(cands, &aggSet{
+			dst = append(dst, &aggSet{
 				ids:   []circuit.CouplingID{pa.id},
 				env:   pa.env,
 				score: e.scoreSet(v, pa.env, 0),
 			})
 		}
-	} else {
-		ext := e.atoms1[v]
-		if n := e.opt.extend(); len(ext) > n {
-			ext = ext[:n]
-		}
-		for _, s := range e.prev[v] {
-			for _, a := range ext {
-				id := a.ids[0]
-				if s.contains(id) {
-					continue
-				}
-				env := waveform.Add(s.env, a.env).Simplify(envTol)
+		return dst
+	}
+	ext := e.atoms1[v]
+	if n := e.opt.extend(); len(ext) > n {
+		ext = ext[:n]
+	}
+	for _, s := range e.prev[v][lo:hi] {
+		pkey := s.key() // memoized by the pass that built prev
+		for _, a := range ext {
+			id := a.ids[0]
+			if s.contains(id) {
+				continue
+			}
+			k := envKey{kind: 1, v: v, parent: pkey, atom: id}
+			ent, ok := e.envc.get(k)
+			if ok {
+				sc.hits++
+			} else {
+				sc.misses++
 				shift := s.shift + a.shift
-				cands = append(cands, &aggSet{
+				sum, buf := waveform.AddInto(s.env, a.env, sc.addBuf)
+				sc.addBuf = buf
+				env := sum.Simplify(envTol)
+				if len(buf) <= 2 {
+					// Simplify returns its input unchanged at two points
+					// or fewer; the cache must own its envelope, not view
+					// the scratch buffer.
+					env = env.Clone()
+				}
+				ent = &aggSet{
 					ids:   s.withID(id),
 					env:   env,
 					shift: shift,
 					score: e.scoreSet(v, env, shift),
-				})
+				}
+				ent.key() // materialize before the set is shared
+				e.envc.put(k, ent)
 			}
+			dst = append(dst, ent)
 		}
 	}
+	return dst
+}
+
+// rules23 appends victim v's rule-2 and rule-3 candidates to dst.
+func (e *engine) rules23(v circuit.NetID, i int, sc *genScratch, dst []*aggSet) []*aggSet {
+	cands := dst
 
 	// Rule 2: pseudo input aggressors of cardinality i, propagated
 	// from the fanin nets (already processed this iteration because
@@ -508,30 +615,57 @@ func (e *engine) candidates(v circuit.NetID, i int) []*aggSet {
 					continue
 				}
 				s := r.s
-				// Members of the upstream set that also couple v
-				// directly contribute their primary envelopes here as
-				// well (unless the "aggressor" is a fanin net whose
-				// effect the propagated shift already carries).
-				env := waveform.Zero()
-				for _, id := range s.ids {
-					if pe, ok := e.primEnvOf(v, id); ok {
-						if _, viaInput := r.red[e.c.Coupling(id).Other(v)]; !viaInput {
-							env = waveform.Add(env, pe)
+				// The candidate is a pure function of the derivation:
+				// upstream set, each reached input with its exact
+				// reduction bits (they select the viaInput exclusions
+				// below and produced the shift), and the shift itself —
+				// so it interns like the other rules. The key serializes
+				// the reductions in input order for determinism.
+				buf := append(sc.keyBuf[:0], k...)
+				us := sc.us[:0]
+				for u := range r.red {
+					us = append(us, u)
+				}
+				slices.Sort(us)
+				for _, u := range us {
+					buf = append(buf, '|')
+					buf = strconv.AppendInt(buf, int64(u), 10)
+					buf = append(buf, ':')
+					buf = strconv.AppendUint(buf, math.Float64bits(r.red[u]), 16)
+				}
+				sc.keyBuf, sc.us = buf, us
+				ck := envKey{kind: 2, v: v, parent: string(buf), aux: math.Float64bits(shift)}
+				cand, ok := e.envc.get(ck)
+				if ok {
+					sc.hits++
+				} else {
+					sc.misses++
+					// Members of the upstream set that also couple v
+					// directly contribute their primary envelopes here as
+					// well (unless the "aggressor" is a fanin net whose
+					// effect the propagated shift already carries).
+					env := waveform.Zero()
+					for _, id := range s.ids {
+						if pe, ok := e.primEnvOf(v, id); ok {
+							if _, viaInput := r.red[e.c.Coupling(id).Other(v)]; !viaInput {
+								env = waveform.Add(env, pe)
+							}
 						}
 					}
-				}
-				var cand *aggSet
-				if e.mode == addition {
-					// Additive noise propagates as a pseudo noise
-					// envelope superimposed on the victim.
-					env = waveform.Add(env, e.pseudoEnvelope(v, shift)).Simplify(envTol)
-					cand = &aggSet{ids: copyIDs(s.ids), env: env, score: e.scoreSet(v, env, 0)}
-				} else {
-					// Arrival reductions are carried as an explicit
-					// shift; only direct envelopes stay local.
-					env = env.Simplify(envTol)
-					cand = &aggSet{ids: copyIDs(s.ids), env: env, shift: shift,
-						score: e.scoreSet(v, env, shift)}
+					if e.mode == addition {
+						// Additive noise propagates as a pseudo noise
+						// envelope superimposed on the victim.
+						env = waveform.Add(env, e.pseudoEnvelope(v, shift)).Simplify(envTol)
+						cand = &aggSet{ids: copyIDs(s.ids), env: env, score: e.scoreSet(v, env, 0)}
+					} else {
+						// Arrival reductions are carried as an explicit
+						// shift; only direct envelopes stay local.
+						env = env.Simplify(envTol)
+						cand = &aggSet{ids: copyIDs(s.ids), env: env, shift: shift,
+							score: e.scoreSet(v, env, shift)}
+					}
+					cand.key() // materialize before the set is shared
+					e.envc.put(ck, cand)
 				}
 				cands = append(cands, cand)
 			}
@@ -539,7 +673,7 @@ func (e *engine) candidates(v circuit.NetID, i int) []*aggSet {
 	}
 
 	// Rule 3: higher-order aggressors.
-	cands = append(cands, e.higherOrder(v, i)...)
+	cands = append(cands, e.higherOrder(v, i, sc)...)
 	return cands
 }
 
@@ -548,7 +682,15 @@ func (e *engine) candidates(v circuit.NetID, i int) []*aggSet {
 // top sets: widened for addition (the indirect-aggressor effect of
 // paper Fig. 1), narrowed for elimination (fixing an indirect
 // aggressor shrinks the primary's envelope).
-func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
+//
+// Each derivation is a pure function of (victim, widening set T,
+// primary, T's score) given the prepared model, so results are
+// interned in the envelope cache alongside rule-1 extensions; the aux
+// field carries T's score bits, which both disambiguates from rule-1
+// entries at the same (parent, atom) and captures the score's effect
+// on the window. Elimination derivations whose removable envelope
+// vanishes intern a nil sentinel so the recompute is skipped too.
+func (e *engine) higherOrder(v circuit.NetID, i int, sc *genScratch) []*aggSet {
 	var out []*aggSet
 	lim := e.opt.higherOrder()
 	for _, pa := range e.prim[v] {
@@ -572,22 +714,32 @@ func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
 				if t.score <= waveform.Eps || t.contains(pa.id) {
 					continue
 				}
-				wid := e.aggWin[g]
-				wid.LAT += t.score
-				env := e.m.Envelope(v, e.c.Coupling(pa.id), wid)
-				// Members of T that also couple v directly add their
-				// own primary envelopes at v.
-				for _, id := range t.ids {
-					if pe, ok := e.primEnvOf(v, id); ok {
-						env = waveform.Add(env, pe)
+				k := envKey{kind: 3, v: v, parent: t.key(), atom: pa.id, aux: math.Float64bits(t.score)}
+				ent, ok := e.envc.get(k)
+				if ok {
+					sc.hits++
+				} else {
+					sc.misses++
+					wid := e.aggWin[g]
+					wid.LAT += t.score
+					env := e.m.Envelope(v, e.c.Coupling(pa.id), wid)
+					// Members of T that also couple v directly add their
+					// own primary envelopes at v.
+					for _, id := range t.ids {
+						if pe, ok := e.primEnvOf(v, id); ok {
+							env = waveform.Add(env, pe)
+						}
 					}
+					env = env.Simplify(envTol)
+					ent = &aggSet{
+						ids:   t.withID(pa.id),
+						env:   env,
+						score: e.scoreSet(v, env, 0),
+					}
+					ent.key() // materialize before the set is shared
+					e.envc.put(k, ent)
 				}
-				env = env.Simplify(envTol)
-				out = append(out, &aggSet{
-					ids:   t.withID(pa.id),
-					env:   env,
-					score: e.scoreSet(v, env, 0),
-				})
+				out = append(out, ent)
 				taken++
 			}
 		case elimination:
@@ -606,30 +758,44 @@ func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
 				if t.score <= waveform.Eps || t.contains(pa.id) {
 					continue
 				}
-				nar := e.aggWin[g]
-				nar.LAT -= t.score
-				if nar.LAT < nar.EAT {
-					nar.LAT = nar.EAT
-				}
-				envNar := e.m.Envelope(v, e.c.Coupling(pa.id), nar)
-				env := waveform.Sub(pa.env, envNar).ClampMin(0)
-				// Members of T that couple v directly are themselves
-				// removed, taking their whole primary envelope with
-				// them.
-				for _, id := range t.ids {
-					if pe, ok := e.primEnvOf(v, id); ok {
-						env = waveform.Add(env, pe)
+				k := envKey{kind: 3, v: v, parent: t.key(), atom: pa.id, aux: math.Float64bits(t.score)}
+				ent, ok := e.envc.get(k)
+				if ok {
+					sc.hits++
+				} else {
+					sc.misses++
+					nar := e.aggWin[g]
+					nar.LAT -= t.score
+					if nar.LAT < nar.EAT {
+						nar.LAT = nar.EAT
+					}
+					envNar := e.m.Envelope(v, e.c.Coupling(pa.id), nar)
+					env := waveform.Sub(pa.env, envNar).ClampMin(0)
+					// Members of T that couple v directly are themselves
+					// removed, taking their whole primary envelope with
+					// them.
+					for _, id := range t.ids {
+						if pe, ok := e.primEnvOf(v, id); ok {
+							env = waveform.Add(env, pe)
+						}
+					}
+					env = env.Simplify(envTol)
+					if env.IsZero() {
+						e.envc.put(k, nil) // remembered as "removes nothing"
+					} else {
+						ent = &aggSet{
+							ids:   copyIDs(t.ids),
+							env:   env,
+							score: e.scoreSet(v, env, 0),
+						}
+						ent.key()
+						e.envc.put(k, ent)
 					}
 				}
-				env = env.Simplify(envTol)
-				if env.IsZero() {
+				if ent == nil {
 					continue
 				}
-				out = append(out, &aggSet{
-					ids:   copyIDs(t.ids),
-					env:   env,
-					score: e.scoreSet(v, env, 0),
-				})
+				out = append(out, ent)
 				taken++
 			}
 		}
@@ -637,16 +803,35 @@ func (e *engine) higherOrder(v circuit.NetID, i int) []*aggSet {
 	return out
 }
 
+// genJob is one unit of the generation phase: a rule-1 chunk of one
+// victim's parent range, or the victim's rule-2/rule-3 job.
+type genJob struct {
+	vi      int // victim index within the level
+	lo, hi  int // rule-1 generation-unit range
+	rules23 bool
+	out     []*aggSet
+}
+
 // iterate computes the cardinality-i irredundant list of every victim
 // in one topological pass. Same-cardinality lookups that miss (the
 // referenced net comes later in topological order) fall back to
 // e.last, the previous pass of the same cardinality.
 //
+// Each level runs in two parallel phases over the engine's worker
+// pool. Phase A generates candidates: every victim contributes one
+// rule-2/3 job plus one or more rule-1 chunks — the parent range is
+// split only when the level has fewer victims than workers, so a
+// single deep victim (the per-net target cone) still feeds the whole
+// pool. Phase B dedupes, sorts and prunes per victim. Both phases
+// land results in order-indexed slots and merge serially, so lists
+// and stats are byte-identical for any worker count or chunking.
+//
 // The pass stops early — returning a typed error and leaving e.cur
 // unusable — when the budget trips (each victim's raw candidate count
-// is charged as work) or a level worker panics; panics are recovered
-// at the goroutine boundary so a crashed worker never takes down the
-// process or other queries sharing the prepared state.
+// is charged as work; generation workers additionally poll
+// cancellation between jobs) or a level worker panics; panics are
+// recovered at the goroutine boundary so a crashed worker never takes
+// down the process or other queries sharing the prepared state.
 func (e *engine) iterate(i int) error {
 	e.cur = make(map[circuit.NetID][]*aggSet, len(e.victims))
 	if ks := e.kstat; ks != nil {
@@ -654,7 +839,7 @@ func (e *engine) iterate(i int) error {
 		// the pass that last completed; the drop counters accumulate.
 		ks.Lists, ks.MaxIListWidth = 0, 0
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := e.nworkers
 	for _, lvl := range e.levels {
 		if len(lvl) == 0 {
 			continue
@@ -663,42 +848,113 @@ func (e *engine) iterate(i int) error {
 			return fmt.Errorf("core: %w", err)
 		}
 		// Same-level victims never read each other's current lists
-		// (cross-references fall back to e.last), so they can be
-		// processed concurrently; results land in per-victim slots and
-		// merge after the level completes.
+		// (cross-references fall back to e.last), so their generation
+		// and pruning can run concurrently.
+		per := 1
+		if len(lvl) < workers {
+			per = (workers + len(lvl) - 1) / len(lvl)
+			if per > 8 {
+				per = 8
+			}
+		}
+		jobs := make([]genJob, 0, len(lvl)*(per+1))
+		firstJob := make([]int, len(lvl)+1)
+		for j, v := range lvl {
+			firstJob[j] = len(jobs)
+			n := e.rule1Count(v, i)
+			c := per
+			if c > n {
+				c = n
+			}
+			for q := 0; q < c; q++ {
+				jobs = append(jobs, genJob{vi: j, lo: n * q / c, hi: n * (q + 1) / c})
+			}
+			jobs = append(jobs, genJob{vi: j, rules23: true})
+		}
+		firstJob[len(lvl)] = len(jobs)
+
+		var panicked atomic.Pointer[budget.PanicError]
+		trap := func(wg *sync.WaitGroup) func() {
+			return func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, budget.NewPanicError("core.topk", r))
+				}
+				wg.Done()
+			}
+		}
+
+		// Phase A: candidate generation.
+		var wgA sync.WaitGroup
+		var nextA atomic.Int64
+		na := min(workers, len(jobs))
+		for w := 0; w < na; w++ {
+			wgA.Add(1)
+			go func(sc *genScratch) {
+				defer trap(&wgA)()
+				for {
+					jn := int(nextA.Add(1) - 1)
+					if jn >= len(jobs) || panicked.Load() != nil {
+						return
+					}
+					// Work is charged per victim in phase B; polling here
+					// keeps cancellation latency bounded by one job.
+					if e.bud.Err() != nil {
+						return
+					}
+					jb := &jobs[jn]
+					v := lvl[jb.vi]
+					if jb.rules23 {
+						jb.out = e.rules23(v, i, sc, nil)
+					} else {
+						jb.out = e.rule1Range(v, i, jb.lo, jb.hi, sc, nil)
+					}
+				}
+			}(&e.gens[w])
+		}
+		wgA.Wait()
+		if pe := panicked.Load(); pe != nil {
+			return fmt.Errorf("core: %w", pe)
+		}
+		if err := e.bud.Err(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+
+		// Phase B: per-victim dedupe, sort and digest-prefiltered prune.
 		type out struct {
 			atoms, kept []*aggSet
 			cands, dups int
-			dom, beam   int
+			pc          pruneCounts
 		}
 		outs := make([]out, len(lvl))
-		var wg sync.WaitGroup
-		var next atomic.Int64
-		var panicked atomic.Pointer[budget.PanicError]
-		n := workers
-		if n > len(lvl) {
-			n = len(lvl)
-		}
-		for w := 0; w < n; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						panicked.CompareAndSwap(nil, budget.NewPanicError("core.topk", r))
-					}
-				}()
+		var wgB sync.WaitGroup
+		var nextB atomic.Int64
+		nb := min(workers, len(lvl))
+		for w := 0; w < nb; w++ {
+			wgB.Add(1)
+			go func(pr *pruner) {
+				defer trap(&wgB)()
 				for {
-					j := int(next.Add(1) - 1)
-					if j >= len(lvl) {
-						return
-					}
-					if panicked.Load() != nil {
+					j := int(nextB.Add(1) - 1)
+					if j >= len(lvl) || panicked.Load() != nil {
 						return
 					}
 					faultinject.Fire(faultinject.SiteCoreVictim)
 					v := lvl[j]
-					raw := e.candidates(v, i)
+					// The victim's raw candidates, jobs concatenated in
+					// (victim, chunk) order — the serial generation order.
+					raw := jobs[firstJob[j]].out
+					if nj := firstJob[j+1] - firstJob[j]; nj > 1 {
+						nraw := len(raw)
+						for jn := firstJob[j] + 1; jn < firstJob[j+1]; jn++ {
+							nraw += len(jobs[jn].out)
+						}
+						if nraw > len(raw) {
+							raw = make([]*aggSet, 0, nraw)
+							for jn := firstJob[j]; jn < firstJob[j+1]; jn++ {
+								raw = append(raw, jobs[jn].out...)
+							}
+						}
+					}
 					// One unit of work per candidate set scored; the
 					// charge also polls cancellation, so stopping
 					// latency is bounded by one victim's candidates.
@@ -728,12 +984,19 @@ func (e *engine) iterate(i int) error {
 						// members of P.
 						outs[j].atoms = filtered
 					}
-					outs[j].kept, outs[j].dom, outs[j].beam =
-						prune(filtered, e.domLo[v], e.domHi[v], e.opt.listWidth(), e.opt.NoDominance)
+					pr.lo, pr.hi = e.domLo[v], e.domHi[v]
+					var t0 time.Time
+					if e.pruneHist != nil {
+						t0 = time.Now()
+					}
+					outs[j].kept, outs[j].pc = pr.prune(filtered)
+					if e.pruneHist != nil {
+						e.pruneHist.Observe(int64(time.Since(t0)))
+					}
 				}
-			}()
+			}(&e.prs[w])
 		}
-		wg.Wait()
+		wgB.Wait()
 		if pe := panicked.Load(); pe != nil {
 			return fmt.Errorf("core: %w", pe)
 		}
@@ -748,8 +1011,10 @@ func (e *engine) iterate(i int) error {
 			if ks := e.kstat; ks != nil {
 				ks.Candidates += outs[j].cands
 				ks.Duplicates += outs[j].dups
-				ks.PrunedDominance += outs[j].dom
-				ks.PrunedBeam += outs[j].beam
+				ks.PrunedDominance += outs[j].pc.dom
+				ks.PrunedBeam += outs[j].pc.beam
+				ks.DigestHits += outs[j].pc.digestHits
+				ks.DigestFallbacks += outs[j].pc.digestFallbacks
 				if w := len(outs[j].kept); w > 0 {
 					ks.Lists++
 					if w > ks.MaxIListWidth {
@@ -1011,6 +1276,7 @@ func (e *engine) run(k int) (*Result, error) {
 	}
 	reg := e.m.Obs
 	defer reg.Span("core.topk").End()
+	defer e.flushCacheStats()
 	if reg != nil {
 		reg.Counter("core.topk.runs").Inc()
 	}

@@ -130,6 +130,12 @@ func TestPadIDs(t *testing.T) {
 	}
 }
 
+// pruneWith runs one prune pass over cands with a fresh pruner.
+func pruneWith(cands []*aggSet, lo, hi float64, width int, noDom, exact bool) ([]*aggSet, pruneCounts) {
+	pr := &pruner{lo: lo, hi: hi, width: width, noDom: noDom, exact: exact}
+	return pr.prune(cands)
+}
+
 func TestPruneShiftAware(t *testing.T) {
 	env := waveform.Trapezoid(0, 0.1, 1, 0.1, 1.0)
 	smaller := waveform.Trapezoid(0.2, 0.1, 0.8, 0.1, 0.5)
@@ -137,31 +143,72 @@ func TestPruneShiftAware(t *testing.T) {
 	smallNoShift := &aggSet{ids: []circuit.CouplingID{1}, env: smaller, score: 0.2}
 	smallWithShift := &aggSet{ids: []circuit.CouplingID{2}, env: smaller, shift: 0.3, score: 0.4}
 
-	kept, dom, beam := prune([]*aggSet{big, smallNoShift}, 0, 2, 10, false)
-	if len(kept) != 1 || kept[0] != big {
-		t.Fatalf("envelope-dominated set must be pruned: %v", kept)
+	for _, exact := range []bool{false, true} {
+		kept, pc := pruneWith([]*aggSet{big, smallNoShift}, 0, 2, 10, false, exact)
+		if len(kept) != 1 || kept[0] != big {
+			t.Fatalf("exact=%v: envelope-dominated set must be pruned: %v", exact, kept)
+		}
+		if pc.dom != 1 || pc.beam != 0 {
+			t.Fatalf("exact=%v: prune counters = dom %d beam %d, want 1 0", exact, pc.dom, pc.beam)
+		}
+		// A set carrying a larger inherited shift is NOT dominated even
+		// if its envelope is covered.
+		kept, _ = pruneWith([]*aggSet{big, smallWithShift}, 0, 2, 10, false, exact)
+		if len(kept) != 2 {
+			t.Fatalf("exact=%v: shift-carrying set must survive: %d kept", exact, len(kept))
+		}
+		// NoDominance keeps everything (up to the beam).
+		kept, _ = pruneWith([]*aggSet{big, smallNoShift}, 0, 2, 10, true, exact)
+		if len(kept) != 2 {
+			t.Fatal("NoDominance must keep dominated sets")
+		}
+		// Beam caps regardless.
+		kept, _, beamed := pruneBeamSplit(t, []*aggSet{big, smallWithShift}, 1, exact)
+		if len(kept) != 1 {
+			t.Fatal("beam must cap the list")
+		}
+		if beamed != 1 {
+			t.Fatalf("beam counter = %d, want 1", beamed)
+		}
 	}
-	if dom != 1 || beam != 0 {
-		t.Fatalf("prune counters = dom %d beam %d, want 1 0", dom, beam)
-	}
-	// A set carrying a larger inherited shift is NOT dominated even if
-	// its envelope is covered.
-	kept, _, _ = prune([]*aggSet{big, smallWithShift}, 0, 2, 10, false)
-	if len(kept) != 2 {
-		t.Fatalf("shift-carrying set must survive: %d kept", len(kept))
-	}
-	// NoDominance keeps everything (up to the beam).
-	kept, _, _ = prune([]*aggSet{big, smallNoShift}, 0, 2, 10, true)
-	if len(kept) != 2 {
-		t.Fatal("NoDominance must keep dominated sets")
-	}
-	// Beam caps regardless.
-	kept, dom, beam = prune([]*aggSet{big, smallWithShift}, 0, 2, 1, false)
-	if len(kept) != 1 {
-		t.Fatal("beam must cap the list")
-	}
-	if beam != 1 {
-		t.Fatalf("beam counter = %d, want 1", beam)
+}
+
+func pruneBeamSplit(t *testing.T, cands []*aggSet, width int, exact bool) ([]*aggSet, int, int) {
+	t.Helper()
+	kept, pc := pruneWith(cands, 0, 2, width, false, exact)
+	return kept, pc.dom, pc.beam
+}
+
+// TestPruneBeamCountsPostDominance pins the beam counter's semantics:
+// candidates falling off the end of a full beam are still classified,
+// so ones a kept set dominates count as dominance drops, and the beam
+// counter reports drops against the post-dominance list. (The previous
+// implementation stopped at the width cap and charged the whole tail
+// to the beam.)
+func TestPruneBeamCountsPostDominance(t *testing.T) {
+	env := waveform.Trapezoid(0, 0.1, 1, 0.1, 1.0)
+	smaller := waveform.Trapezoid(0.2, 0.1, 0.8, 0.1, 0.5)
+	other := waveform.Trapezoid(1.2, 0.1, 1.8, 0.1, 0.9)
+	// Score order: A, B(dominated by A), C, D(dominated by A), E.
+	a := &aggSet{ids: []circuit.CouplingID{0}, env: env, score: 0.9}
+	bDom := &aggSet{ids: []circuit.CouplingID{1}, env: smaller, score: 0.8}
+	c := &aggSet{ids: []circuit.CouplingID{2}, env: other, score: 0.7}
+	dDom := &aggSet{ids: []circuit.CouplingID{3}, env: smaller, score: 0.6}
+	// E's envelope is not covered by any kept set (it peaks above
+	// both), so its drop is a genuine beam drop.
+	tall := waveform.Trapezoid(0.5, 0.1, 0.7, 0.1, 1.5)
+	e := &aggSet{ids: []circuit.CouplingID{4}, env: tall, score: 0.5}
+
+	for _, exact := range []bool{false, true} {
+		kept, pc := pruneWith([]*aggSet{a, bDom, c, dDom, e}, 0, 3, 2, false, exact)
+		if len(kept) != 2 || kept[0] != a || kept[1] != c {
+			t.Fatalf("exact=%v: kept = %v, want [A C]", exact, kept)
+		}
+		// D is dominated even though the beam was already full when it
+		// was reached; only E is a genuine beam drop.
+		if pc.dom != 2 || pc.beam != 1 {
+			t.Fatalf("exact=%v: counters = dom %d beam %d, want dom 2 beam 1", exact, pc.dom, pc.beam)
+		}
 	}
 }
 

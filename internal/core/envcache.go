@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"topkagg/internal/circuit"
+)
+
+// envKey identifies one candidate-set derivation: the construction
+// rule, the victim, the canonical key of the base set (a Rule-1
+// parent, a Rule-2 upstream set plus its per-input reductions, or a
+// Rule-3 widening set T), and the primary aggressor involved. The key
+// deliberately describes the derivation rather than just the
+// resulting ID set: the same child set reached through different
+// parents combines its envelopes in a different order, and
+// floating-point addition is not associative — keying the derivation
+// keeps every cached envelope a pure function of its key, so a hit is
+// bit-identical to a recompute no matter which query, pass or worker
+// populated the entry.
+//
+// aux carries the remaining float input of the derivation as exact
+// bits: zero for Rule-1 extensions (parent and atom say it all), the
+// propagated shift for Rule 2, and T's score for Rule 3 (it sets how
+// far the aggressor window widens or narrows).
+type envKey struct {
+	kind   uint8 // derivation rule: 1, 2 or 3
+	v      circuit.NetID
+	parent string
+	atom   circuit.CouplingID
+	aux    uint64
+}
+
+// The interned value is the complete candidate *aggSet — combined
+// envelope, mode-aware score (evaluated at shift parent.shift +
+// atom.shift, itself determined by the key), sorted ID slice and
+// materialized canonical key. Every field is immutable after
+// insertion, so a hit appends the shared pointer to the raw candidate
+// list with zero allocations.
+
+const (
+	envCacheShards = 16
+	// envCacheMaxEntries caps the total entry count across shards.
+	// Beyond the cap puts become no-ops: correctness never depends on
+	// insertion, and a bounded cache keeps long-lived prepared states
+	// (the serve layer memoizes them per target) at a bounded footprint.
+	envCacheMaxEntries = 1 << 17
+)
+
+// envCache is the per-prepared concurrent intern table of Rule-1 set
+// envelopes. Envelopes are immutable once stored, so readers share
+// them freely across engines and queries.
+type envCache struct {
+	shards [envCacheShards]envShard
+	size   atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type envShard struct {
+	mu sync.RWMutex
+	m  map[envKey]*aggSet
+}
+
+func newEnvCache() *envCache {
+	c := &envCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[envKey]*aggSet)
+	}
+	return c
+}
+
+// shardOf hashes the key fields with FNV-1a; only load spreading
+// depends on it, never results.
+func shardOf(k envKey) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(k.kind)) * 16777619
+	h = (h ^ uint32(k.v)) * 16777619
+	h = (h ^ uint32(k.atom)) * 16777619
+	h = (h ^ uint32(k.aux)) * 16777619
+	h = (h ^ uint32(k.aux>>32)) * 16777619
+	for i := 0; i < len(k.parent); i++ {
+		h = (h ^ uint32(k.parent[i])) * 16777619
+	}
+	return h % envCacheShards
+}
+
+func (c *envCache) get(k envKey) (*aggSet, bool) {
+	s := &c.shards[shardOf(k)]
+	s.mu.RLock()
+	e, ok := s.m[k]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+func (c *envCache) put(k envKey, e *aggSet) {
+	if c.size.Load() >= envCacheMaxEntries {
+		return
+	}
+	s := &c.shards[shardOf(k)]
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = e
+		c.size.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns the lifetime hit/miss totals of the cache (across all
+// engines and queries sharing the prepared state). Tallies are
+// accumulated from per-worker scratch when each run ends, not per
+// lookup, so the hot path never touches these shared atomics.
+func (c *envCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

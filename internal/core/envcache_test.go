@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestEnvCacheWarmReuse pins the hash-consing contract: repeated
+// queries on one prepared state intern their set envelopes, so a warm
+// re-run of the same query reuses every derivation (all hits, no new
+// misses) and returns byte-identical selections.
+func TestEnvCacheWarmReuse(t *testing.T) {
+	c, err := gen.Build(gen.Spec{Name: "warm", Gates: 20, Couplings: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := noise.NewModel(c)
+	for _, elim := range []bool{false, true} {
+		prep := PrepareAddition
+		mode := "addition"
+		if elim {
+			prep = PrepareElimination
+			mode = "elimination"
+		}
+		shared, err := prep(m, WholeCircuit, Options{SlackFrac: 1, NoRescore: true})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		cold, err := shared.TopK(4)
+		if err != nil {
+			t.Fatalf("%s cold: %v", mode, err)
+		}
+		if cold.Stats.EnvCacheMisses == 0 {
+			t.Fatalf("%s cold: expected cache misses while populating, got none", mode)
+		}
+		warm, err := shared.TopK(4)
+		if err != nil {
+			t.Fatalf("%s warm: %v", mode, err)
+		}
+		if warm.Stats.EnvCacheMisses != 0 {
+			t.Errorf("%s warm: %d cache misses on a fully populated cache", mode, warm.Stats.EnvCacheMisses)
+		}
+		if warm.Stats.EnvCacheHits == 0 {
+			t.Errorf("%s warm: no cache hits on re-run", mode)
+		}
+		if !reflect.DeepEqual(cold.PerK, warm.PerK) {
+			t.Errorf("%s: warm selections differ from cold:\n  cold: %+v\n  warm: %+v", mode, cold.PerK, warm.PerK)
+		}
+		hits, misses := shared.EnvCacheStats()
+		if want := int64(cold.Stats.EnvCacheHits + warm.Stats.EnvCacheHits); hits != want {
+			t.Errorf("%s: EnvCacheStats hits = %d, want %d", mode, hits, want)
+		}
+		if want := int64(cold.Stats.EnvCacheMisses); misses != want {
+			t.Errorf("%s: EnvCacheStats misses = %d, want %d", mode, misses, want)
+		}
+	}
+}

@@ -20,9 +20,14 @@ import (
 //	core.topk.pruned_beam       candidates dropped by the width cap
 //	core.topk.verified          candidates re-measured by the reference engine
 //	core.topk.rescore_runs      reference evaluations during rescoring
+//	core.topk.digest_hits       dominance pairs settled by the digest prefilter
+//	core.topk.digest_fallbacks  dominance pairs needing the exact PWL check
+//	core.topk.envcache_hits     Rule-1 set-envelope cache hits
+//	core.topk.envcache_misses   Rule-1 set-envelope cache misses
 //	core.topk.ilist_width       histogram: widest I-list per cardinality
 //	core.topk.lists             histogram: victims with non-empty lists per cardinality
 //	core.topk.cardinality_ns    histogram: wall time per cardinality
+//	core.topk.prune_ns          histogram: I-list prune latency per victim
 func publishKStats(r *obs.Registry, ks *KStats) {
 	if r == nil {
 		return
@@ -32,6 +37,8 @@ func publishKStats(r *obs.Registry, ks *KStats) {
 	r.Counter("core.topk.duplicates").Add(int64(ks.Duplicates))
 	r.Counter("core.topk.pruned_dominance").Add(int64(ks.PrunedDominance))
 	r.Counter("core.topk.pruned_beam").Add(int64(ks.PrunedBeam))
+	r.Counter("core.topk.digest_hits").Add(int64(ks.DigestHits))
+	r.Counter("core.topk.digest_fallbacks").Add(int64(ks.DigestFallbacks))
 	r.Counter("core.topk.verified").Add(int64(ks.Verified))
 	r.Histogram("core.topk.ilist_width").Observe(int64(ks.MaxIListWidth))
 	r.Histogram("core.topk.lists").Observe(int64(ks.Lists))

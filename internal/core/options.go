@@ -44,6 +44,14 @@ type Options struct {
 	// the ablation benchmarks.
 	NoPseudo bool
 
+	// ExactPrune disables the envelope-digest prefilter in dominance
+	// pruning, running the exact PWL encapsulation check on every
+	// candidate pair. The digest prefilter is conservative — results
+	// are byte-identical either way (the digest-parity property test
+	// pins this) — so this is purely an escape hatch for debugging and
+	// for benchmarking the prefilter's effect.
+	ExactPrune bool
+
 	// NoRescore skips re-evaluating each selected set with the
 	// reference noise engine; Result delays then carry the
 	// enumeration's own estimates.

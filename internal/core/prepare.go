@@ -115,6 +115,12 @@ func (s *Shared) FullAnalysis() *noise.Analysis { return s.p.full }
 // NumVictims returns how many victim nets the configuration enumerates.
 func (s *Shared) NumVictims() int { return len(s.p.victims) }
 
+// EnvCacheStats returns the lifetime hit/miss totals of the shared
+// Rule-1 set-envelope intern table, accumulated over every run (and
+// every concurrent query) executed against this prepared state. The
+// serve layer surfaces these for its cached preparations.
+func (s *Shared) EnvCacheStats() (hits, misses int64) { return s.p.envc.Stats() }
+
 // Target returns the configured answer net (WholeCircuit when the
 // enumeration targets the circuit outputs).
 func (s *Shared) Target() circuit.NetID { return s.p.target }

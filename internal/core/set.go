@@ -1,9 +1,11 @@
 package core
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"topkagg/internal/circuit"
 	"topkagg/internal/waveform"
@@ -22,18 +24,37 @@ type aggSet struct {
 	// victim's propagated-noise pseudo envelope during scoring.
 	shift float64
 	score float64
+	// ckey memoizes key(). Not goroutine-safe to materialize lazily
+	// from several goroutines, but every set crosses a level barrier
+	// through dedupe — which calls key() on the owning worker — before
+	// any other victim's generation can reach it, so concurrent readers
+	// only ever see a settled value.
+	ckey string
+	// dig memoizes the set's envelope digest. A set belongs to exactly
+	// one victim (intern keys carry the victim; run-local sets never
+	// leave their victim's lists), so the dominance interval the digest
+	// covers is a constant of the set and the digest is a pure function
+	// of immutable fields — racing fills store identical content, and
+	// the atomic pointer orders the fill before any reader's use.
+	dig atomic.Pointer[envDigest]
 }
 
-// key returns a canonical identity string for deduplication.
+// key returns a canonical identity string for deduplication, memoized
+// on first use (candidate identity is consulted by dedupe, sorting,
+// Rule-2 gathering and the envelope cache — building the string once
+// keeps it off the enumeration's allocation profile).
 func (s *aggSet) key() string {
-	var sb strings.Builder
-	for i, id := range s.ids {
-		if i > 0 {
-			sb.WriteByte(',')
+	if s.ckey == "" {
+		var sb strings.Builder
+		for i, id := range s.ids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(int(id)))
 		}
-		sb.WriteString(strconv.Itoa(int(id)))
+		s.ckey = sb.String()
 	}
-	return sb.String()
+	return s.ckey
 }
 
 // contains reports whether the set already holds coupling id.
@@ -72,22 +93,18 @@ func copyIDs(ids []circuit.CouplingID) []circuit.CouplingID {
 // construction rules with different envelope models; the higher score
 // is the sharper estimate).
 func dedupe(cands []*aggSet) []*aggSet {
-	byKey := make(map[string]*aggSet, len(cands))
-	order := make([]string, 0, len(cands))
+	byKey := make(map[string]int, len(cands))
+	out := make([]*aggSet, 0, len(cands))
 	for _, c := range cands {
 		k := c.key()
-		if prev, ok := byKey[k]; ok {
-			if c.score > prev.score {
-				byKey[k] = c
+		if i, ok := byKey[k]; ok {
+			if c.score > out[i].score {
+				out[i] = c
 			}
 			continue
 		}
-		byKey[k] = c
-		order = append(order, k)
-	}
-	out := make([]*aggSet, 0, len(byKey))
-	for _, k := range order {
-		out = append(out, byKey[k])
+		byKey[k] = len(out)
+		out = append(out, c)
 	}
 	return out
 }
@@ -95,50 +112,22 @@ func dedupe(cands []*aggSet) []*aggSet {
 // sortByScore orders candidates by descending score, breaking ties by
 // canonical key so the enumeration is deterministic.
 func sortByScore(cands []*aggSet) {
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
+	// Duplicates are gone by the time this runs, so equal scores always
+	// separate on the canonical key and the comparator is a strict
+	// total order: the sorted order is unique, independent of the sort
+	// algorithm. SortStableFunc avoids SliceStable's reflection-based
+	// swapper on this hot path.
+	slices.SortStableFunc(cands, func(a, b *aggSet) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
 		}
-		return cands[i].key() < cands[j].key()
+		return strings.Compare(a.key(), b.key())
 	})
 }
 
-// prune reduces a candidate list to an irredundant list: dominated
-// sets — whose envelope is encapsulated by a kept set's envelope over
-// the dominance interval [lo, hi] and whose inherited shift does not
-// exceed the kept set's — are removed, and the result is beam-capped
-// at width. Candidates must already be score-sorted descending;
-// because domination implies a score at least as high, checking each
-// candidate only against already-kept sets is sufficient. The two
-// counters report how many candidates each mechanism discarded.
-func prune(cands []*aggSet, lo, hi float64, width int, noDominance bool) (kept []*aggSet, prunedDom, prunedBeam int) {
-	kept = make([]*aggSet, 0, min(len(cands), width))
-	for n, c := range cands {
-		if len(kept) >= width {
-			prunedBeam = len(cands) - n
-			break
-		}
-		if !noDominance {
-			dominated := false
-			_, cPeak := c.env.Peak()
-			for _, p := range kept {
-				if p.shift < c.shift-waveform.Eps {
-					continue // smaller inherited shift cannot dominate
-				}
-				if _, pPeak := p.env.Peak(); pPeak < cPeak-waveform.Eps {
-					continue // quick reject: cannot encapsulate a higher peak
-				}
-				if waveform.Encapsulates(p.env, c.env, lo, hi, waveform.Eps) {
-					dominated = true
-					break
-				}
-			}
-			if dominated {
-				prunedDom++
-				continue
-			}
-		}
-		kept = append(kept, c)
-	}
-	return kept, prunedDom, prunedBeam
-}
+// Pruning of candidate lists into irredundant lists lives in
+// digest.go (type pruner): the Theorem-1 dominance check is fronted by
+// a conservative grid-sample prefilter there.

@@ -1,0 +1,80 @@
+package waveform
+
+// SampleInto evaluates the waveform at n = len(out) times spanning
+// [lo, hi] (both endpoints included; times are evenly spaced) and
+// writes the values into out, walking the breakpoints once instead of
+// binary-searching per sample. Each value is computed with exactly the
+// interpolation Value uses — same formula, same operation order — so
+// out[g] is bit-identical to Value(t_g). It is the digest sampler of
+// the dominance prefilter: conservative comparisons on these samples
+// must agree with exact pointwise comparisons wherever they claim a
+// strict difference.
+//
+// n must be at least 2 when hi > lo; with hi <= lo every sample is
+// taken at lo.
+func (w PWL) SampleInto(lo, hi float64, out []float64) {
+	n := len(out)
+	if n == 0 {
+		return
+	}
+	pts := w.pts
+	if len(pts) == 0 {
+		for g := range out {
+			out[g] = 0
+		}
+		return
+	}
+	step := 0.0
+	if n > 1 && hi > lo {
+		step = (hi - lo) / float64(n-1)
+	}
+	i := 0 // first breakpoint strictly after t, as in Value
+	for g := range out {
+		t := lo + float64(g)*step
+		if g == n-1 && step != 0 {
+			// Pin the last sample to hi exactly: accumulated rounding in
+			// lo + (n-1)*step may land an ulp past the interval, and a
+			// sample outside [lo, hi] would let the prefilter reject on
+			// a point the exact check never examines.
+			t = hi
+		}
+		if t <= pts[0].T {
+			// Mirrors Value's leading-edge branch; matters when the
+			// first two breakpoints share a time (a step at the start).
+			out[g] = pts[0].V
+			continue
+		}
+		for i < len(pts) && pts[i].T <= t {
+			i++
+		}
+		switch {
+		case i == 0:
+			out[g] = pts[0].V
+		case i >= len(pts):
+			out[g] = pts[len(pts)-1].V
+		default:
+			a, b := pts[i-1], pts[i]
+			if b.T == a.T {
+				out[g] = b.V
+			} else {
+				f := (t - a.T) / (b.T - a.T)
+				out[g] = a.V + f*(b.V-a.V)
+			}
+		}
+	}
+}
+
+// AddInto computes a + b into buf (reused if capacity allows) and
+// returns a PWL viewing the result plus the grown buffer. The returned
+// PWL aliases the buffer: it is valid only until the buffer's next
+// reuse. It is the allocation-free form of Add for hot paths that
+// immediately simplify or copy the sum (set-envelope construction).
+func AddInto(a, b PWL, buf []Point) (PWL, []Point) {
+	buf = appendCombine(buf[:0], a, b, +1)
+	return PWL{pts: buf}, buf
+}
+
+// Clone returns a copy of the waveform backed by its own freshly
+// allocated breakpoints, safe to retain after any scratch buffer the
+// original viewed is reused.
+func (w PWL) Clone() PWL { return w.clone() }

@@ -414,23 +414,87 @@ func (w PWL) Peak() (t, v float64) {
 // [t0, t1]. Because both waveforms are linear between the merged
 // breakpoints, checking the merged breakpoints clipped to the interval
 // plus the interval endpoints is exact.
+//
+// The merged times are walked with two cursors instead of
+// materializing the union (this sits on the dominance-pruning hot
+// path), and each waveform is evaluated by a forward-moving cursor
+// using the same index convention and interpolation arithmetic as
+// Value, so the verdict is bit-identical to the original
+// mergeTimes+Value formulation.
 func Encapsulates(a, b PWL, t0, t1, tol float64) bool {
 	if t1 < t0 {
 		return true
 	}
-	check := func(t float64) bool { return a.Value(t) >= b.Value(t)-tol }
-	if !check(t0) || !check(t1) {
+	if a.Value(t0) < b.Value(t0)-tol || a.Value(t1) < b.Value(t1)-tol {
 		return false
 	}
-	for _, t := range mergeTimes(a, b) {
+	// Merge cursors (ia/ib) produce the union of breakpoint times with
+	// mergeTimes' Eps-dedup; evaluation cursors (ea/eb) track, per
+	// waveform, the first breakpoint strictly after the current time.
+	ia, ib, ea, eb := 0, 0, 0, 0
+	last := 0.0
+	first := true
+	for ia < len(a.pts) || ib < len(b.pts) {
+		var t float64
+		switch {
+		case ia >= len(a.pts):
+			t = b.pts[ib].T
+			ib++
+		case ib >= len(b.pts):
+			t = a.pts[ia].T
+			ia++
+		case a.pts[ia].T <= b.pts[ib].T:
+			t = a.pts[ia].T
+			ia++
+		default:
+			t = b.pts[ib].T
+			ib++
+		}
+		if !first && t <= last+Eps {
+			continue
+		}
+		first = false
+		last = t
 		if t <= t0 || t >= t1 {
 			continue
 		}
-		if !check(t) {
+		if a.valueAt(t, &ea) < b.valueAt(t, &eb)-tol {
 			return false
 		}
 	}
 	return true
+}
+
+// valueAt evaluates the waveform at t using *cursor as the running
+// index of the first breakpoint strictly after t. Successive calls
+// must not decrease t. The arithmetic mirrors Value exactly.
+func (w PWL) valueAt(t float64, cursor *int) float64 {
+	if len(w.pts) == 0 {
+		return 0
+	}
+	if t <= w.pts[0].T {
+		// Mirrors Value's leading-edge branch; matters when the first
+		// two breakpoints share a time (a step at the start).
+		return w.pts[0].V
+	}
+	i := *cursor
+	for i < len(w.pts) && w.pts[i].T <= t {
+		i++
+	}
+	*cursor = i
+	switch {
+	case i == 0:
+		return w.pts[0].V
+	case i >= len(w.pts):
+		return w.pts[len(w.pts)-1].V
+	default:
+		a, b := w.pts[i-1], w.pts[i]
+		if b.T == a.T {
+			return b.V
+		}
+		f := (t - a.T) / (b.T - a.T)
+		return a.V + f*(b.V-a.V)
+	}
 }
 
 // LatestTimeAtOrBelow returns the supremum of {t : w(t) <= level}
