@@ -3,16 +3,20 @@
 // The JSON is the artifact the perf acceptance criteria are checked
 // against and what EXPERIMENTS.md records as before/after evidence.
 //
-// Two suites are available. The default, "fixpoint", times the noise
-// fixpoint and the end-to-end Table-1/2 kernels (default output
+// Three suites are available. The default, "fixpoint", times the
+// noise fixpoint and the end-to-end Table-1/2 kernels (default output
 // BENCH_fixpoint.json). "core" times the top-k enumeration core in
 // isolation — prepared state built outside the timer, k-sweeps over
 // the Table-1/2 circuits in both modes, a worker sweep, and the
 // exact-prune escape hatch for the digest prefilter's effect (default
-// output BENCH_core.json):
+// output BENCH_core.json). "serve" times the HTTP front end over a
+// real loopback listener — per-op wire round trips plus a saturation
+// sweep of QPS and latency percentiles across client concurrency
+// levels (default output BENCH_serve.json):
 //
 //	go run ./cmd/benchjson -o BENCH_fixpoint.json
 //	go run ./cmd/benchjson -suite core
+//	go run ./cmd/benchjson -suite serve
 //	go run ./cmd/benchjson -quick
 package main
 
@@ -53,11 +57,14 @@ type report struct {
 	// hit rates) — the enabled-path evidence the perf criteria ask for.
 	// The timed benchmarks above run uninstrumented.
 	Metrics map[string]*obs.Snapshot `json:"metrics,omitempty"`
+	// Serve is the HTTP saturation table (serve suite only): QPS and
+	// latency percentiles at each client concurrency level.
+	Serve []serveLevel `json:"serve,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default BENCH_<suite>.json)")
-	suite := flag.String("suite", "fixpoint", "benchmark suite: fixpoint or core")
+	suite := flag.String("suite", "fixpoint", "benchmark suite: fixpoint, core or serve")
 	quick := flag.Bool("quick", false, "skip the slow brute-force and enumeration kernels")
 	flag.Parse()
 	var err error
@@ -72,8 +79,13 @@ func main() {
 			*out = "BENCH_core.json"
 		}
 		err = runCore(*out, *quick)
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		err = runServe(*out, *quick)
 	default:
-		err = fmt.Errorf("unknown suite %q (want fixpoint or core)", *suite)
+		err = fmt.Errorf("unknown suite %q (want fixpoint, core or serve)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

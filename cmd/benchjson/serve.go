@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/httpapi"
+)
+
+// serveLevel is one concurrency step of the HTTP saturation sweep:
+// how many client workers were applied, what throughput came out, and
+// where the latency tail sat. Reading QPS across levels shows where
+// the server saturates; reading P99 shows what that costs.
+type serveLevel struct {
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"durationSec"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50Ns       int64   `json:"p50Ns"`
+	P90Ns       int64   `json:"p90Ns"`
+	P99Ns       int64   `json:"p99Ns"`
+}
+
+// runServe emits the HTTP front-end suite: per-op wire round-trip
+// latencies over a real loopback listener (testing.Benchmark rows),
+// then a mixed-workload saturation sweep across client concurrency
+// levels (the serve table). Everything runs in-process against an
+// httptest server, so the numbers measure topkd's serving stack —
+// JSON codec, admission, analyzer dispatch — not container networking.
+func runServe(out string, quick bool) error {
+	c, err := gen.Build(gen.Spec{Name: "serve", Gates: 40, Couplings: 80, Seed: 7})
+	if err != nil {
+		return err
+	}
+	api := httpapi.NewServer(httpapi.Config{})
+	if err := api.Preload("bench", "netlist", c); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	client := ts.Client()
+
+	var nets []string
+	for id := 0; id < c.NumNets(); id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, c.Net(circuit.NetID(id)).Name)
+		}
+	}
+
+	post := func(path string, body map[string]any) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+"/v1/models/bench"+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the analyzer (fixpoint + preparations) outside every timer.
+	if err := post("/query", map[string]any{"op": "addition", "k": 4}); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	rep := newReport()
+
+	// Per-op wire latency: one warm HTTP round trip per iteration.
+	roundTrip := func(path string, body map[string]any) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := post(path, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	measure(&rep, "serve_http/query_add-k4", roundTrip("/query", map[string]any{"op": "addition", "k": 4}))
+	measure(&rep, "serve_http/query_elim-k4", roundTrip("/query", map[string]any{"op": "elimination", "k": 4}))
+	measure(&rep, "serve_http/query_whatif", roundTrip("/query", map[string]any{"op": "whatif", "fix": []int{0, 1}}))
+	if !quick {
+		measure(&rep, "serve_http/sweep-3nets-k2", roundTrip("/sweep",
+			map[string]any{"op": "addition", "k": 2, "nets": nets[:min(3, len(nets))]}))
+		measure(&rep, "serve_http/batch-8q-w4", func(b *testing.B) {
+			queries := make([]map[string]any, 8)
+			for i := range queries {
+				queries[i] = map[string]any{"op": "addition", "k": 1 + i%4}
+				if i%2 == 1 && len(nets) > 0 {
+					queries[i]["net"] = nets[i%len(nets)]
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := post("/batch", map[string]any{"queries": queries, "workers": 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Saturation sweep: mixed workload at rising client concurrency.
+	levels := []int{1, 2, 4, 8, 16}
+	duration := 2 * time.Second
+	if quick {
+		levels = []int{1, 4}
+		duration = 400 * time.Millisecond
+	}
+	for _, workers := range levels {
+		lvl, err := saturate(client, ts.URL, nets, workers, duration)
+		if err != nil {
+			return err
+		}
+		rep.Serve = append(rep.Serve, lvl)
+		fmt.Printf("serve_saturation/c%-3d %10.1f qps  p50 %-12s p99 %-12s %d errors\n",
+			lvl.Concurrency, lvl.QPS,
+			time.Duration(lvl.P50Ns).Round(time.Microsecond),
+			time.Duration(lvl.P99Ns).Round(time.Microsecond), lvl.Errors)
+	}
+	return write(out, rep)
+}
+
+// saturate applies one concurrency level of mixed query traffic for
+// the given duration and folds the outcome into a serveLevel.
+func saturate(client *http.Client, base string, nets []string, workers int, duration time.Duration) (serveLevel, error) {
+	var mu sync.Mutex
+	var lats []int64
+	errors := 0
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(duration)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			var local []int64
+			localErrs := 0
+			for time.Now().Before(stopAt) {
+				body := map[string]any{}
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // 40% addition
+					body["op"] = "addition"
+					body["k"] = 1 + rng.Intn(4)
+				case 4, 5: // 20% elimination
+					body["op"] = "elimination"
+					body["k"] = 1 + rng.Intn(4)
+				default: // 40% whatif (the cheap op keeps pressure on the codec)
+					body["op"] = "whatif"
+					body["fix"] = []int{rng.Intn(10)}
+				}
+				if len(nets) > 0 && rng.Intn(2) == 0 {
+					body["net"] = nets[rng.Intn(len(nets))]
+				}
+				data, _ := json.Marshal(body)
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/models/bench/query", "application/json", bytes.NewReader(data))
+				if err != nil {
+					localErrs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					localErrs++
+				}
+				local = append(local, int64(time.Since(start)))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			errors += localErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	return serveLevel{
+		Concurrency: workers,
+		DurationSec: duration.Seconds(),
+		Requests:    len(lats),
+		Errors:      errors,
+		QPS:         float64(len(lats)) / duration.Seconds(),
+		P50Ns:       pct(0.50),
+		P90Ns:       pct(0.90),
+		P99Ns:       pct(0.99),
+	}, nil
+}

@@ -1,0 +1,388 @@
+// Command loadgen drives a running topkd with a mixed query workload
+// and reports throughput and latency percentiles. It is the client
+// half of the serve saturation bench (cmd/benchjson -suite serve runs
+// the same style of sweep in-process): point it at a server, let it
+// upload its own generated circuit, and read QPS/p99 off the summary.
+//
+//	loadgen -addr localhost:8080 -duration 10s -concurrency 8
+//	loadgen -addr localhost:8080 -mix add:4,elim:2,whatif:2,sweep:1 -o loadgen.json
+//
+// By default it generates a deterministic benchmark circuit
+// (-gen gates=40,couplings=80,seed=7), uploads it under -model, and
+// spreads queries over the circuit target and individual nets.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// opNames orders the workload's operation kinds.
+var opNames = []string{"add", "elim", "whatif", "sweep"}
+
+// mix is the per-op weight table of the workload.
+type mix map[string]int
+
+// parseMix reads "add:4,elim:2,whatif:2,sweep:1"; omitted ops weigh 0.
+func parseMix(s string) (mix, error) {
+	m := mix{}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q wants op:weight", part)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		known := false
+		for _, op := range opNames {
+			if name == op {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("mix entry %q: unknown op (want add, elim, whatif or sweep)", part)
+		}
+		m[name] += weight
+		total += weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// pick draws one op from the mix with the worker's seeded generator.
+func (m mix) pick(rng *rand.Rand) string {
+	total := 0
+	for _, op := range opNames {
+		total += m[op]
+	}
+	n := rng.Intn(total)
+	for _, op := range opNames {
+		n -= m[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return opNames[0]
+}
+
+// parseSpec reads "gates=40,couplings=80,seed=7" into a gen.Spec.
+func parseSpec(s string) (gen.Spec, error) {
+	spec := gen.Spec{Name: "loadgen", Gates: 40, Couplings: 80, Seed: 7}
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("spec entry %q wants key=value", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return spec, fmt.Errorf("spec entry %q: %v", part, err)
+		}
+		switch key {
+		case "gates":
+			spec.Gates = n
+		case "couplings":
+			spec.Couplings = n
+		case "seed":
+			spec.Seed = int64(n)
+		default:
+			return spec, fmt.Errorf("spec entry %q: unknown key (want gates, couplings or seed)", part)
+		}
+	}
+	return spec, nil
+}
+
+// percentile returns the q-quantile (0..1) of sorted ns latencies.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// opStats aggregates one op kind's outcomes.
+type opStats struct {
+	Count  int   `json:"count"`
+	Errors int   `json:"errors"`
+	P50Ns  int64 `json:"p50Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+}
+
+// report is the machine-readable summary (-o).
+type report struct {
+	Date        string             `json:"date"`
+	Addr        string             `json:"addr"`
+	Model       string             `json:"model"`
+	DurationSec float64            `json:"durationSec"`
+	Concurrency int                `json:"concurrency"`
+	Mix         string             `json:"mix"`
+	Total       int                `json:"total"`
+	Errors      int                `json:"errors"`
+	QPS         float64            `json:"qps"`
+	P50Ns       int64              `json:"p50Ns"`
+	P90Ns       int64              `json:"p90Ns"`
+	P99Ns       int64              `json:"p99Ns"`
+	PerOp       map[string]opStats `json:"perOp"`
+}
+
+// sample is one request's outcome.
+type sample struct {
+	op string
+	ns int64
+	ok bool
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "topkd address (host:port)")
+	model := fs.String("model", "loadgen", "model name to upload and query")
+	duration := fs.Duration("duration", 10*time.Second, "how long to apply load")
+	concurrency := fs.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent client workers")
+	mixFlag := fs.String("mix", "add:4,elim:2,whatif:3,sweep:1", "workload mix as op:weight pairs")
+	k := fs.Int("k", 4, "cardinality for top-k queries")
+	genFlag := fs.String("gen", "gates=40,couplings=80,seed=7", "generated circuit spec to upload")
+	noUpload := fs.Bool("no-upload", false, "skip the upload; the model must already exist")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	out := fs.String("o", "", "write the JSON report here too")
+	seed := fs.Int64("seed", 1, "workload randomization seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *concurrency < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -concurrency must be >= 1 and -duration > 0")
+		return 1
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	spec, err := parseSpec(*genFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	c, err := gen.Build(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+	if !*noUpload {
+		if err := upload(client, base, *model, c); err != nil {
+			fmt.Fprintln(stderr, "loadgen: upload:", err)
+			return 1
+		}
+	}
+
+	// Target material: driven net names for per-net queries, coupling
+	// count for what-if fix sets.
+	var nets []string
+	for id := 0; id < c.NumNets(); id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, c.Net(circuit.NetID(id)).Name)
+		}
+	}
+
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			var local []sample
+			for time.Now().Before(stopAt) {
+				op := m.pick(rng)
+				start := time.Now()
+				ok := fire(client, base, *model, op, *k, nets, c.NumCouplings(), rng)
+				local = append(local, sample{op: op, ns: int64(time.Since(start)), ok: ok})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	rep := summarize(samples, *addr, *model, *duration, *concurrency, *mixFlag)
+	fmt.Fprintf(stdout, "loadgen: %d requests in %s (%d workers): %.1f qps, p50 %s, p90 %s, p99 %s, %d errors\n",
+		rep.Total, duration.Round(time.Millisecond), *concurrency, rep.QPS,
+		time.Duration(rep.P50Ns).Round(time.Microsecond),
+		time.Duration(rep.P90Ns).Round(time.Microsecond),
+		time.Duration(rep.P99Ns).Round(time.Microsecond), rep.Errors)
+	for _, op := range opNames {
+		if st, ok := rep.PerOp[op]; ok {
+			fmt.Fprintf(stdout, "  %-6s %6d reqs  p50 %-12s p99 %-12s %d errors\n", op, st.Count,
+				time.Duration(st.P50Ns).Round(time.Microsecond),
+				time.Duration(st.P99Ns).Round(time.Microsecond), st.Errors)
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if rep.Total > 0 && rep.Errors == rep.Total {
+		fmt.Fprintln(stderr, "loadgen: every request failed")
+		return 1
+	}
+	return 0
+}
+
+// summarize folds raw samples into the report.
+func summarize(samples []sample, addr, model string, d time.Duration, concurrency int, mixStr string) report {
+	rep := report{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Addr:        addr,
+		Model:       model,
+		DurationSec: d.Seconds(),
+		Concurrency: concurrency,
+		Mix:         mixStr,
+		Total:       len(samples),
+		PerOp:       map[string]opStats{},
+	}
+	var all []int64
+	perOp := map[string][]int64{}
+	for _, s := range samples {
+		all = append(all, s.ns)
+		perOp[s.op] = append(perOp[s.op], s.ns)
+		if !s.ok {
+			rep.Errors++
+			st := rep.PerOp[s.op]
+			st.Errors++
+			rep.PerOp[s.op] = st
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.QPS = float64(len(all)) / d.Seconds()
+	rep.P50Ns = percentile(all, 0.50)
+	rep.P90Ns = percentile(all, 0.90)
+	rep.P99Ns = percentile(all, 0.99)
+	for op, lat := range perOp {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st := rep.PerOp[op]
+		st.Count = len(lat)
+		st.P50Ns = percentile(lat, 0.50)
+		st.P99Ns = percentile(lat, 0.99)
+		rep.PerOp[op] = st
+	}
+	return rep
+}
+
+// upload registers the circuit under name as a raw netlist body.
+func upload(client *http.Client, base, name string, c *circuit.Circuit) error {
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/models/"+name,
+		strings.NewReader(netlist.String(c)))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// fire sends one request of the given op kind and reports success.
+// 429/503 count as errors (the point of a saturation run is to see
+// where they start).
+func fire(client *http.Client, base, model, op string, k int, nets []string, numCouplings int, rng *rand.Rand) bool {
+	var path string
+	body := map[string]any{}
+	switch op {
+	case "add", "elim":
+		path = "/query"
+		body["op"] = map[string]string{"add": "addition", "elim": "elimination"}[op]
+		body["k"] = 1 + rng.Intn(k)
+		if len(nets) > 0 && rng.Intn(2) == 0 {
+			body["net"] = nets[rng.Intn(len(nets))]
+		}
+	case "whatif":
+		path = "/query"
+		body["op"] = "whatif"
+		n := 1 + rng.Intn(3)
+		fix := map[int]bool{}
+		for len(fix) < n && len(fix) < numCouplings {
+			fix[rng.Intn(numCouplings)] = true
+		}
+		ids := make([]int, 0, len(fix))
+		for id := range fix {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		body["fix"] = ids
+	case "sweep":
+		path = "/sweep"
+		body["op"] = "addition"
+		body["k"] = 1 + rng.Intn(k)
+		picks := map[string]bool{}
+		for len(picks) < 3 && len(picks) < len(nets) {
+			picks[nets[rng.Intn(len(nets))]] = true
+		}
+		var names []string
+		for n := range picks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		body["nets"] = names
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(base+"/v1/models/"+model+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reused; a sweep's records count as
+	// payload to consume, not to parse.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

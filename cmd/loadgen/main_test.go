@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"topkagg/internal/httpapi"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("add:4,elim:2,whatif:3,sweep:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["add"] != 4 || m["elim"] != 2 || m["whatif"] != 3 || m["sweep"] != 1 {
+		t.Errorf("parseMix: %v", m)
+	}
+	for _, bad := range []string{"", "add", "add:x", "add:-1", "frobnicate:1", "add:0,elim:0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := parseSpec("gates=10,couplings=20,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Gates != 10 || spec.Couplings != 20 || spec.Seed != 3 {
+		t.Errorf("parseSpec: %+v", spec)
+	}
+	if spec, err = parseSpec(""); err != nil || spec.Gates != 40 {
+		t.Errorf("default spec: %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"gates", "gates=x", "bogus=1"} {
+		if _, err := parseSpec(bad); err == nil {
+			t.Errorf("parseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := percentile(sorted, 0.50); p != 50 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := percentile(sorted, 0.99); p != 90 {
+		t.Errorf("p99 = %d", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %d", p)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []sample{
+		{op: "add", ns: 100, ok: true},
+		{op: "add", ns: 300, ok: false},
+		{op: "sweep", ns: 200, ok: true},
+	}
+	rep := summarize(samples, "x:1", "m", time.Second, 2, "add:1,sweep:1")
+	if rep.Total != 3 || rep.Errors != 1 || rep.QPS != 3 {
+		t.Errorf("summarize: %+v", rep)
+	}
+	if rep.PerOp["add"].Count != 2 || rep.PerOp["add"].Errors != 1 || rep.PerOp["sweep"].Count != 1 {
+		t.Errorf("perOp: %+v", rep.PerOp)
+	}
+}
+
+// TestRunAgainstServer drives the whole client against an in-process
+// httpapi server for a short burst and checks the report lands.
+func TestRunAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(httpapi.NewServer(httpapi.Config{}))
+	defer ts.Close()
+
+	outFile := filepath.Join(t.TempDir(), "loadgen.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"),
+		"-duration", "300ms",
+		"-concurrency", "2",
+		"-gen", "gates=12,couplings=16,seed=5",
+		"-o", outFile,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || rep.QPS <= 0 {
+		t.Errorf("report has no traffic: %+v", rep)
+	}
+	if rep.Errors == rep.Total {
+		t.Errorf("every request failed: %+v", rep)
+	}
+}
+
+// TestRunBadFlags pins client-side flag validation.
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mix", "frobnicate:1"},
+		{"-gen", "bogus=1"},
+		{"-concurrency", "0"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("run(%v) succeeded, want failure", args)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command topkd serves top-k aggressor analysis over HTTP/JSON: a
+// named-model registry (upload a netlist or verilog+spef+liberty),
+// query endpoints for addition/elimination/what-if including batches
+// and NDJSON-streamed k-sweeps, per-request timeout/work budgets, and
+// admission control bounding concurrent work. See README "Running the
+// server" for the endpoint reference and curl examples.
+//
+//	topkd -addr localhost:8080
+//	topkd -addr :8080 -preload c17=testdata/c17.ckt -max-inflight 64
+//
+// The /debug/ tree (metrics snapshot, expvar, pprof) rides the same
+// listener unless -no-debug is set. SIGINT/SIGTERM drain gracefully:
+// admission starts answering 503, in-flight requests finish, then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"topkagg/internal/httpapi"
+	"topkagg/internal/netlist"
+	"topkagg/internal/obs"
+
+	"topkagg/internal/cell"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+)
+
+// preloads collects repeated -preload name=path flags.
+type preloads []string
+
+func (p *preloads) String() string     { return strings.Join(*p, ",") }
+func (p *preloads) Set(s string) error { *p = append(*p, s); return nil }
+
+// run is the whole daemon: parse flags, boot, serve until the parent
+// context (or a signal) stops it. ready, when non-nil, receives the
+// bound listen address once the server is accepting — tests use it to
+// drive a real listener without racing the boot.
+func run(parent context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("topkd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 64, "max concurrently executing requests (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 128, "max requests waiting for a slot before 429")
+	maxBody := fs.Int64("max-body", 8<<20, "request body size cap in bytes")
+	defaultTimeout := fs.Duration("default-timeout", 0, "timeout applied to queries that name none (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp on every per-query timeout (0 = no clamp)")
+	maxWork := fs.Int64("max-work", 0, "clamp on every per-query work allowance (0 = no clamp)")
+	fixWorkers := fs.Int("fixpoint-workers", 0, "worker goroutines per noise-fixpoint sweep (0 = GOMAXPROCS)")
+	noDebug := fs.Bool("no-debug", false, "disable the /debug/ tree (metrics, expvar, pprof)")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight requests are cut off")
+	var pre preloads
+	fs.Var(&pre, "preload", "name=path: register a native netlist at boot (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *maxInFlight < 0 || *maxQueue < 0 || *maxBody <= 0 || *defaultTimeout < 0 ||
+		*maxTimeout < 0 || *maxWork < 0 || *fixWorkers < 0 {
+		fmt.Fprintln(stderr, "topkd: limits must be non-negative (and -max-body positive)")
+		return exitErr
+	}
+
+	cfg := httpapi.Config{
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		MaxBodyBytes:    *maxBody,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxWork:         *maxWork,
+		FixpointWorkers: *fixWorkers,
+	}
+	if !*noDebug {
+		cfg.Obs = obs.New()
+		cfg.Obs.PublishExpvar("topkagg")
+	}
+	api := httpapi.NewServer(cfg)
+	for _, p := range pre {
+		name, path, ok := strings.Cut(p, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "topkd: -preload wants name=path, got %q\n", p)
+			return exitErr
+		}
+		if err := preload(api, name, path); err != nil {
+			fmt.Fprintln(stderr, "topkd:", err)
+			return exitErr
+		}
+		fmt.Fprintf(stdout, "preloaded model %q from %s\n", name, path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "topkd:", err)
+		return exitErr
+	}
+	srv := &http.Server{Handler: api}
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "topkd listening on http://%s/\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "topkd:", err)
+		return exitErr
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "topkd: draining...")
+	api.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "topkd: shutdown:", err)
+		return exitErr
+	}
+	fmt.Fprintln(stdout, "topkd: stopped")
+	return exitOK
+}
+
+// preload registers one native-netlist file under name.
+func preload(api *httpapi.Server, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := netlist.Parse(f, cell.Default())
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return api.Preload(name, "netlist", c)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunBadFlags pins the exit-code contract for unusable invocations.
+func TestRunBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, exitUsage},
+		{"negative inflight", []string{"-max-inflight=-1"}, exitErr},
+		{"zero body cap", []string{"-max-body=0"}, exitErr},
+		{"malformed preload", []string{"-preload", "nameonly"}, exitErr},
+		{"missing preload file", []string{"-preload", "m=/does/not/exist.ckt"}, exitErr},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if got := run(context.Background(), tc.args, &out, &errb, nil); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, got, tc.want, errb.String())
+		}
+	}
+}
+
+// TestRunServeAndShutdown boots the real daemon on an ephemeral port
+// with a preloaded model, serves a health check and a query over real
+// TCP, then cancels the parent context and expects a graceful exit.
+func TestRunServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var out, errb bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-preload", "c17=../../testdata/c17.ckt",
+			"-shutdown-grace", "5s",
+		}, &out, &errb, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("daemon exited early with %d: %s", code, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	qresp, err := http.Post(base+"/v1/models/c17/query", "application/json",
+		strings.NewReader(`{"op":"addition","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(qresp.Body)
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", qresp.StatusCode, body)
+	}
+	var wr struct {
+		Op     string `json:"op"`
+		Result *struct {
+			K int `json:"k"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("query body: %v (%s)", err, body)
+	}
+	if wr.Op != "addition" || wr.Result == nil || wr.Result.K != 2 {
+		t.Errorf("query result: %s", body)
+	}
+
+	// Debug tree rides the same listener by default.
+	dresp, err := http.Get(base + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("debug metrics: status %d", dresp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("graceful shutdown: exit %d (stderr: %s)", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never exited after cancel")
+	}
+	for _, want := range []string{"preloaded model", "draining", "stopped"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q: %s", want, out.String())
+		}
+	}
+}
+
+// TestPreloadsFlag covers the repeatable flag.Value.
+func TestPreloadsFlag(t *testing.T) {
+	var p preloads
+	for i := 0; i < 3; i++ {
+		if err := p.Set(fmt.Sprintf("m%d=f%d", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.String(); got != "m0=f0,m1=f1,m2=f2" {
+		t.Errorf("preloads.String() = %q", got)
+	}
+}

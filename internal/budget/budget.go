@@ -14,6 +14,7 @@ package budget
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -84,6 +85,24 @@ func (e *Error) Error() string {
 
 func (e *Error) Unwrap() error { return e.Err }
 
+// MarshalJSON encodes the stop as a small structured object — the
+// typed reason, the observing layer, and the cause's message. Without
+// it, encoding/json's default struct walk would serialize whatever the
+// cause chain holds (for a worker panic, a 16 KiB base64 stack trace)
+// and leak representation details into every JSON surface that carries
+// a Result with a Stopped condition.
+func (e *Error) MarshalJSON() ([]byte, error) {
+	var cause string
+	if e.Err != nil {
+		cause = e.Err.Error()
+	}
+	return json.Marshal(struct {
+		Reason string `json:"reason"`
+		Op     string `json:"op,omitempty"`
+		Cause  string `json:"cause,omitempty"`
+	}{e.Reason.String(), e.Op, cause})
+}
+
 // ReasonOf extracts the stop reason from an error chain, or None when
 // the chain carries no *Error. Bare context errors are classified too,
 // so callers can pass whatever an engine returned.
@@ -130,6 +149,17 @@ func NewPanicError(op string, value any) *PanicError {
 
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("%s: worker panic: %v", e.Op, e.Value)
+}
+
+// MarshalJSON encodes the panic as its reason, site and rendered value.
+// The stack is deliberately excluded: it belongs in logs, not in wire
+// payloads (and its bytes would otherwise appear as opaque base64).
+func (e *PanicError) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Reason string `json:"reason"`
+		Op     string `json:"op,omitempty"`
+		Value  string `json:"value"`
+	}{WorkerPanic.String(), e.Op, fmt.Sprint(e.Value)})
 }
 
 // B threads a context and an optional work allowance through the

@@ -1,0 +1,78 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+// admission bounds the work the server accepts: at most maxInFlight
+// requests execute concurrently, at most maxQueue more wait for a
+// slot, and everything beyond that is rejected immediately with a
+// clean 429 — the server never builds an unbounded backlog, and a
+// rejected client learns to back off instead of hanging. A draining
+// server (graceful shutdown) answers 503 so load balancers fail over.
+//
+// A nil *admission admits everything (the unlimited configuration),
+// mirroring the repo's nil-registry/nil-budget convention.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	draining atomic.Bool
+}
+
+// newAdmission builds the controller; maxInFlight <= 0 returns nil
+// (no admission control).
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// necessary. It returns a release closure on success, or the
+// structured rejection (429 overloaded, 503 draining) — never an
+// unbounded wait. A caller whose context dies while queued gets a 499
+// marker; the response is moot (the client is gone) but the handler
+// still unwinds cleanly.
+func (a *admission) acquire(ctx context.Context) (release func(), aerr *apiError) {
+	if a == nil {
+		return func() {}, nil
+	}
+	if a.draining.Load() {
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: codeDraining,
+			msg: "server is draining"}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, &apiError{status: http.StatusTooManyRequests, code: codeOverloaded,
+			msg: "server is at capacity (in-flight and queue both full); retry with backoff"}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, &apiError{status: 499, code: codeBadRequest, msg: "client went away while queued"}
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// drain flips the controller into shutdown mode: every later acquire
+// answers 503. In-flight and already-queued requests finish normally.
+func (a *admission) drain() {
+	if a != nil {
+		a.draining.Store(true)
+	}
+}

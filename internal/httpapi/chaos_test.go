@@ -1,0 +1,181 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/faultinject"
+	"topkagg/internal/noise"
+	"topkagg/internal/serve"
+)
+
+// needProbes skips a test that depends on fault injection when the
+// probes are compiled out (-tags faultinject_off).
+func needProbes(t *testing.T) {
+	t.Helper()
+	if !faultinject.Enabled() {
+		t.Skip("faultinject probes compiled out")
+	}
+}
+
+// TestChaosSweepPanicOneRecord injects a worker panic into exactly one
+// query of a streamed k-sweep and checks the blast radius over the
+// wire: that record carries a typed worker-panic error, every other
+// record is byte-identical to the clean run, and the stream stays
+// well-formed NDJSON end to end.
+func TestChaosSweepPanicOneRecord(t *testing.T) {
+	needProbes(t)
+	c := testCircuit(t, 21)
+	ts := newTestServer(t, Config{})
+	uploadNetlist(t, ts, "m", c)
+
+	var nets []string
+	for id := 0; id < c.NumNets() && len(nets) < 5; id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, c.Net(circuit.NetID(id)).Name)
+		}
+	}
+	if len(nets) < 4 {
+		t.Fatalf("circuit too small: %d driven nets", len(nets))
+	}
+	sreq := SweepRequest{Op: "addition", Nets: nets, K: 2, Workers: 1}
+
+	// Reference records from a clean in-process run, computed before
+	// the plan is armed so the probe cannot touch them.
+	ref := serve.NewAnalyzer(noise.NewModel(c), core.Options{})
+	queries, aerr := validateSweep(c, &sreq, limitPolicy{})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		wr, err := ToWire(c, ref.Do(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = marshalJSON(SweepRecord{Index: i, QueryResponse: wr})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SiteServeQuery fires once per DoCtx; with Workers=1 the sweep
+	// executes queries in request order, so On:3 deterministically
+	// kills record index 2 and nothing else.
+	const victim = 2
+	faultinject.Arm(faultinject.NewPlan(1).Add(faultinject.SiteServeQuery,
+		faultinject.Rule{On: victim + 1, Panic: true}))
+	defer faultinject.Disarm()
+
+	status, body := post(t, ts, "/v1/models/m/sweep", sreq)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", status, body)
+	}
+	lines := splitNDJSON(t, body)
+	if len(lines) != len(queries) {
+		t.Fatalf("sweep: %d records for %d queries", len(lines), len(queries))
+	}
+	for i, line := range lines {
+		if i == victim {
+			var rec SweepRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("victim record is not valid JSON: %v (%s)", err, line)
+			}
+			if rec.Index != victim || rec.QueryResponse == nil {
+				t.Fatalf("victim record malformed: %s", line)
+			}
+			if rec.ErrorReason != "worker-panic" {
+				t.Errorf("victim errorReason = %q, want worker-panic (%s)", rec.ErrorReason, line)
+			}
+			if !strings.Contains(rec.Error, "injected panic") {
+				t.Errorf("victim error = %q, want injected panic mention", rec.Error)
+			}
+			continue
+		}
+		if !bytes.Equal(append(line, '\n'), want[i]) {
+			t.Errorf("record %d disturbed by injected panic\n got: %s\nwant: %s", i, line, want[i])
+		}
+	}
+}
+
+// TestChaosDeadlineDegradesAlone sends one query with a 1 ns deadline:
+// its response must degrade with a typed deadline stop reason in the
+// body, and an identical follow-up query without limits must be
+// byte-identical to a clean in-process run — degradation does not
+// stick to the model's analyzer.
+func TestChaosDeadlineDegradesAlone(t *testing.T) {
+	c := testCircuit(t, 33)
+	ts := newTestServer(t, Config{})
+	uploadNetlist(t, ts, "m", c)
+
+	doomed := QueryRequest{Op: "addition", K: 3, TimeoutNs: 1}
+	status, body := post(t, ts, "/v1/models/m/query", doomed)
+	var wr QueryResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("degraded body not valid JSON: %v (%s)", err, body)
+	}
+	// The deadline either kills the query outright (504 + typed error
+	// reason) or lets it return a degraded partial result (200 + typed
+	// stop); both carry "deadline" somewhere typed.
+	switch status {
+	case http.StatusGatewayTimeout:
+		if wr.ErrorReason != "deadline" {
+			t.Errorf("504 errorReason = %q, want deadline (%s)", wr.ErrorReason, body)
+		}
+	case http.StatusOK:
+		if wr.Degraded == "" && !wr.Partial {
+			t.Errorf("200 under 1ns deadline but neither degraded nor partial: %s", body)
+		}
+		if wr.Stopped != "deadline" && wr.ErrorReason != "deadline" {
+			t.Errorf("typed deadline reason missing: %s", body)
+		}
+	default:
+		t.Fatalf("1ns-deadline query: status %d: %s", status, body)
+	}
+
+	// Same query, no limits: must match the clean reference exactly.
+	clean := QueryRequest{Op: "addition", K: 3}
+	ref := serve.NewAnalyzer(noise.NewModel(c), core.Options{})
+	wantBytes := wireBytes(t, c, ref.Do(toServeQuery(t, c, clean)))
+	status, body = post(t, ts, "/v1/models/m/query", clean)
+	if status != http.StatusOK {
+		t.Fatalf("clean query after degraded one: status %d: %s", status, body)
+	}
+	if !bytes.Equal(body, wantBytes) {
+		t.Errorf("clean query disturbed by earlier degraded one\n got: %s\nwant: %s", body, wantBytes)
+	}
+}
+
+// TestChaosWorkBudgetTyped drives a query into work exhaustion and
+// checks the typed reason crosses the wire.
+func TestChaosWorkBudgetTyped(t *testing.T) {
+	c := testCircuit(t, 13)
+	ts := newTestServer(t, Config{})
+	uploadNetlist(t, ts, "m", c)
+
+	status, body := post(t, ts, "/v1/models/m/query", QueryRequest{Op: "addition", K: 3, MaxWork: 1})
+	var wr QueryResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("work-exhausted body not valid JSON: %v (%s)", err, body)
+	}
+	switch status {
+	case http.StatusGatewayTimeout:
+		if wr.ErrorReason != "work-budget" {
+			t.Errorf("504 errorReason = %q, want work-budget (%s)", wr.ErrorReason, body)
+		}
+	case http.StatusOK:
+		if !wr.Partial && wr.Degraded == "" {
+			t.Errorf("200 under 1-unit work budget but not partial/degraded: %s", body)
+		}
+		if wr.Stopped != "work-budget" && wr.ErrorReason != "work-budget" {
+			t.Errorf("typed work-budget reason missing: %s", body)
+		}
+	default:
+		t.Fatalf("work-budget query: status %d: %s", status, body)
+	}
+}

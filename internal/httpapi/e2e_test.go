@@ -1,0 +1,422 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/gen"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+	"topkagg/internal/serve"
+	"topkagg/internal/spef"
+	"topkagg/internal/verilog"
+)
+
+// newTestServer boots a Server behind httptest with cleanup wired.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// testCircuit builds a deterministic small circuit for one seed.
+func testCircuit(t *testing.T, seed int64) *circuit.Circuit {
+	t.Helper()
+	c, err := gen.Build(gen.Spec{Name: fmt.Sprintf("e2e%d", seed), Gates: 24, Couplings: 20, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// uploadNetlist registers c under name as a raw netlist body.
+func uploadNetlist(t *testing.T, ts *httptest.Server, name string, c *circuit.Circuit) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/"+name, strings.NewReader(netlist.String(c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload %s: status %d: %s", name, resp.StatusCode, body)
+	}
+}
+
+// post sends a JSON body and returns the status and response bytes.
+func post(t *testing.T, ts *httptest.Server, path string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// wireBytes is the equivalence contract's right-hand side: the bytes
+// the server must produce for resp, computed by the same pure
+// conversion the handler uses.
+func wireBytes(t *testing.T, c *circuit.Circuit, resp serve.Response) []byte {
+	t.Helper()
+	wr, err := ToWire(c, resp)
+	if err != nil {
+		t.Fatalf("ToWire: %v", err)
+	}
+	data, err := marshalJSON(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// e2eQueries builds the mixed workload the differential suites use:
+// every Op at the circuit target and per-net targets, plus what-ifs.
+func e2eQueries(c *circuit.Circuit) []QueryRequest {
+	var nets []string
+	for id := 0; id < c.NumNets() && len(nets) < 3; id++ {
+		if c.Net(circuit.NetID(id)).Driver >= 0 {
+			nets = append(nets, c.Net(circuit.NetID(id)).Name)
+		}
+	}
+	qrs := []QueryRequest{
+		{Op: "addition", K: 3},
+		{Op: "elimination", K: 2},
+		{Op: "whatif", Fix: []int{0, 1}},
+		{Op: "whatif"},
+	}
+	for _, n := range nets {
+		qrs = append(qrs,
+			QueryRequest{Op: "addition", Net: n, K: 2},
+			QueryRequest{Op: "elimination", Net: n, K: 2},
+			QueryRequest{Op: "whatif", Net: n, Fix: []int{1}},
+		)
+	}
+	qrs = append(qrs, qrs[0], qrs[1]) // duplicates exercise warm caches
+	return qrs
+}
+
+// toServeQuery mirrors validity.go's conversion for the reference
+// analyzer (limits left zero: the test server configures none).
+func toServeQuery(t *testing.T, c *circuit.Circuit, qr QueryRequest) serve.Query {
+	t.Helper()
+	q, aerr := validateQuery(c, &qr, limitPolicy{}, true)
+	if aerr != nil {
+		t.Fatalf("reference conversion of %+v: %v", qr, aerr)
+	}
+	return q
+}
+
+// TestWireMatchesInProcess is the end-to-end differential suite: for
+// seeded random circuits, every Op served through httptest returns
+// bytes identical to ToWire over a direct in-process Analyzer.Do call
+// — the single-query endpoint, the batch endpoint at workers 1 and 8,
+// and the NDJSON sweep at workers 1 and 8 all hold the same contract.
+func TestWireMatchesInProcess(t *testing.T) {
+	seeds := []int64{3, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		c := testCircuit(t, seed)
+		ts := newTestServer(t, Config{})
+		name := fmt.Sprintf("m%d", seed)
+		uploadNetlist(t, ts, name, c)
+
+		ref := serve.NewAnalyzer(noise.NewModel(c), core.Options{})
+		qrs := e2eQueries(c)
+		refBytes := make([][]byte, len(qrs))
+		for i, qr := range qrs {
+			refBytes[i] = wireBytes(t, c, ref.Do(toServeQuery(t, c, qr)))
+		}
+
+		// Single-query endpoint.
+		for i, qr := range qrs {
+			status, body := post(t, ts, "/v1/models/"+name+"/query", qr)
+			if status != http.StatusOK {
+				t.Fatalf("seed %d query %d: status %d: %s", seed, i, status, body)
+			}
+			if !bytes.Equal(body, refBytes[i]) {
+				t.Errorf("seed %d query %d (%s): wire response differs from in-process\n got: %s\nwant: %s",
+					seed, i, qrs[i].Op, body, refBytes[i])
+			}
+		}
+
+		// Batch endpoint, both worker counts, against the same refs.
+		for _, workers := range []int{1, 8} {
+			status, body := post(t, ts, "/v1/models/"+name+"/batch",
+				BatchRequest{Queries: qrs, Workers: workers})
+			if status != http.StatusOK {
+				t.Fatalf("seed %d batch w=%d: status %d: %s", seed, workers, status, body)
+			}
+			var br BatchResponse
+			if err := json.Unmarshal(body, &br); err != nil {
+				t.Fatalf("seed %d batch w=%d: %v", seed, workers, err)
+			}
+			if len(br.Responses) != len(qrs) {
+				t.Fatalf("seed %d batch w=%d: %d responses for %d queries", seed, workers, len(br.Responses), len(qrs))
+			}
+			for i, wr := range br.Responses {
+				got, err := marshalJSON(wr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, refBytes[i]) {
+					t.Errorf("seed %d batch w=%d query %d: differs from in-process\n got: %s\nwant: %s",
+						seed, workers, i, got, refBytes[i])
+				}
+			}
+		}
+
+		// Sweep endpoint: NDJSON records in request order, both worker
+		// counts byte-identical to serially-computed references.
+		var sweepNets []string
+		for id := 0; id < c.NumNets() && len(sweepNets) < 3; id++ {
+			if c.Net(circuit.NetID(id)).Driver >= 0 {
+				sweepNets = append(sweepNets, c.Net(circuit.NetID(id)).Name)
+			}
+		}
+		sweepNets = append([]string{""}, sweepNets...)
+		for _, workers := range []int{1, 8} {
+			sreq := SweepRequest{Op: "elimination", Nets: sweepNets, K: 2, Workers: workers}
+			status, body := post(t, ts, "/v1/models/"+name+"/sweep", sreq)
+			if status != http.StatusOK {
+				t.Fatalf("seed %d sweep w=%d: status %d: %s", seed, workers, status, body)
+			}
+			lines := splitNDJSON(t, body)
+			if len(lines) != len(sweepNets) {
+				t.Fatalf("seed %d sweep w=%d: %d records for %d nets", seed, workers, len(lines), len(sweepNets))
+			}
+			queries, aerr := validateSweep(c, &sreq, limitPolicy{})
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			for i, q := range queries {
+				wr, err := ToWire(c, ref.Do(q))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := marshalJSON(SweepRecord{Index: i, QueryResponse: wr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(append(lines[i], '\n'), want) {
+					t.Errorf("seed %d sweep w=%d record %d: differs from in-process\n got: %s\nwant: %s",
+						seed, workers, i, lines[i], want)
+				}
+			}
+		}
+	}
+}
+
+// splitNDJSON splits a response body into its non-empty lines.
+func splitNDJSON(t *testing.T, body []byte) [][]byte {
+	t.Helper()
+	var lines [][]byte
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(bytes.TrimSpace(line)) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// errCode extracts the structured error code of a 4xx/5xx body.
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not structured JSON: %v (%s)", err, body)
+	}
+	return eb.Error.Code
+}
+
+// TestMalformedRequests pins the 4xx surface: every malformed input
+// maps to the right status and a stable machine-readable error code,
+// and the body is always well-formed JSON.
+func TestMalformedRequests(t *testing.T) {
+	c := testCircuit(t, 5)
+	ts := newTestServer(t, Config{MaxBodyBytes: 4096})
+	uploadNetlist(t, ts, "m", c)
+
+	rawPost := func(path, contentType, body string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, out
+	}
+
+	cases := []struct {
+		name       string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad json", "/v1/models/m/query", "{not json", http.StatusBadRequest, codeBadJSON},
+		{"trailing garbage", "/v1/models/m/query", `{"op":"addition","k":1} extra`, http.StatusBadRequest, codeBadJSON},
+		{"unknown field", "/v1/models/m/query", `{"op":"addition","k":1,"bogus":true}`, http.StatusBadRequest, codeBadJSON},
+		{"unknown op", "/v1/models/m/query", `{"op":"subtract","k":1}`, http.StatusBadRequest, codeUnknownOp},
+		{"k zero", "/v1/models/m/query", `{"op":"addition","k":0}`, http.StatusBadRequest, codeBadK},
+		{"k negative", "/v1/models/m/query", `{"op":"elimination","k":-2}`, http.StatusBadRequest, codeBadK},
+		{"k on whatif", "/v1/models/m/query", `{"op":"whatif","k":3}`, http.StatusBadRequest, codeBadK},
+		{"unknown net", "/v1/models/m/query", `{"op":"addition","net":"nope","k":1}`, http.StatusBadRequest, codeUnknownNet},
+		{"fix out of range", "/v1/models/m/query", `{"op":"whatif","fix":[99999]}`, http.StatusBadRequest, codeUnknownCoupling},
+		{"fix on addition", "/v1/models/m/query", `{"op":"addition","k":1,"fix":[0]}`, http.StatusBadRequest, codeBadRequest},
+		{"negative timeout", "/v1/models/m/query", `{"op":"addition","k":1,"timeoutMs":-5}`, http.StatusBadRequest, codeBadLimits},
+		{"unknown model", "/v1/models/ghost/query", `{"op":"addition","k":1}`, http.StatusNotFound, codeUnknownModel},
+		{"oversized body", "/v1/models/m/query", `{"op":"addition","k":1,"net":"` + strings.Repeat("x", 5000) + `"}`, http.StatusRequestEntityTooLarge, codeBodyTooLarge},
+		{"empty batch", "/v1/models/m/batch", `{"queries":[]}`, http.StatusBadRequest, codeBadRequest},
+		{"bad query in batch", "/v1/models/m/batch", `{"queries":[{"op":"addition","k":1},{"op":"addition","k":0}]}`, http.StatusBadRequest, codeBadK},
+		{"exact inside batch", "/v1/models/m/batch", `{"queries":[{"op":"addition","k":1,"exact":true}]}`, http.StatusBadRequest, codeBadRequest},
+		{"sweep whatif", "/v1/models/m/sweep", `{"op":"whatif","k":1}`, http.StatusBadRequest, codeUnknownOp},
+		{"sweep k zero", "/v1/models/m/sweep", `{"op":"addition","k":0}`, http.StatusBadRequest, codeBadK},
+		{"upload two sources", "/v1/models/n2", `{"netlist":"x","verilog":"y"}`, http.StatusBadRequest, codeBadUpload},
+		{"upload invalid netlist", "/v1/models/n3", `{"netlist":"gibberish"}`, http.StatusBadRequest, codeBadUpload},
+	}
+	for _, tc := range cases {
+		contentType := "application/json"
+		status, body := rawPost(tc.path, contentType, tc.body)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.wantStatus, body)
+			continue
+		}
+		if code := errCode(t, body); code != tc.wantCode {
+			t.Errorf("%s: error code %q, want %q", tc.name, code, tc.wantCode)
+		}
+	}
+
+	// Bad model name on upload (invalid character).
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/bad%20name", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, body) != codeBadModelName {
+		t.Errorf("bad model name: status %d code %s", resp.StatusCode, body)
+	}
+
+	// Wrong method routes to 405 without reaching any handler.
+	getResp, err := ts.Client().Get(ts.URL + "/v1/models/m/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on query endpoint: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestModelLifecycle covers upload/list/info/delete round trips plus
+// verilog+spef upload and the replaced flag.
+func TestModelLifecycle(t *testing.T) {
+	c := testCircuit(t, 9)
+	ts := newTestServer(t, Config{})
+	uploadNetlist(t, ts, "a", c)
+	uploadNetlist(t, ts, "b", c)
+
+	// Replace keeps serving and reports replaced.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/a", strings.NewReader(netlist.String(c)))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur uploadResult
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ur.Replaced || ur.Model.Name != "a" || ur.Model.Couplings != c.NumCouplings() {
+		t.Errorf("replace upload: %+v", ur)
+	}
+
+	// List is sorted by name.
+	lresp, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list.Models) != 2 || list.Models[0].Name != "a" || list.Models[1].Name != "b" {
+		t.Errorf("list: %+v", list.Models)
+	}
+
+	// Info and delete.
+	iresp, err := ts.Client().Get(ts.URL + "/v1/models/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		t.Errorf("info: status %d", iresp.StatusCode)
+	}
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/b", nil)
+	dresp, err := ts.Client().Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete: status %d", dresp.StatusCode)
+	}
+	gresp, err := ts.Client().Get(ts.URL + "/v1/models/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Errorf("info after delete: status %d, want 404", gresp.StatusCode)
+	}
+
+	// Verilog + SPEF upload via JSON, then a query against it.
+	status, body := post(t, ts, "/v1/models/v", UploadRequest{Verilog: verilog.String(c), SPEF: spef.String(c)})
+	if status != http.StatusOK {
+		t.Fatalf("verilog upload: status %d: %s", status, body)
+	}
+	status, body = post(t, ts, "/v1/models/v/query", QueryRequest{Op: "addition", K: 1})
+	if status != http.StatusOK {
+		t.Fatalf("query on verilog model: status %d: %s", status, body)
+	}
+}

@@ -1,0 +1,78 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// apiError is the structured failure every handler path reports: an
+// HTTP status, a stable machine-readable code, and a human message.
+// The wire body is {"error": {"code": ..., "message": ...}}.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
+
+// Error codes. Stable across releases; clients switch on these, not on
+// the message text.
+const (
+	codeBadJSON         = "bad-json"
+	codeBadRequest      = "bad-request"
+	codeUnknownOp       = "unknown-op"
+	codeBadK            = "bad-k"
+	codeUnknownNet      = "unknown-net"
+	codeUnknownCoupling = "unknown-coupling"
+	codeBadLimits       = "bad-limits"
+	codeBadModelName    = "bad-model-name"
+	codeBadUpload       = "bad-upload"
+	codeUnknownModel    = "unknown-model"
+	codeBodyTooLarge    = "body-too-large"
+	codeOverloaded      = "overloaded"
+	codeDraining        = "draining"
+	codeEncode          = "encode"
+)
+
+func errBadRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusNotFound, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// errEncode is the structured substitute for a response that cannot be
+// rendered as JSON (e.g. a non-finite float surfaced by ToWire).
+func errEncode(err error) *apiError {
+	return &apiError{status: http.StatusInternalServerError, code: codeEncode, msg: err.Error()}
+}
+
+// errorBody is the wire shape of an apiError.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeAPIError renders e as the complete response. The body is
+// marshalled from plain strings, so it cannot itself fail to encode.
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	data, err := marshalJSON(errorBody{Error: errorDetail{Code: e.code, Message: e.msg}})
+	if err != nil {
+		// Unreachable (two strings always marshal); kept so a future
+		// field addition cannot silently emit an empty body.
+		http.Error(w, e.msg, e.status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(e.status)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,91 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"topkagg/internal/obs"
+)
+
+// httpObs bundles the server's resolved metric handles, following the
+// serveObs pattern: resolved once at construction, nil disables HTTP
+// instrumentation entirely.
+//
+// Metric names:
+//
+//	httpapi.requests        requests routed (all endpoints)
+//	httpapi.uploads         model uploads accepted
+//	httpapi.stream_records  NDJSON records written across all sweeps
+//	httpapi.rejected_429    admission rejections (queue full)
+//	httpapi.rejected_503    admission rejections (draining)
+//	httpapi.errors_4xx      responses with a 4xx status
+//	httpapi.errors_5xx      responses with a 5xx status
+//	httpapi.request_ns      histogram: request wall time
+type httpObs struct {
+	requests      *obs.Counter
+	uploads       *obs.Counter
+	streamRecords *obs.Counter
+	rejected429   *obs.Counter
+	rejected503   *obs.Counter
+	errors4xx     *obs.Counter
+	errors5xx     *obs.Counter
+	requestNs     *obs.Histogram
+}
+
+func newHTTPObs(r *obs.Registry) *httpObs {
+	if r == nil {
+		return nil
+	}
+	return &httpObs{
+		requests:      r.Counter("httpapi.requests"),
+		uploads:       r.Counter("httpapi.uploads"),
+		streamRecords: r.Counter("httpapi.stream_records"),
+		rejected429:   r.Counter("httpapi.rejected_429"),
+		rejected503:   r.Counter("httpapi.rejected_503"),
+		errors4xx:     r.Counter("httpapi.errors_4xx"),
+		errors5xx:     r.Counter("httpapi.errors_5xx"),
+		requestNs:     r.Histogram("httpapi.request_ns"),
+	}
+}
+
+// done records one finished request's status and latency.
+func (o *httpObs) done(status int, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.requestNs.Observe(int64(time.Since(start)))
+	switch {
+	case status == http.StatusTooManyRequests:
+		o.rejected429.Inc()
+		o.errors4xx.Inc()
+	case status == http.StatusServiceUnavailable:
+		o.rejected503.Inc()
+		o.errors5xx.Inc()
+	case status >= 500:
+		o.errors5xx.Inc()
+	case status >= 400:
+		o.errors4xx.Inc()
+	}
+}
+
+// statusRecorder captures the response status for metrics while
+// forwarding Flush so NDJSON streaming keeps working through the
+// wrapper (http.ResponseController finds the inner writer via Unwrap).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }

@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// This file is the parse half of the parse/validate/act split: it
+// turns request bodies into wire structs and nothing else. No model or
+// circuit knowledge lives here — that is validity.go's job.
+
+// QueryRequest is the wire form of one query.
+type QueryRequest struct {
+	// Op is "addition"/"add", "elimination"/"elim" or "whatif".
+	Op string `json:"op"`
+	// Net names the target net; "" targets the circuit outputs.
+	Net string `json:"net,omitempty"`
+	// K is the requested cardinality for top-k ops (the full 1..K
+	// curve is returned).
+	K int `json:"k,omitempty"`
+	// Fix lists the coupling IDs a what-if scenario deactivates.
+	Fix []int `json:"fix,omitempty"`
+	// TimeoutMs / TimeoutNs cap the query's wall-clock time (TimeoutNs
+	// wins when both are set; 0 takes the server default). The server
+	// clamps both to its configured maximum.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	TimeoutNs int64 `json:"timeoutNs,omitempty"`
+	// MaxWork caps the enumeration work in candidate evaluations
+	// (0 takes the server default, clamped to the server maximum).
+	MaxWork int64 `json:"maxWork,omitempty"`
+	// Exact selects the exact-enumeration analyzer (core.Exact
+	// options) from the model's pool instead of the default one.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// BatchRequest carries many queries answered over one analyzer.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+	// Workers sizes the batch worker pool (0 = GOMAXPROCS). Results
+	// are byte-identical at any setting.
+	Workers int `json:"workers,omitempty"`
+	// Exact selects the exact-enumeration analyzer for the whole
+	// batch; per-query Exact flags are rejected in batches.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// SweepRequest is a k-sweep: one top-k query per target net, streamed
+// back as NDJSON in request order.
+type SweepRequest struct {
+	// Op is "addition"/"add" or "elimination"/"elim".
+	Op string `json:"op"`
+	// Nets lists the target nets by name ("" entry = circuit outputs).
+	// Empty sweeps the circuit outputs plus every driven net.
+	Nets []string `json:"nets,omitempty"`
+	K    int      `json:"k"`
+	// Workers sizes the sweep's worker pool (0 = GOMAXPROCS). Records
+	// stream in request order regardless.
+	Workers   int   `json:"workers,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	TimeoutNs int64 `json:"timeoutNs,omitempty"`
+	MaxWork   int64 `json:"maxWork,omitempty"`
+	Exact     bool  `json:"exact,omitempty"`
+}
+
+// UploadRequest is a JSON model upload. Exactly one of Netlist and
+// Verilog must be set; SPEF and Liberty ride along with Verilog
+// (Liberty also applies to Netlist; absent, the built-in synthetic
+// library is used).
+type UploadRequest struct {
+	Netlist string `json:"netlist,omitempty"`
+	Verilog string `json:"verilog,omitempty"`
+	SPEF    string `json:"spef,omitempty"`
+	Liberty string `json:"liberty,omitempty"`
+}
+
+// readBody drains the request body under the server's size cap.
+// An oversized body maps to 413 with the body-too-large code.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, *apiError) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: codeBodyTooLarge,
+				msg: "request body exceeds the server limit"}
+		}
+		return nil, errBadRequest(codeBadRequest, "reading request body: %v", err)
+	}
+	return data, nil
+}
+
+// decodeJSON strictly decodes one JSON document into v: unknown fields
+// and trailing garbage are rejected, so a typoed field name fails
+// loudly instead of silently running with defaults.
+func decodeJSON(data []byte, v any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest(codeBadJSON, "decoding request: %v", err)
+	}
+	if dec.More() {
+		return errBadRequest(codeBadJSON, "trailing data after the JSON document")
+	}
+	return nil
+}
+
+func parseQuery(w http.ResponseWriter, r *http.Request, maxBytes int64) (*QueryRequest, *apiError) {
+	data, aerr := readBody(w, r, maxBytes)
+	if aerr != nil {
+		return nil, aerr
+	}
+	var qr QueryRequest
+	if aerr := decodeJSON(data, &qr); aerr != nil {
+		return nil, aerr
+	}
+	return &qr, nil
+}
+
+func parseBatch(w http.ResponseWriter, r *http.Request, maxBytes int64) (*BatchRequest, *apiError) {
+	data, aerr := readBody(w, r, maxBytes)
+	if aerr != nil {
+		return nil, aerr
+	}
+	var br BatchRequest
+	if aerr := decodeJSON(data, &br); aerr != nil {
+		return nil, aerr
+	}
+	return &br, nil
+}
+
+func parseSweep(w http.ResponseWriter, r *http.Request, maxBytes int64) (*SweepRequest, *apiError) {
+	data, aerr := readBody(w, r, maxBytes)
+	if aerr != nil {
+		return nil, aerr
+	}
+	var sr SweepRequest
+	if aerr := decodeJSON(data, &sr); aerr != nil {
+		return nil, aerr
+	}
+	return &sr, nil
+}
+
+// parseUpload accepts either a JSON UploadRequest (Content-Type
+// application/json) or a raw native-netlist body (anything else).
+func parseUpload(w http.ResponseWriter, r *http.Request, maxBytes int64) (*UploadRequest, *apiError) {
+	data, aerr := readBody(w, r, maxBytes)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		var ur UploadRequest
+		if aerr := decodeJSON(data, &ur); aerr != nil {
+			return nil, aerr
+		}
+		return &ur, nil
+	}
+	return &UploadRequest{Netlist: string(data)}, nil
+}

@@ -1,0 +1,288 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/netlist"
+)
+
+// settleGoroutines polls until the goroutine count drops to at most
+// want, or the deadline passes; returns the final count.
+func settleGoroutines(want int, deadline time.Duration) int {
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		runtime.GC()
+		if n = runtime.NumGoroutine(); n <= want {
+			return n
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// TestConcurrentMixedTrafficNoLeaks hammers one server from many
+// goroutines mixing model uploads, queries, sweeps with mid-stream
+// client disconnects, and admission-pressure traffic, then checks
+// that (a) every response is a clean success or a structured 429 —
+// nothing hangs, nothing returns a torn body — and (b) no goroutines
+// leak once the clients go away. Run under -race this doubles as the
+// data-race gate for the whole httpapi package.
+func TestConcurrentMixedTrafficNoLeaks(t *testing.T) {
+	c := testCircuit(t, 17)
+	baseline := settleGoroutines(0, time.Second) // current steady state
+
+	ts := newTestServer(t, Config{MaxInFlight: 4, MaxQueue: 8})
+	uploadNetlist(t, ts, "shared", c)
+
+	var sweepNets []string
+	for i := 0; i < c.NumNets() && len(sweepNets) < 4; i++ {
+		if c.Net(circuit.NetID(i)).Driver >= 0 {
+			sweepNets = append(sweepNets, c.Net(circuit.NetID(i)).Name)
+		}
+	}
+
+	const (
+		goroutines = 8
+		iters      = 6
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				switch (g + it) % 3 {
+				case 0: // upload a fresh model, then delete it
+					name := fmt.Sprintf("g%d-i%d", g, it)
+					if err := tryUpload(ts, name, netlist.String(c)); err != nil {
+						errc <- err
+						continue
+					}
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/"+name, nil)
+					if resp, err := ts.Client().Do(req); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				case 1: // query the shared model
+					if err := tryQuery(ts, "shared", QueryRequest{Op: "addition", K: 2}); err != nil {
+						errc <- err
+					}
+				case 2: // sweep the shared model, disconnect mid-stream
+					if err := trySweepDisconnect(ts, "shared", sweepNets); err != nil {
+						errc <- err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Everything client-side released: the server must settle back to
+	// its baseline (plus a small slack for httptest's own machinery).
+	ts.Client().CloseIdleConnections()
+	if n := settleGoroutines(baseline+3, 5*time.Second); n > baseline+3 {
+		t.Errorf("goroutines leaked: baseline %d, settled at %d", baseline, n)
+	}
+}
+
+// tryUpload PUTs a netlist; 200 and structured 429/503 are clean.
+func tryUpload(ts *httptest.Server, name, body string) error {
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/"+name, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return fmt.Errorf("upload %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	return checkClean(resp)
+}
+
+// tryQuery posts one query; 200 and structured 429 are clean.
+func tryQuery(ts *httptest.Server, model string, qr QueryRequest) error {
+	data, _ := json.Marshal(qr)
+	resp, err := ts.Client().Post(ts.URL+"/v1/models/"+model+"/query", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	defer resp.Body.Close()
+	return checkClean(resp)
+}
+
+// trySweepDisconnect starts an NDJSON sweep, reads one line, then
+// abandons the stream by canceling the request context — the server
+// must absorb the disconnect without error.
+func trySweepDisconnect(ts *httptest.Server, model string, nets []string) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	data, _ := json.Marshal(SweepRequest{Op: "elimination", Nets: nets, K: 2, Workers: 2})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/models/"+model+"/sweep", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return checkClean(resp)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("sweep: status %d: %s", resp.StatusCode, body)
+	}
+	// Read the first record, then walk away mid-stream.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil && err != io.EOF {
+		return fmt.Errorf("sweep first record: %w", err)
+	}
+	cancel()
+	return nil
+}
+
+// checkClean accepts 200, and 429/503 only with a structured
+// machine-readable body; anything else is a protocol violation.
+func checkClean(resp *http.Response) error {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code == "" {
+			return fmt.Errorf("status %d without structured error body: %s", resp.StatusCode, body)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestAdmissionQueueAndDrain exercises the admission ladder without
+// HTTP: fill the slots, queue to the cap, overflow to 429, release to
+// un-queue, drain to 503.
+func TestAdmissionQueueAndDrain(t *testing.T) {
+	a := newAdmission(2, 1)
+	ctx := context.Background()
+
+	r1, aerr := a.acquire(ctx)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	r2, aerr := a.acquire(ctx)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+
+	// Third caller queues (blocks); give it time to be counted.
+	acquired := make(chan func(), 1)
+	go func() {
+		r, aerr := a.acquire(ctx)
+		if aerr != nil {
+			t.Error(aerr)
+			acquired <- func() {}
+			return
+		}
+		acquired <- r
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.queued.Load() != 1 {
+		t.Fatalf("queued = %d, want 1", a.queued.Load())
+	}
+
+	// Fourth caller overflows the queue: immediate 429.
+	if _, aerr := a.acquire(ctx); aerr == nil || aerr.status != http.StatusTooManyRequests {
+		t.Fatalf("queue overflow: %v, want 429", aerr)
+	}
+
+	// Releasing a slot lets the queued caller through.
+	r1()
+	select {
+	case r3 := <-acquired:
+		r3()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller never acquired after release")
+	}
+	r2()
+
+	// After drain, everything is 503.
+	a.drain()
+	if _, aerr := a.acquire(ctx); aerr == nil || aerr.status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain acquire: %v, want 503", aerr)
+	}
+}
+
+// TestAdmissionCanceledWhileQueued checks the 499 path: a caller whose
+// context dies while waiting in the queue gets a typed rejection, and
+// the queue count returns to zero.
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	release, aerr := a.acquire(context.Background())
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *apiError, 1)
+	go func() {
+		_, aerr := a.acquire(ctx)
+		done <- aerr
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case aerr := <-done:
+		if aerr == nil || aerr.status != 499 {
+			t.Fatalf("canceled-in-queue: %v, want 499", aerr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled caller never returned")
+	}
+	if q := a.queued.Load(); q != 0 {
+		t.Errorf("queued = %d after cancel, want 0", q)
+	}
+}
+
+// TestNilAdmissionUnlimited pins the nil = unlimited convention.
+func TestNilAdmissionUnlimited(t *testing.T) {
+	a := newAdmission(0, 0)
+	for i := 0; i < 100; i++ {
+		release, aerr := a.acquire(context.Background())
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		release()
+	}
+}

@@ -1,0 +1,178 @@
+package httpapi
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"topkagg/internal/cell"
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/liberty"
+	"topkagg/internal/netlist"
+	"topkagg/internal/noise"
+	"topkagg/internal/obs"
+	"topkagg/internal/serve"
+	"topkagg/internal/spef"
+	"topkagg/internal/verilog"
+)
+
+// model is one registered design: the parsed circuit, its noise
+// model, and a pool of Analyzers keyed by enumeration preset. The
+// circuit and noise model are immutable after construction; Analyzers
+// are created lazily and shared by every request that selects the same
+// preset, which is what amortizes the fixpoint and preparation caches
+// across the model's whole query traffic.
+type model struct {
+	name    string
+	c       *circuit.Circuit
+	m       *noise.Model
+	source  string // "netlist" or "verilog"(+"+spef")
+	created time.Time
+
+	mu        sync.Mutex
+	analyzers map[bool]*serve.Analyzer // keyed by the exact preset
+}
+
+// analyzer returns the model's Analyzer for the preset, creating it on
+// first use. false = default enumeration options, true = core.Exact().
+func (md *model) analyzer(exact bool) *serve.Analyzer {
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	a := md.analyzers[exact]
+	if a == nil {
+		opt := core.Options{}
+		if exact {
+			opt = core.Exact()
+		}
+		a = serve.NewAnalyzer(md.m, opt)
+		md.analyzers[exact] = a
+	}
+	return a
+}
+
+// ModelInfo is the wire description of one registered model.
+type ModelInfo struct {
+	Name      string `json:"name"`
+	Source    string `json:"source"`
+	Gates     int    `json:"gates"`
+	Nets      int    `json:"nets"`
+	Couplings int    `json:"couplings"`
+	CreatedAt string `json:"createdAt"`
+}
+
+func (md *model) info() ModelInfo {
+	return ModelInfo{
+		Name:      md.name,
+		Source:    md.source,
+		Gates:     md.c.NumGates(),
+		Nets:      md.c.NumNets(),
+		Couplings: md.c.NumCouplings(),
+		CreatedAt: md.created.UTC().Format(time.RFC3339),
+	}
+}
+
+// registry is the named-model store. Uploading to an existing name
+// atomically replaces the entry; requests already holding the old
+// entry finish against it (the circuit and caches are immutable), and
+// later requests see the new one.
+type registry struct {
+	fixWorkers int
+	obs        *obs.Registry
+
+	mu     sync.RWMutex
+	models map[string]*model
+}
+
+func newRegistry(fixWorkers int, reg *obs.Registry) *registry {
+	return &registry{fixWorkers: fixWorkers, obs: reg, models: map[string]*model{}}
+}
+
+// add registers a circuit under name, replacing any previous model.
+func (r *registry) add(name, source string, c *circuit.Circuit) (*model, bool) {
+	m := noise.NewModel(c)
+	if r.fixWorkers > 0 {
+		m = m.WithWorkers(r.fixWorkers)
+	}
+	if r.obs != nil {
+		m = m.WithObs(r.obs)
+	}
+	md := &model{
+		name:      name,
+		c:         c,
+		m:         m,
+		source:    source,
+		created:   time.Now(),
+		analyzers: map[bool]*serve.Analyzer{},
+	}
+	r.mu.Lock()
+	_, replaced := r.models[name]
+	r.models[name] = md
+	r.mu.Unlock()
+	return md, replaced
+}
+
+func (r *registry) get(name string) (*model, bool) {
+	r.mu.RLock()
+	md, ok := r.models[name]
+	r.mu.RUnlock()
+	return md, ok
+}
+
+func (r *registry) remove(name string) bool {
+	r.mu.Lock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	r.mu.Unlock()
+	return ok
+}
+
+func (r *registry) list() []ModelInfo {
+	r.mu.RLock()
+	infos := make([]ModelInfo, 0, len(r.models))
+	for _, md := range r.models {
+		infos = append(infos, md.info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// buildCircuit turns an upload into a circuit: exactly one of Netlist
+// and Verilog must be set; Liberty (optional) supplies the cell
+// library, SPEF (verilog only) the parasitics.
+func buildCircuit(up *UploadRequest) (*circuit.Circuit, string, *apiError) {
+	if (up.Netlist == "") == (up.Verilog == "") {
+		return nil, "", errBadRequest(codeBadUpload, "exactly one of netlist and verilog is required")
+	}
+	if up.SPEF != "" && up.Verilog == "" {
+		return nil, "", errBadRequest(codeBadUpload, "spef pairs with verilog, not netlist")
+	}
+	lib := cell.Default()
+	if up.Liberty != "" {
+		var err error
+		lib, err = liberty.ParseString(up.Liberty)
+		if err != nil {
+			return nil, "", errBadRequest(codeBadUpload, "liberty: %v", err)
+		}
+	}
+	if up.Netlist != "" {
+		c, err := netlist.ParseString(up.Netlist, lib)
+		if err != nil {
+			return nil, "", errBadRequest(codeBadUpload, "netlist: %v", err)
+		}
+		return c, "netlist", nil
+	}
+	c, err := verilog.ParseString(up.Verilog, lib)
+	if err != nil {
+		return nil, "", errBadRequest(codeBadUpload, "verilog: %v", err)
+	}
+	source := "verilog"
+	if up.SPEF != "" {
+		if err := spef.ApplyString(up.SPEF, c); err != nil {
+			return nil, "", errBadRequest(codeBadUpload, "spef: %v", err)
+		}
+		source = "verilog+spef"
+	}
+	return c, source, nil
+}

@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"topkagg/internal/obs"
+)
+
+// TestServerWithObs runs the instrumented configuration end to end:
+// the metrics wrapper must count requests and status classes, the
+// debug tree must ride the server mux, and Drain must flip
+// admission-controlled endpoints to 503 while health stays up.
+func TestServerWithObs(t *testing.T) {
+	c := testCircuit(t, 7)
+	reg := obs.New()
+	api := NewServer(Config{MaxInFlight: 2, MaxQueue: 2, Obs: reg})
+	if err := api.Preload("pre", "netlist", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Preload("bad name", "netlist", c); err == nil {
+		t.Error("Preload accepted an invalid name")
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	// Health through the metrics wrapper.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// One good query, one 4xx — both must be counted.
+	status, body := post(t, ts, "/v1/models/pre/query", QueryRequest{Op: "addition", K: 2})
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, body)
+	}
+	status, _ = post(t, ts, "/v1/models/pre/query", QueryRequest{Op: "bogus"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d", status)
+	}
+
+	// A streamed sweep through the wrapper: per-line Flush reaches the
+	// underlying writer via statusRecorder.Unwrap.
+	status, body = post(t, ts, "/v1/models/pre/sweep", SweepRequest{Op: "addition", K: 1})
+	if status != http.StatusOK || len(splitNDJSON(t, body)) == 0 {
+		t.Fatalf("sweep: status %d: %s", status, body)
+	}
+
+	// The debug tree rides the same mux.
+	dresp, err := ts.Client().Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(dresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	snapStr := func() string {
+		data, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}()
+	for _, metric := range []string{"httpapi.requests", "httpapi.errors_4xx", "httpapi.request_ns"} {
+		if !strings.Contains(snapStr, metric) {
+			t.Errorf("snapshot missing %s: %s", metric, snapStr)
+		}
+	}
+
+	// Drain: query endpoints answer 503 with the typed code; the
+	// health endpoint (no admission) still answers.
+	api.Drain()
+	status, body = post(t, ts, "/v1/models/pre/query", QueryRequest{Op: "addition", K: 2})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain query: status %d: %s", status, body)
+	}
+	if code := errCode(t, body); code != codeDraining {
+		t.Errorf("post-drain code %q, want %q", code, codeDraining)
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("post-drain healthz: status %d", hresp.StatusCode)
+	}
+}
+
+// TestAPIErrorShape pins apiError's two renderings: the Go error
+// string (for Preload callers) and the wire body with Retry-After on
+// backpressure statuses.
+func TestAPIErrorShape(t *testing.T) {
+	aerr := errBadRequest(codeBadK, "k must be >= 1, got %d", 0)
+	if !strings.Contains(aerr.Error(), "bad-k") || !strings.Contains(aerr.Error(), "got 0") {
+		t.Errorf("apiError.Error() = %q", aerr.Error())
+	}
+	if enc := errEncode(errStub("nope")); enc.status != http.StatusInternalServerError || enc.code != codeEncode {
+		t.Errorf("errEncode: %+v", enc)
+	}
+
+	rec := httptest.NewRecorder()
+	writeAPIError(rec, &apiError{status: http.StatusTooManyRequests, code: codeOverloaded, msg: "full"})
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After: %d %v", rec.Code, rec.Header())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != codeOverloaded {
+		t.Errorf("429 body: %s (%v)", rec.Body.Bytes(), err)
+	}
+}
+
+// errStub is a trivial error for constructor tests.
+type errStub string
+
+func (e errStub) Error() string { return string(e) }

@@ -1,0 +1,256 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"topkagg/internal/budget"
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/serve"
+)
+
+// TestToWireRejectsNonFinite pins the encode-safety satellite: NaN and
+// ±Inf anywhere in a result must fail ToWire with a descriptive error
+// — before a single byte could hit the wire — instead of producing
+// invalid JSON.
+func TestToWireRejectsNonFinite(t *testing.T) {
+	c := testCircuit(t, 2)
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bad {
+		// What-if delay.
+		resp := serve.Response{Query: serve.Query{Op: serve.WhatIf, Net: serve.WholeCircuit}, Delay: v}
+		if _, err := ToWire(c, resp); err == nil {
+			t.Errorf("whatif delay %v: ToWire accepted a non-finite value", v)
+		}
+		// Top-k per-set delay.
+		resp = serve.Response{
+			Query: serve.Query{Op: serve.Addition, Net: serve.WholeCircuit, K: 1},
+			Result: &core.Result{K: 1, BaseDelay: 1, AllDelay: 2,
+				PerK: []core.Selected{{IDs: []circuit.CouplingID{0}, Estimate: v, Delay: 1}}},
+		}
+		if _, err := ToWire(c, resp); err == nil {
+			t.Errorf("perK estimate %v: ToWire accepted a non-finite value", v)
+		}
+		// Base delay.
+		resp.Result = &core.Result{K: 1, BaseDelay: v, AllDelay: 2}
+		if _, err := ToWire(c, resp); err == nil {
+			t.Errorf("base delay %v: ToWire accepted a non-finite value", v)
+		}
+	}
+}
+
+// TestMarshalJSONAtomic checks the buffered encoder: a value JSON
+// cannot represent returns an error and zero bytes, never a torn
+// prefix.
+func TestMarshalJSONAtomic(t *testing.T) {
+	data, err := marshalJSON(map[string]float64{"x": math.NaN()})
+	if err == nil {
+		t.Fatal("marshalJSON accepted NaN")
+	}
+	if len(data) != 0 {
+		t.Fatalf("marshalJSON returned %d bytes alongside its error", len(data))
+	}
+	data, err = marshalJSON(map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("marshalJSON output does not end in newline (NDJSON framing)")
+	}
+}
+
+// TestResponseLadderRoundTrip checks the Partial/Degraded/Stopped
+// ladder and typed stop reasons survive a JSON round trip through the
+// wire type.
+func TestResponseLadderRoundTrip(t *testing.T) {
+	c := testCircuit(t, 2)
+	stop := &budget.Error{Reason: budget.DeadlineExceeded, Op: "core.topk"}
+	resp := serve.Response{
+		Query: serve.Query{Op: serve.Elimination, Net: serve.WholeCircuit, K: 2},
+		Result: &core.Result{K: 2, BaseDelay: 1.5, AllDelay: 2.5, Partial: true, Stopped: stop,
+			PerK: []core.Selected{{IDs: []circuit.CouplingID{1}, Estimate: 2.0, Delay: 2.0, Verified: true}}},
+		Partial:  true,
+		Degraded: "deadline during rescoring",
+	}
+	wr, err := ToWire(c, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := marshalJSON(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryResponse
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Partial || back.Degraded != "deadline during rescoring" || back.Stopped != "deadline" {
+		t.Errorf("ladder lost in round trip: %+v", back)
+	}
+	if back.Result == nil || len(back.Result.PerK) != 1 || !back.Result.PerK[0].Verified {
+		t.Errorf("result lost in round trip: %s", data)
+	}
+	// The wire bytes must not leak representation details of the stop.
+	if strings.Contains(string(data), "base64") || strings.Contains(string(data), "Stack") {
+		t.Errorf("stop leaked internals: %s", data)
+	}
+}
+
+// TestBudgetErrorJSON pins the budget error encoders: typed reason,
+// no 16 KiB stack, always valid JSON.
+func TestBudgetErrorJSON(t *testing.T) {
+	pe := budget.NewPanicError("serve.worker", "boom")
+	data, err := json.Marshal(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["reason"] != "worker-panic" || m["value"] != "boom" {
+		t.Errorf("PanicError JSON: %s", data)
+	}
+	if len(data) > 512 {
+		t.Errorf("PanicError JSON is %d bytes: stack leaked?", len(data))
+	}
+
+	be := &budget.Error{Reason: budget.WorkExhausted, Op: "core.topk"}
+	data, err = json.Marshal(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["reason"] != "work-budget" || m["op"] != "core.topk" {
+		t.Errorf("Error JSON: %s", data)
+	}
+
+	// A wrapped panic keeps its message but still no stack.
+	be = &budget.Error{Reason: budget.WorkerPanic, Op: "serve", Err: pe}
+	data, err = json.Marshal(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 512 {
+		t.Errorf("wrapped panic JSON is %d bytes: stack leaked?", len(data))
+	}
+}
+
+// TestStatusOf maps response error classes onto HTTP statuses.
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{&budget.Error{Reason: budget.DeadlineExceeded}, 504},
+		{&budget.Error{Reason: budget.WorkExhausted}, 504},
+		{&budget.Error{Reason: budget.Canceled}, 499},
+		{&budget.Error{Reason: budget.WorkerPanic}, 500},
+	}
+	for _, tc := range cases {
+		if got := statusOf(serve.Response{Err: tc.err}); got != tc.want {
+			t.Errorf("statusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestLimitPolicyResolve covers the clamp ladder.
+func TestLimitPolicyResolve(t *testing.T) {
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name        string
+		pol         limitPolicy
+		tMs, tNs, w int64
+		wantT       time.Duration
+		wantW       int64
+		wantErr     bool
+	}{
+		{"zero everything", limitPolicy{}, 0, 0, 0, 0, 0, false},
+		{"ms applies", limitPolicy{}, 50, 0, 0, ms(50), 0, false},
+		{"ns wins over ms", limitPolicy{}, 50, 123, 0, 123, 0, false},
+		{"default fills gap", limitPolicy{defaultTimeout: ms(10)}, 0, 0, 0, ms(10), 0, false},
+		{"request beats default", limitPolicy{defaultTimeout: ms(10)}, 70, 0, 0, ms(70), 0, false},
+		{"clamped to max", limitPolicy{maxTimeout: ms(20)}, 70, 0, 0, ms(20), 0, false},
+		{"none clamps to max too", limitPolicy{maxTimeout: ms(20)}, 0, 0, 0, ms(20), 0, false},
+		{"work clamped", limitPolicy{maxWork: 100}, 0, 0, 500, 0, 100, false},
+		{"work default applied", limitPolicy{maxWork: 100}, 0, 0, 0, 0, 100, false},
+		{"work under cap kept", limitPolicy{maxWork: 100}, 0, 0, 30, 0, 30, false},
+		{"negative ms", limitPolicy{}, -1, 0, 0, 0, 0, true},
+		{"negative work", limitPolicy{}, 0, 0, -1, 0, 0, true},
+	}
+	for _, tc := range cases {
+		lim, aerr := tc.pol.resolve(tc.tMs, tc.tNs, tc.w)
+		if tc.wantErr != (aerr != nil) {
+			t.Errorf("%s: err = %v, wantErr %v", tc.name, aerr, tc.wantErr)
+			continue
+		}
+		if aerr != nil {
+			continue
+		}
+		if lim.Timeout != tc.wantT || lim.MaxWork != tc.wantW {
+			t.Errorf("%s: resolved %v/%d, want %v/%d", tc.name, lim.Timeout, lim.MaxWork, tc.wantT, tc.wantW)
+		}
+	}
+}
+
+// TestRegistryAnalyzerPool checks the per-model analyzer pool: the
+// same preset always yields the same analyzer (memoization works),
+// different presets are distinct, and replacing a model swaps both.
+func TestRegistryAnalyzerPool(t *testing.T) {
+	c := testCircuit(t, 2)
+	reg := newRegistry(0, nil)
+	md, replaced := reg.add("m", "netlist", c)
+	if replaced {
+		t.Fatal("first add reported replaced")
+	}
+	a1 := md.analyzer(false)
+	if a1 != md.analyzer(false) {
+		t.Error("default-preset analyzer not memoized")
+	}
+	ex := md.analyzer(true)
+	if ex == a1 {
+		t.Error("exact preset shares the default analyzer")
+	}
+	if ex != md.analyzer(true) {
+		t.Error("exact-preset analyzer not memoized")
+	}
+
+	md2, replaced := reg.add("m", "netlist", c)
+	if !replaced {
+		t.Fatal("second add did not report replaced")
+	}
+	if md2 == md || md2.analyzer(false) == a1 {
+		t.Error("replacement kept the old model/analyzer")
+	}
+
+	if _, ok := reg.get("m"); !ok {
+		t.Fatal("get after replace failed")
+	}
+	if !reg.remove("m") || reg.remove("m") {
+		t.Error("remove semantics broken")
+	}
+	if got := len(reg.list()); got != 0 {
+		t.Errorf("list after remove: %d entries", got)
+	}
+}
+
+// TestValidateModelName covers the registry-key grammar.
+func TestValidateModelName(t *testing.T) {
+	for _, ok := range []string{"a", "c17", "my.model_v2-final", strings.Repeat("x", 64)} {
+		if aerr := validateModelName(ok); aerr != nil {
+			t.Errorf("validateModelName(%q) = %v, want ok", ok, aerr)
+		}
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "sp ace", "sl/ash", "unié"} {
+		if aerr := validateModelName(bad); aerr == nil {
+			t.Errorf("validateModelName(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package httpapi
+
+import (
+	"fmt"
+	"time"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/serve"
+)
+
+// This file is the validate half of the parse/validate/act split:
+// every wire struct is checked against the target model and converted
+// into serve values here, so handlers act only on known-good queries.
+// Every 4xx a query endpoint can return originates in this file or in
+// parse.go.
+
+// limitPolicy clamps per-request execution limits to the server's
+// bounds: a request naming no limit gets the default, a request asking
+// past the maximum is clamped to it. Zero fields mean no bound.
+type limitPolicy struct {
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxWork        int64
+}
+
+// resolve maps wire limit fields onto serve.Limits under the policy.
+func (p limitPolicy) resolve(timeoutMs, timeoutNs, maxWork int64) (serve.Limits, *apiError) {
+	if timeoutMs < 0 || timeoutNs < 0 || maxWork < 0 {
+		return serve.Limits{}, errBadRequest(codeBadLimits,
+			"timeoutMs, timeoutNs and maxWork must be >= 0 (got %d, %d, %d)", timeoutMs, timeoutNs, maxWork)
+	}
+	timeout := time.Duration(timeoutNs)
+	if timeout == 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout == 0 {
+		timeout = p.defaultTimeout
+	}
+	if p.maxTimeout > 0 && (timeout == 0 || timeout > p.maxTimeout) {
+		timeout = p.maxTimeout
+	}
+	work := maxWork
+	if work == 0 || (p.maxWork > 0 && work > p.maxWork) {
+		if p.maxWork > 0 {
+			work = p.maxWork
+		}
+	}
+	return serve.Limits{Timeout: timeout, MaxWork: work}, nil
+}
+
+// validateQuery checks one wire query against the model's circuit and
+// converts it. allowExact is false inside batches, where the exact
+// flag lives on the batch instead.
+func validateQuery(c *circuit.Circuit, qr *QueryRequest, pol limitPolicy, allowExact bool) (serve.Query, *apiError) {
+	op, ok := serve.ParseOp(qr.Op)
+	if !ok {
+		return serve.Query{}, errBadRequest(codeUnknownOp,
+			"unknown op %q (want addition, elimination or whatif)", qr.Op)
+	}
+	if !allowExact && qr.Exact {
+		return serve.Query{}, errBadRequest(codeBadRequest,
+			"per-query exact flags are not allowed in a batch; set exact on the batch")
+	}
+	q := serve.Query{Op: op, Net: serve.WholeCircuit}
+	if qr.Net != "" {
+		id, ok := c.NetByName(qr.Net)
+		if !ok {
+			return serve.Query{}, errBadRequest(codeUnknownNet, "no net %q in the model", qr.Net)
+		}
+		q.Net = id
+	}
+	switch op {
+	case serve.Addition, serve.Elimination:
+		if qr.K < 1 {
+			return serve.Query{}, errBadRequest(codeBadK, "%s query needs k >= 1, got %d", op, qr.K)
+		}
+		if len(qr.Fix) > 0 {
+			return serve.Query{}, errBadRequest(codeBadRequest, "fix applies only to whatif queries")
+		}
+		q.K = qr.K
+	case serve.WhatIf:
+		if qr.K != 0 {
+			return serve.Query{}, errBadRequest(codeBadK, "k applies only to top-k queries")
+		}
+		for _, id := range qr.Fix {
+			if id < 0 || id >= c.NumCouplings() {
+				return serve.Query{}, errBadRequest(codeUnknownCoupling,
+					"no coupling %d in the model (%d couplings)", id, c.NumCouplings())
+			}
+			q.Fix = append(q.Fix, circuit.CouplingID(id))
+		}
+	}
+	limits, aerr := pol.resolve(qr.TimeoutMs, qr.TimeoutNs, qr.MaxWork)
+	if aerr != nil {
+		return serve.Query{}, aerr
+	}
+	q.Limits = limits
+	return q, nil
+}
+
+// validateBatch converts a whole batch, reporting the first invalid
+// query by index.
+func validateBatch(c *circuit.Circuit, br *BatchRequest, pol limitPolicy) ([]serve.Query, *apiError) {
+	if len(br.Queries) == 0 {
+		return nil, errBadRequest(codeBadRequest, "batch contains no queries")
+	}
+	if br.Workers < 0 {
+		return nil, errBadRequest(codeBadRequest, "workers must be >= 0, got %d", br.Workers)
+	}
+	queries := make([]serve.Query, len(br.Queries))
+	for i := range br.Queries {
+		q, aerr := validateQuery(c, &br.Queries[i], pol, false)
+		if aerr != nil {
+			aerr.msg = fmt.Sprintf("query %d: %s", i, aerr.msg)
+			return nil, aerr
+		}
+		queries[i] = q
+	}
+	return queries, nil
+}
+
+// validateSweep converts a k-sweep into its per-net query list. An
+// empty net list sweeps the circuit outputs plus every driven net, in
+// net-ID order.
+func validateSweep(c *circuit.Circuit, sr *SweepRequest, pol limitPolicy) ([]serve.Query, *apiError) {
+	op, ok := serve.ParseOp(sr.Op)
+	if !ok || op == serve.WhatIf {
+		return nil, errBadRequest(codeUnknownOp, "sweep op must be addition or elimination, got %q", sr.Op)
+	}
+	if sr.K < 1 {
+		return nil, errBadRequest(codeBadK, "sweep needs k >= 1, got %d", sr.K)
+	}
+	if sr.Workers < 0 {
+		return nil, errBadRequest(codeBadRequest, "workers must be >= 0, got %d", sr.Workers)
+	}
+	limits, aerr := pol.resolve(sr.TimeoutMs, sr.TimeoutNs, sr.MaxWork)
+	if aerr != nil {
+		return nil, aerr
+	}
+	var nets []circuit.NetID
+	if len(sr.Nets) == 0 {
+		nets = append(nets, serve.WholeCircuit)
+		for id := 0; id < c.NumNets(); id++ {
+			if c.Net(circuit.NetID(id)).Driver >= 0 {
+				nets = append(nets, circuit.NetID(id))
+			}
+		}
+	} else {
+		for _, name := range sr.Nets {
+			if name == "" {
+				nets = append(nets, serve.WholeCircuit)
+				continue
+			}
+			id, ok := c.NetByName(name)
+			if !ok {
+				return nil, errBadRequest(codeUnknownNet, "no net %q in the model", name)
+			}
+			nets = append(nets, id)
+		}
+	}
+	queries := serve.KSweep(op, nets, sr.K)
+	for i := range queries {
+		queries[i].Limits = limits
+	}
+	return queries, nil
+}
+
+// validateModelName bounds registry keys: 1..64 characters from
+// [A-Za-z0-9._-], so names embed safely in URLs, logs and filenames.
+func validateModelName(name string) *apiError {
+	if name == "" || len(name) > 64 {
+		return errBadRequest(codeBadModelName, "model name must be 1..64 characters, got %d", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+		default:
+			return errBadRequest(codeBadModelName, "model name may use only letters, digits, '.', '_' and '-'")
+		}
+	}
+	return nil
+}

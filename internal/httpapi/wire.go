@@ -1,0 +1,216 @@
+// Package httpapi is the HTTP/JSON front end over the serve layer: a
+// named-model registry (upload a netlist or verilog+spef+liberty, get
+// a standing Analyzer pool), query endpoints for every serve.Op
+// including batches and NDJSON-streamed k-sweeps, per-request
+// timeout/work-budget limits mapped onto internal/budget, and
+// admission control bounding concurrent work. cmd/topkd is the thin
+// binary around it; everything here is unit-testable without sockets.
+//
+// Handlers follow a strict parse / validate / act split: parse.go
+// decodes wire types and nothing else, validity.go turns wire requests
+// into serve.Query values against one model (every 4xx originates
+// there or in parse), and server.go only sequences the two and calls
+// the Analyzer.
+//
+// The wire-vs-in-process equivalence contract: a query's response body
+// is exactly marshalJSON(ToWire(c, analyzer.Do(q))) — ToWire is a pure
+// function of the serve.Response, it carries no wall-clock or
+// cache-counter fields, and the server adds nothing to the body. Tests
+// hold the served bytes byte-identical to a direct in-process call
+// converted the same way.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"topkagg/internal/budget"
+	"topkagg/internal/circuit"
+	"topkagg/internal/serve"
+)
+
+// QueryResponse is the wire form of one serve.Response. It is fully
+// deterministic: wall-clock fields (Result.Elapsed and friends) and
+// order-dependent cache counters are deliberately not carried, so the
+// same query against the same model always yields the same bytes.
+// Per-request timing travels in the X-Topkd-Elapsed-Ns header instead.
+type QueryResponse struct {
+	// Op, Net, K and Fix echo the request (Net by name, "" = circuit).
+	Op  string `json:"op"`
+	Net string `json:"net,omitempty"`
+	K   int    `json:"k,omitempty"`
+	Fix []int  `json:"fix,omitempty"`
+	// DelayNs is a what-if scenario's resulting delay, ns.
+	DelayNs *float64 `json:"delayNs,omitempty"`
+	// Result holds a top-k outcome (absent for what-if and on error).
+	Result *WireResult `json:"result,omitempty"`
+	// Partial / Degraded / Stopped mirror the serve.Response ladder:
+	// Partial marks a best-effort prefix, Degraded names why a
+	// successful response is less than the full answer, Stopped is the
+	// typed stop reason of a partial enumeration ("deadline",
+	// "work-budget", "canceled").
+	Partial  bool   `json:"partial,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
+	Stopped  string `json:"stopped,omitempty"`
+	// Error reports a failed query; ErrorReason is its typed budget
+	// classification when it has one.
+	Error       string `json:"error,omitempty"`
+	ErrorReason string `json:"errorReason,omitempty"`
+}
+
+// WireResult is the wire form of core.Result (minus timing and stats).
+type WireResult struct {
+	K           int       `json:"k"`
+	Victims     int       `json:"victims"`
+	BaseDelayNs float64   `json:"baseDelayNs"`
+	AllDelayNs  float64   `json:"allDelayNs"`
+	PerK        []WireSet `json:"perK"`
+}
+
+// WireSet is one selected aggressor set (core.Selected).
+type WireSet struct {
+	K          int     `json:"k"`
+	IDs        []int   `json:"ids"`
+	EstimateNs float64 `json:"estimateNs"`
+	DelayNs    float64 `json:"delayNs"`
+	Verified   bool    `json:"verified"`
+}
+
+// SweepRecord is one NDJSON line of a streamed k-sweep: the record's
+// position in the request's net list plus the embedded response.
+type SweepRecord struct {
+	Index int `json:"index"`
+	*QueryResponse
+}
+
+// BatchResponse wraps a batch's per-query responses, aligned with the
+// request's queries by index.
+type BatchResponse struct {
+	Responses []*QueryResponse `json:"responses"`
+}
+
+// finiteErr reports the first non-finite float in a response, so the
+// encoder can reject it deterministically instead of letting
+// encoding/json fail mid-stream (NaN and ±Inf are not valid JSON).
+func finiteErr(field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("httpapi: non-finite %s (%v) cannot be encoded as JSON", field, v)
+	}
+	return nil
+}
+
+// ToWire converts one serve.Response to its wire form. It fails —
+// before any byte is written — when the response carries a non-finite
+// float, which JSON cannot represent; handlers turn that into a
+// structured encode error rather than an invalid or truncated body.
+func ToWire(c *circuit.Circuit, resp serve.Response) (*QueryResponse, error) {
+	q := resp.Query
+	out := &QueryResponse{Op: q.Op.String()}
+	if q.Net != serve.WholeCircuit {
+		out.Net = c.Net(q.Net).Name
+	}
+	if q.Op != serve.WhatIf {
+		out.K = q.K
+	}
+	for _, id := range q.Fix {
+		out.Fix = append(out.Fix, int(id))
+	}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+		if r := budget.ReasonOf(resp.Err); r != budget.None {
+			out.ErrorReason = r.String()
+		}
+		return out, nil
+	}
+	out.Partial = resp.Partial
+	out.Degraded = resp.Degraded
+	if q.Op == serve.WhatIf {
+		if err := finiteErr("whatif delay", resp.Delay); err != nil {
+			return nil, err
+		}
+		d := resp.Delay
+		out.DelayNs = &d
+		return out, nil
+	}
+	r := resp.Result
+	if r == nil {
+		return out, nil
+	}
+	if err := finiteErr("base delay", r.BaseDelay); err != nil {
+		return nil, err
+	}
+	if err := finiteErr("all-aggressor delay", r.AllDelay); err != nil {
+		return nil, err
+	}
+	wr := &WireResult{
+		K:           r.K,
+		Victims:     r.Victims,
+		BaseDelayNs: r.BaseDelay,
+		AllDelayNs:  r.AllDelay,
+		PerK:        []WireSet{},
+	}
+	if r.Stopped != nil {
+		out.Stopped = budget.ReasonOf(r.Stopped).String()
+	}
+	for i, s := range r.PerK {
+		if err := finiteErr(fmt.Sprintf("perK[%d] estimate", i), s.Estimate); err != nil {
+			return nil, err
+		}
+		if err := finiteErr(fmt.Sprintf("perK[%d] delay", i), s.Delay); err != nil {
+			return nil, err
+		}
+		ids := make([]int, len(s.IDs))
+		for j, id := range s.IDs {
+			ids[j] = int(id)
+		}
+		wr.PerK = append(wr.PerK, WireSet{K: i + 1, IDs: ids, EstimateNs: s.Estimate, DelayNs: s.Delay, Verified: s.Verified})
+	}
+	out.Result = wr
+	return out, nil
+}
+
+// marshalJSON renders v as one JSON document terminated by a newline.
+// Marshalling happens fully in memory: nothing is written anywhere on
+// failure, which is what lets handlers substitute a structured error
+// for an unencodable record instead of emitting truncated JSON.
+func marshalJSON(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// writeJSON writes v as the complete response body with the given
+// status. On marshal failure the client gets a structured 500 instead
+// of a half-written body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := marshalJSON(v)
+	if err != nil {
+		writeAPIError(w, errEncode(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// statusOf maps an executed query's outcome to its HTTP status: 200
+// for every answered query (partial included), 504 when the query's
+// own budget expired before any usable result, 499 (client closed
+// request) for caller cancellation, 500 for hard errors.
+func statusOf(resp serve.Response) int {
+	if resp.Err == nil {
+		return http.StatusOK
+	}
+	switch budget.ReasonOf(resp.Err) {
+	case budget.DeadlineExceeded, budget.WorkExhausted:
+		return http.StatusGatewayTimeout
+	case budget.Canceled:
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -34,7 +34,12 @@ func (r *Registry) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
+		// The index also answers /debug and /debug/, so the handler
+		// works both standalone (ServeDebug's root) and mounted under
+		// /debug/ on a larger mux (cmd/topkd).
+		switch req.URL.Path {
+		case "/", "/debug", "/debug/":
+		default:
 			http.NotFound(w, req)
 			return
 		}

@@ -67,6 +67,21 @@ func (op Op) String() string {
 	}
 }
 
+// ParseOp maps an Op's wire names to its value: "addition"/"add",
+// "elimination"/"elim", "whatif". The accepted long forms round-trip
+// through Op.String.
+func ParseOp(s string) (Op, bool) {
+	switch s {
+	case "addition", "add":
+		return Addition, true
+	case "elimination", "elim":
+		return Elimination, true
+	case "whatif":
+		return WhatIf, true
+	}
+	return 0, false
+}
+
 // Limits bound one query's execution. The zero value is unlimited.
 type Limits struct {
 	// Timeout caps the query's wall-clock time; past it the engines
