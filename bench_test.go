@@ -164,6 +164,31 @@ func BenchmarkNoiseFixpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkFixpointZeroNameLookups measures the fixpoint while
+// asserting the engine addresses nets by NetID alone: the circuit's
+// name-map counter must not move across the entire timed loop. Net
+// names are interned at construction; any per-iteration map lookup
+// creeping back into the hot path fails the benchmark rather than
+// just slowing it down.
+func BenchmarkFixpointZeroNameLookups(b *testing.B) {
+	m := benchModel(b, "i3")
+	if _, err := m.Run(nil); err != nil { // warm the engine pool
+		b.Fatal(err)
+	}
+	before := m.C.NameLookups()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := m.C.NameLookups() - before; got != 0 {
+		b.Fatalf("fixpoint performed %d net-name map lookups across %d runs, want 0", got, b.N)
+	}
+}
+
 // BenchmarkNoiseFixpointWorkers sweeps the sweep-parallelism worker
 // count on the larger paper circuit. The result is byte-identical at
 // every setting (see TestFixpointWorkerCountInvariant); only the wall

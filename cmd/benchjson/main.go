@@ -84,8 +84,13 @@ func main() {
 			*out = "BENCH_serve.json"
 		}
 		err = runServe(*out, *quick)
+	case "scale":
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		err = runScale(*out, *quick)
 	default:
-		err = fmt.Errorf("unknown suite %q (want fixpoint, core or serve)", *suite)
+		err = fmt.Errorf("unknown suite %q (want fixpoint, core, serve or scale)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -233,6 +238,51 @@ func runCore(out string, quick bool) error {
 			return err
 		}
 		rep.Metrics["t1-"+warm] = reg.Snapshot()
+	}
+	return write(out, rep)
+}
+
+// runScale emits the scaling suite: warm noise-fixpoint runs over
+// gen.Scale circuits from 1k to 100k nets (10x steps), the evidence
+// that the flat-grid kernel's per-net cost stays flat as circuits grow
+// two orders of magnitude past the paper's largest benchmark. Each
+// measurement is one full fixpoint run on a pooled (warm) model; the
+// nsPerNet column in the result name makes near-linearity readable at
+// a glance, and the metrics snapshots record the evaluation counts the
+// per-net cost divides over. -quick stops at 10k nets.
+func runScale(out string, quick bool) error {
+	sizes := []int{1000, 10000, 100000}
+	if quick {
+		sizes = sizes[:2]
+	}
+	rep := newReport()
+	rep.Metrics = map[string]*obs.Snapshot{}
+	for _, n := range sizes {
+		c, err := gen.Scale(n)
+		if err != nil {
+			return err
+		}
+		m := noise.NewModel(c)
+		// One untimed run warms the engine pool so the measurement is
+		// the steady-state cost, not first-run arena growth.
+		if _, err := m.Run(nil); err != nil {
+			return err
+		}
+		measure(&rep, fmt.Sprintf("scale_fixpoint/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		last := &rep.Results[len(rep.Results)-1]
+		fmt.Printf("%-34s %12.1f ns/net\n", last.Name, last.NsPerOp/float64(n))
+		reg := obs.New()
+		if _, err := m.WithObs(reg).Run(nil); err != nil {
+			return err
+		}
+		rep.Metrics[fmt.Sprintf("n%d", n)] = reg.Snapshot()
 	}
 	return write(out, rep)
 }

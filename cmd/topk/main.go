@@ -62,6 +62,7 @@ type config struct {
 	mode                               string
 	exact                              bool
 	exactPrune                         bool
+	exactWaveforms                     bool
 	curve, report, prefilter           bool
 	plot, net                          string
 	asJSON                             bool
@@ -92,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.mode, "mode", "add", "add (addition set) or elim (elimination set)")
 	fs.BoolVar(&cfg.exact, "exact", false, "disable all pruning caps (small circuits only)")
 	fs.BoolVar(&cfg.exactPrune, "exact-prune", false, "disable the envelope-digest prune prefilter (results are identical; debugging/benchmark escape hatch)")
+	fs.BoolVar(&cfg.exactWaveforms, "exact-waveforms", false, "disable the flat-grid waveform screen in the noise fixpoint (results are identical; debugging/benchmark escape hatch)")
 	fs.BoolVar(&cfg.curve, "curve", false, "print the full per-cardinality delay curve")
 	fs.BoolVar(&cfg.report, "report", false, "print the noisy critical-path report")
 	fs.BoolVar(&cfg.prefilter, "filter", false, "report false-aggressor classification before the analysis")
@@ -141,6 +143,9 @@ func (cfg *config) execute(w io.Writer) (int, error) {
 	m := topkagg.NewModel(c)
 	if cfg.fixWorkers > 0 {
 		m = m.WithWorkers(cfg.fixWorkers)
+	}
+	if cfg.exactWaveforms {
+		m = m.WithExactWaveforms(true)
 	}
 	var reg *topkagg.Metrics
 	if cfg.metrics || cfg.debugAddr != "" {

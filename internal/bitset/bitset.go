@@ -1,0 +1,96 @@
+// Package bitset provides a dense bitset over small-integer IDs plus
+// a free pool, replacing the map[ID]bool cone sets of the incremental
+// engines. A cone membership test is one shift and mask instead of a
+// hash probe, Clear is a memclr of the live words, and pooled reuse
+// makes the per-query cost of cone bookkeeping allocation-free.
+package bitset
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Dense is a fixed-universe bitset over [0, Len()).
+type Dense struct {
+	words []uint64
+	n     int
+}
+
+// New returns a cleared bitset over the universe [0, n).
+func New(n int) *Dense {
+	d := &Dense{}
+	d.Reset(n)
+	return d
+}
+
+// Reset re-sizes the bitset to the universe [0, n) and clears it,
+// reusing the word storage when capacity allows.
+func (d *Dense) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(d.words) < w {
+		d.words = make([]uint64, w)
+	} else {
+		d.words = d.words[:w]
+		clear(d.words)
+	}
+	d.n = n
+}
+
+// Len returns the universe size.
+func (d *Dense) Len() int { return d.n }
+
+// Set marks i as a member.
+func (d *Dense) Set(i int) { d.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether i is a member.
+func (d *Dense) Get(i int) bool { return d.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clear removes every member, keeping the universe size.
+func (d *Dense) Clear() { clear(d.words) }
+
+// Or unions o into d (universes must match) and reports whether any
+// new member was added.
+func (d *Dense) Or(o *Dense) bool {
+	grew := false
+	for i, w := range o.words {
+		if n := d.words[i] | w; n != d.words[i] {
+			d.words[i] = n
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Count returns the number of members.
+func (d *Dense) Count() int {
+	c := 0
+	for _, w := range d.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every member in ascending order.
+func (d *Dense) ForEach(fn func(i int)) {
+	for wi, w := range d.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// pool recycles bitsets across queries; Get resizes (and clears) the
+// recycled set to the requested universe.
+var pool = sync.Pool{New: func() any { return &Dense{} }}
+
+// Get returns a cleared bitset over [0, n) from the pool.
+func Get(n int) *Dense {
+	d := pool.Get().(*Dense)
+	d.Reset(n)
+	return d
+}
+
+// Put returns a bitset to the pool. The caller must not use it
+// afterwards.
+func Put(d *Dense) { pool.Put(d) }

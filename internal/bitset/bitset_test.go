@@ -1,0 +1,81 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		d := New(n)
+		ref := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			d.Set(i)
+			ref[i] = true
+		}
+		if d.Count() != len(ref) {
+			t.Fatalf("trial %d: count %d, want %d", trial, d.Count(), len(ref))
+		}
+		for i := 0; i < n; i++ {
+			if d.Get(i) != ref[i] {
+				t.Fatalf("trial %d: Get(%d)=%v, want %v", trial, i, d.Get(i), ref[i])
+			}
+		}
+		var seen []int
+		d.ForEach(func(i int) { seen = append(seen, i) })
+		if len(seen) != len(ref) {
+			t.Fatalf("trial %d: ForEach visited %d, want %d", trial, len(seen), len(ref))
+		}
+		for j := 1; j < len(seen); j++ {
+			if seen[j-1] >= seen[j] {
+				t.Fatalf("trial %d: ForEach out of order: %v", trial, seen)
+			}
+		}
+		d.Clear()
+		if d.Count() != 0 {
+			t.Fatalf("trial %d: Count after Clear = %d", trial, d.Count())
+		}
+	}
+}
+
+func TestResetShrinkGrow(t *testing.T) {
+	d := New(130)
+	d.Set(129)
+	d.Reset(64)
+	if d.Len() != 64 || d.Count() != 0 {
+		t.Fatalf("after shrink: len=%d count=%d", d.Len(), d.Count())
+	}
+	d.Set(63)
+	d.Reset(500)
+	if d.Count() != 0 {
+		t.Fatalf("after grow: stale bits survived (count=%d)", d.Count())
+	}
+	d.Set(499)
+	if !d.Get(499) {
+		t.Fatal("Set(499) lost")
+	}
+}
+
+func TestPoolReturnsCleared(t *testing.T) {
+	d := Get(100)
+	for i := 0; i < 100; i += 3 {
+		d.Set(i)
+	}
+	Put(d)
+	e := Get(100)
+	defer Put(e)
+	if e.Count() != 0 {
+		t.Fatalf("pooled bitset not cleared: count=%d", e.Count())
+	}
+}
+
+func TestZeroUniverse(t *testing.T) {
+	d := New(0)
+	if d.Count() != 0 || d.Len() != 0 {
+		t.Fatal("empty universe misbehaves")
+	}
+	d.ForEach(func(int) { t.Fatal("ForEach on empty universe") })
+}

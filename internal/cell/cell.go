@@ -51,18 +51,28 @@ type Cell struct {
 	Cin       float64 // input pin capacitance, fF
 }
 
+// First-order slew-degradation coefficients and the output slew
+// floor of the linear characterization. Exported so flattened
+// (columnar) evaluations of the same model reproduce Delay and
+// OutputSlew bit for bit.
+const (
+	DelaySlewFrac = 0.25 // input-slew fraction added to delay
+	SlewSlewFrac  = 0.1  // input-slew fraction added to output slew
+	MinSlew       = 1e-3 // output slew floor, ns
+)
+
 // Delay returns the pin-to-output delay driving load fF. The input
 // slew contributes a fixed fraction, the standard first-order
 // slew-degradation term of linear gate models.
 func (c *Cell) Delay(loadFF, inSlew float64) float64 {
-	return c.D0 + c.KD*loadFF + 0.25*inSlew
+	return c.D0 + c.KD*loadFF + DelaySlewFrac*inSlew
 }
 
 // OutputSlew returns the output transition time driving load fF.
 func (c *Cell) OutputSlew(loadFF, inSlew float64) float64 {
-	s := c.S0 + c.KS*loadFF + 0.1*inSlew
-	if s < 1e-3 {
-		s = 1e-3
+	s := c.S0 + c.KS*loadFF + SlewSlewFrac*inSlew
+	if s < MinSlew {
+		s = MinSlew
 	}
 	return s
 }

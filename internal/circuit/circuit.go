@@ -8,6 +8,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"topkagg/internal/cell"
 )
@@ -76,6 +77,17 @@ type Circuit struct {
 	couplings []*Coupling
 	netByName map[string]NetID
 	coupleIdx map[NetID][]CouplingID
+
+	// version counts structural mutations; cols caches the columnar
+	// snapshot built at that version (see Columns).
+	version atomic.Uint64
+	cols    atomic.Pointer[Columns]
+
+	// nameLookups counts netByName consultations. Net names are
+	// interned to NetIDs at parse time; analyses must never consult
+	// the name map, and the noise benchmarks assert the counter stays
+	// flat across a fixpoint run.
+	nameLookups atomic.Int64
 }
 
 // New creates an empty circuit bound to a cell library.
@@ -91,20 +103,30 @@ func New(name string, lib *cell.Library) *Circuit {
 // EnsureNet returns the net with the given name, creating it (with
 // default parasitics) if needed.
 func (c *Circuit) EnsureNet(name string) NetID {
+	c.nameLookups.Add(1)
 	if id, ok := c.netByName[name]; ok {
 		return id
 	}
 	id := NetID(len(c.nets))
 	c.nets = append(c.nets, &Net{ID: id, Name: name, Driver: NoGate, Cgnd: 4.0, Rwire: 0.2})
 	c.netByName[name] = id
+	c.version.Add(1)
 	return id
 }
 
-// NetByName looks up a net by name.
+// NetByName looks up a net by name. This is a parse/wire-boundary
+// operation: analyses address nets by NetID only (see NameLookups).
 func (c *Circuit) NetByName(name string) (NetID, bool) {
+	c.nameLookups.Add(1)
 	id, ok := c.netByName[name]
 	return id, ok
 }
+
+// NameLookups returns how many times the net name map has been
+// consulted (EnsureNet, NetByName, MarkPO). Hot analysis loops are
+// required to leave this counter unchanged; the fixpoint benchmarks
+// enforce it.
+func (c *Circuit) NameLookups() int64 { return c.nameLookups.Load() }
 
 // Net returns the net with the given ID.
 func (c *Circuit) Net(id NetID) *Net { return c.nets[id] }
@@ -158,6 +180,7 @@ func (c *Circuit) AddGate(name, cellName string, inputs []string, output string)
 	}
 	c.gates = append(c.gates, g)
 	c.nets[out].Driver = g.ID
+	c.version.Add(1)
 	return g, nil
 }
 
@@ -174,6 +197,7 @@ func (c *Circuit) AddCoupling(a, b string, cc float64) (CouplingID, error) {
 	c.couplings = append(c.couplings, &Coupling{ID: id, A: na, B: nb, Cc: cc})
 	c.coupleIdx[na] = append(c.coupleIdx[na], id)
 	c.coupleIdx[nb] = append(c.coupleIdx[nb], id)
+	c.version.Add(1)
 	return id, nil
 }
 
@@ -182,11 +206,13 @@ func (c *Circuit) CouplingsOf(n NetID) []CouplingID { return c.coupleIdx[n] }
 
 // MarkPO marks a net as a primary output.
 func (c *Circuit) MarkPO(name string) error {
+	c.nameLookups.Add(1)
 	id, ok := c.netByName[name]
 	if !ok {
 		return fmt.Errorf("circuit %s: unknown output net %s", c.Name, name)
 	}
 	c.nets[id].IsPO = true
+	c.version.Add(1)
 	return nil
 }
 

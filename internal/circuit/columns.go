@@ -1,0 +1,217 @@
+package circuit
+
+import (
+	"topkagg/internal/bitset"
+)
+
+// Columns is the read-only structure-of-arrays snapshot of a Circuit:
+// every hot-loop quantity flattened into int32-indexed slices with
+// CSR-style offsets, built once per circuit revision and shared by
+// every analysis. The pointer model (Net/Gate/Coupling) stays the
+// mutable source of truth and the parse-time API; the timing and
+// noise engines walk these columns instead, so their inner loops are
+// contiguous-memory reads with no map probes or pointer chases.
+//
+// All derived per-net scalars (PinLoad, LoadCap, DriverRes, CvBase)
+// are computed with exactly the summation order of the corresponding
+// Circuit methods, so analyses running on columns are bit-identical
+// to analyses running on the pointer model.
+//
+// A Columns is immutable after construction; Circuit.Columns caches
+// the snapshot against a mutation version counter.
+type Columns struct {
+	version uint64
+
+	// Per-net topology. Driver is the driving gate or -1 (primary
+	// input). LoadOff is a CSR index into LoadGates and Fanout:
+	// LoadGates lists the gates with an input pin on the net, Fanout
+	// (parallel to LoadGates) each such gate's output net — the
+	// fanout-cone successor set the incremental engine pushes.
+	Driver    []int32
+	LoadOff   []int32
+	LoadGates []int32
+	Fanout    []int32
+
+	// Per-net coupling adjacency. CoupOff is a CSR index into CoupIDs,
+	// CoupOther and CoupDir. CoupOther is the far endpoint of each
+	// incident coupling; CoupDir is the directed coupling index
+	// 2*id + side (side 1 when this net is the coupling's B endpoint),
+	// the key the noise engine's envelope memo uses.
+	CoupOff   []int32
+	CoupIDs   []int32
+	CoupOther []int32
+	CoupDir   []int32
+
+	// Per-net derived electrical scalars, bit-identical to the
+	// corresponding Circuit methods.
+	PinLoad   []float64 // Σ load pins' Cin
+	LoadCap   []float64 // Cgnd + PinLoad + CouplingCap
+	CvBase    []float64 // Cgnd + PinLoad (victim lumped cap in noise)
+	DriverRes []float64 // driver Thevenin resistance + Rwire
+
+	// Per-gate columns: CSR input lists and the flattened linear cell
+	// characterization (delay = D0 + KD·load + 0.25·slew, slew =
+	// S0 + KS·load + 0.1·slew clamped at 1e-3).
+	GateInOff []int32
+	GateIn    []int32
+	GateOut   []int32
+	D0, KD    []float64
+	S0, KS    []float64
+
+	// Per-coupling endpoint columns.
+	CoupA, CoupB []int32
+	CoupCc       []float64
+
+	// TopoNets is the net evaluation order of the full analysis
+	// (primary inputs first, then gate outputs in gate topological
+	// order); TopoPos is its inverse permutation.
+	TopoNets []NetID
+	TopoPos  []int32
+}
+
+// NumNets returns the net count of the snapshot.
+func (k *Columns) NumNets() int { return len(k.Driver) }
+
+// NumGates returns the gate count of the snapshot.
+func (k *Columns) NumGates() int { return len(k.GateOut) }
+
+// NumCouplings returns the coupling count of the snapshot.
+func (k *Columns) NumCouplings() int { return len(k.CoupA) }
+
+// Columns returns the columnar snapshot of the circuit, building it
+// on first use and after any mutation. The snapshot is immutable and
+// safe for concurrent readers; the builder itself does not mutate the
+// circuit, so concurrent first calls are safe (they may build the
+// snapshot twice, last store wins, both are identical).
+//
+// The circuit's own mutators invalidate the cache automatically.
+// Code that writes Net/Gate fields directly through the returned
+// pointers (parsers, sizing moves) must call InvalidateColumns before
+// the next analysis.
+func (c *Circuit) Columns() (*Columns, error) {
+	v := c.version.Load()
+	if k := c.cols.Load(); k != nil && k.version == v {
+		return k, nil
+	}
+	k, err := c.buildColumns(v)
+	if err != nil {
+		return nil, err
+	}
+	c.cols.Store(k)
+	return k, nil
+}
+
+// InvalidateColumns drops the cached columnar snapshot, forcing a
+// rebuild on the next Columns call. Required after mutating nets or
+// gates directly through their pointers.
+func (c *Circuit) InvalidateColumns() { c.version.Add(1) }
+
+func (c *Circuit) buildColumns(version uint64) (*Columns, error) {
+	topo, err := c.TopoNets()
+	if err != nil {
+		return nil, err
+	}
+	nn, ng, nc := len(c.nets), len(c.gates), len(c.couplings)
+	k := &Columns{
+		version:   version,
+		Driver:    make([]int32, nn),
+		LoadOff:   make([]int32, nn+1),
+		CoupOff:   make([]int32, nn+1),
+		PinLoad:   make([]float64, nn),
+		LoadCap:   make([]float64, nn),
+		CvBase:    make([]float64, nn),
+		DriverRes: make([]float64, nn),
+		GateInOff: make([]int32, ng+1),
+		GateOut:   make([]int32, ng),
+		D0:        make([]float64, ng),
+		KD:        make([]float64, ng),
+		S0:        make([]float64, ng),
+		KS:        make([]float64, ng),
+		CoupA:     make([]int32, nc),
+		CoupB:     make([]int32, nc),
+		CoupCc:    make([]float64, nc),
+		TopoNets:  topo,
+		TopoPos:   make([]int32, nn),
+	}
+	loads := 0
+	for _, n := range c.nets {
+		loads += len(n.Loads)
+	}
+	k.LoadGates = make([]int32, 0, loads)
+	k.Fanout = make([]int32, 0, loads)
+	k.CoupIDs = make([]int32, 0, 2*nc)
+	k.CoupOther = make([]int32, 0, 2*nc)
+	k.CoupDir = make([]int32, 0, 2*nc)
+
+	for i, g := range c.gates {
+		k.GateInOff[i] = int32(len(k.GateIn))
+		for _, in := range g.Inputs {
+			k.GateIn = append(k.GateIn, int32(in))
+		}
+		k.GateOut[i] = int32(g.Output)
+		k.D0[i], k.KD[i] = g.Cell.D0, g.Cell.KD
+		k.S0[i], k.KS[i] = g.Cell.S0, g.Cell.KS
+	}
+	k.GateInOff[ng] = int32(len(k.GateIn))
+	for i, cp := range c.couplings {
+		k.CoupA[i], k.CoupB[i] = int32(cp.A), int32(cp.B)
+		k.CoupCc[i] = cp.Cc
+	}
+	for i, n := range c.nets {
+		k.Driver[i] = int32(n.Driver)
+		k.LoadOff[i] = int32(len(k.LoadGates))
+		for _, gid := range n.Loads {
+			k.LoadGates = append(k.LoadGates, int32(gid))
+			k.Fanout = append(k.Fanout, int32(c.gates[gid].Output))
+		}
+		k.CoupOff[i] = int32(len(k.CoupIDs))
+		for _, cid := range c.coupleIdx[NetID(i)] {
+			cp := c.couplings[cid]
+			other, side := cp.B, int32(0)
+			if cp.B == NetID(i) {
+				other, side = cp.A, 1
+			}
+			k.CoupIDs = append(k.CoupIDs, int32(cid))
+			k.CoupOther = append(k.CoupOther, int32(other))
+			k.CoupDir = append(k.CoupDir, 2*int32(cid)+side)
+		}
+		// Derived scalars with the exact summation order of PinLoad,
+		// CouplingCap, LoadCap and DriverRes.
+		k.PinLoad[i] = c.PinLoad(NetID(i))
+		k.LoadCap[i] = n.Cgnd + k.PinLoad[i] + c.CouplingCap(NetID(i))
+		k.CvBase[i] = n.Cgnd + k.PinLoad[i]
+		k.DriverRes[i] = c.DriverRes(NetID(i))
+	}
+	k.LoadOff[nn] = int32(len(k.LoadGates))
+	k.CoupOff[nn] = int32(len(k.CoupIDs))
+	for pos, nid := range topo {
+		k.TopoPos[nid] = int32(pos)
+	}
+	return k, nil
+}
+
+// FaninConeBits sets, in d (resized to the net universe), the bits of
+// every net in the transitive fanin of n, including n itself — the
+// allocation-free form of FaninCone for cone bookkeeping on hot
+// paths. scratch, if non-nil, is used as the DFS stack and returned
+// grown.
+func (c *Circuit) FaninConeBits(n NetID, d *bitset.Dense, scratch []NetID) []NetID {
+	d.Reset(len(c.nets))
+	stack := append(scratch[:0], n)
+	d.Set(int(n))
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		drv := c.nets[cur].Driver
+		if drv == NoGate {
+			continue
+		}
+		for _, in := range c.gates[drv].Inputs {
+			if !d.Get(int(in)) {
+				d.Set(int(in))
+				stack = append(stack, in)
+			}
+		}
+	}
+	return stack
+}

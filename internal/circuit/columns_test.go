@@ -1,0 +1,236 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkagg/internal/bitset"
+	"topkagg/internal/cell"
+)
+
+// randomCircuit builds a small random layered netlist with couplings,
+// exercising multi-input cells, fanout and shared nets.
+func randomCircuit(t *testing.T, seed int64) *Circuit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := New("cols", cell.Default())
+	names := []string{"a", "b", "c", "d"}
+	for gi := 0; gi < 12; gi++ {
+		in1 := names[rng.Intn(len(names))]
+		in2 := names[rng.Intn(len(names))]
+		for in2 == in1 {
+			in2 = names[rng.Intn(len(names))]
+		}
+		out := "n" + string(rune('0'+gi/10)) + string(rune('0'+gi%10))
+		if _, err := c.AddGate("g"+out, "NAND2_X1", []string{in1, in2}, out); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, out)
+	}
+	for i := 0; i < 10; i++ {
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		if a == b {
+			continue
+		}
+		if _, err := c.AddCoupling(a, b, 1+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestColumnsMatchPointerModel cross-checks every column against the
+// pointer-model accessors, including bit-identity of the derived
+// electrical scalars.
+func TestColumnsMatchPointerModel(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := randomCircuit(t, seed)
+		k, err := c.Columns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.NumNets() != c.NumNets() || k.NumGates() != c.NumGates() || k.NumCouplings() != c.NumCouplings() {
+			t.Fatalf("seed %d: size mismatch", seed)
+		}
+		for _, n := range c.Nets() {
+			i := int(n.ID)
+			if GateID(k.Driver[i]) != n.Driver {
+				t.Fatalf("net %d: driver %d != %d", i, k.Driver[i], n.Driver)
+			}
+			span := k.LoadGates[k.LoadOff[i]:k.LoadOff[i+1]]
+			if len(span) != len(n.Loads) {
+				t.Fatalf("net %d: %d loads, want %d", i, len(span), len(n.Loads))
+			}
+			for j, gid := range n.Loads {
+				if GateID(span[j]) != gid {
+					t.Fatalf("net %d load %d: gate %d != %d", i, j, span[j], gid)
+				}
+				if NetID(k.Fanout[int(k.LoadOff[i])+j]) != c.Gate(gid).Output {
+					t.Fatalf("net %d load %d: fanout mismatch", i, j)
+				}
+			}
+			ids := c.CouplingsOf(n.ID)
+			cspan := k.CoupIDs[k.CoupOff[i]:k.CoupOff[i+1]]
+			if len(cspan) != len(ids) {
+				t.Fatalf("net %d: %d couplings, want %d", i, len(cspan), len(ids))
+			}
+			for j, cid := range ids {
+				if CouplingID(cspan[j]) != cid {
+					t.Fatalf("net %d coupling %d: id mismatch", i, j)
+				}
+				cp := c.Coupling(cid)
+				at := int(k.CoupOff[i]) + j
+				if NetID(k.CoupOther[at]) != cp.Other(n.ID) {
+					t.Fatalf("net %d coupling %d: other mismatch", i, j)
+				}
+				side := int32(0)
+				if cp.B == n.ID {
+					side = 1
+				}
+				if k.CoupDir[at] != 2*int32(cid)+side {
+					t.Fatalf("net %d coupling %d: dir mismatch", i, j)
+				}
+			}
+			if k.PinLoad[i] != c.PinLoad(n.ID) {
+				t.Fatalf("net %d: PinLoad %v != %v", i, k.PinLoad[i], c.PinLoad(n.ID))
+			}
+			if k.LoadCap[i] != c.LoadCap(n.ID) {
+				t.Fatalf("net %d: LoadCap %v != %v", i, k.LoadCap[i], c.LoadCap(n.ID))
+			}
+			if k.CvBase[i] != n.Cgnd+c.PinLoad(n.ID) {
+				t.Fatalf("net %d: CvBase mismatch", i)
+			}
+			if k.DriverRes[i] != c.DriverRes(n.ID) {
+				t.Fatalf("net %d: DriverRes %v != %v", i, k.DriverRes[i], c.DriverRes(n.ID))
+			}
+		}
+		for _, g := range c.Gates() {
+			i := int(g.ID)
+			ins := k.GateIn[k.GateInOff[i]:k.GateInOff[i+1]]
+			if len(ins) != len(g.Inputs) {
+				t.Fatalf("gate %d: input count", i)
+			}
+			for j, in := range g.Inputs {
+				if NetID(ins[j]) != in {
+					t.Fatalf("gate %d input %d mismatch", i, j)
+				}
+			}
+			if NetID(k.GateOut[i]) != g.Output {
+				t.Fatalf("gate %d output mismatch", i)
+			}
+			if k.D0[i] != g.Cell.D0 || k.KD[i] != g.Cell.KD || k.S0[i] != g.Cell.S0 || k.KS[i] != g.Cell.KS {
+				t.Fatalf("gate %d cell params mismatch", i)
+			}
+		}
+		topo, err := c.TopoNets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topo) != len(k.TopoNets) {
+			t.Fatal("topo length mismatch")
+		}
+		for i := range topo {
+			if topo[i] != k.TopoNets[i] {
+				t.Fatalf("topo[%d] mismatch", i)
+			}
+			if int(k.TopoPos[topo[i]]) != i {
+				t.Fatalf("topo pos of %d mismatch", topo[i])
+			}
+		}
+	}
+}
+
+// TestColumnsCacheInvalidation checks the version-counter cache:
+// repeated calls share one snapshot, every mutator drops it.
+func TestColumnsCacheInvalidation(t *testing.T) {
+	c := randomCircuit(t, 7)
+	k1, err := c.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := c.Columns()
+	if k1 != k2 {
+		t.Fatal("unchanged circuit rebuilt its columns")
+	}
+	if _, err := c.AddCoupling("a", "n05", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := c.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("AddCoupling did not invalidate columns")
+	}
+	if k3.NumCouplings() != c.NumCouplings() {
+		t.Fatal("rebuilt columns miss the new coupling")
+	}
+	c.Net(0).Cgnd *= 2
+	c.InvalidateColumns()
+	k4, err := c.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k3 || k4.LoadCap[0] == k3.LoadCap[0] {
+		t.Fatal("InvalidateColumns did not force a rebuild")
+	}
+}
+
+func TestColumnsCycleError(t *testing.T) {
+	c := New("cyc", cell.Default())
+	if _, err := c.AddGate("g1", "INV_X1", []string{"a"}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", "INV_X1", []string{"b"}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Columns(); err == nil {
+		t.Fatal("Columns on cyclic circuit did not error")
+	}
+}
+
+// TestFaninConeBitsMatchesMap checks the bitset cone against the map
+// form on random circuits.
+func TestFaninConeBitsMatchesMap(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := randomCircuit(t, seed)
+		d := bitset.New(c.NumNets())
+		var scratch []NetID
+		for _, n := range c.Nets() {
+			ref := c.FaninCone(n.ID)
+			scratch = c.FaninConeBits(n.ID, d, scratch)
+			if d.Count() != len(ref) {
+				t.Fatalf("seed %d net %d: cone size %d, want %d", seed, n.ID, d.Count(), len(ref))
+			}
+			for x := range ref {
+				if !d.Get(int(x)) {
+					t.Fatalf("seed %d net %d: missing cone member %d", seed, n.ID, x)
+				}
+			}
+		}
+	}
+}
+
+func TestNameLookupsCounter(t *testing.T) {
+	c := randomCircuit(t, 3)
+	before := c.NameLookups()
+	c.NetByName("a")
+	c.EnsureNet("a")
+	if got := c.NameLookups() - before; got != 2 {
+		t.Fatalf("NameLookups delta = %d, want 2", got)
+	}
+	before = c.NameLookups()
+	// ID-addressed accessors must not consult the name map.
+	for _, n := range c.Nets() {
+		_ = c.LoadCap(n.ID)
+		_ = c.DriverRes(n.ID)
+		_ = c.CouplingsOf(n.ID)
+	}
+	if _, err := c.Columns(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NameLookups() - before; got != 0 {
+		t.Fatalf("ID-addressed paths consulted the name map %d times", got)
+	}
+}

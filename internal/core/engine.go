@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"topkagg/internal/bitset"
 	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 	"topkagg/internal/faultinject"
@@ -225,13 +226,15 @@ func (e *prepared) vw(v circuit.NetID) sta.Window { return e.base.Window(v) }
 func (e *prepared) selectVictims() {
 	margin := e.opt.slackFrac() * e.base.CircuitDelay()
 	slacks := e.base.Slacks(0)
-	var cone map[circuit.NetID]bool
+	var cone *bitset.Dense
 	if e.target >= 0 {
-		cone = e.c.FaninCone(e.target)
+		cone = bitset.Get(e.c.NumNets())
+		defer bitset.Put(cone)
+		e.c.FaninConeBits(e.target, cone, nil)
 	}
 	e.isVictim = make([]bool, e.c.NumNets())
 	for _, v := range e.base.TopoOrder() {
-		if e.opt.slackFrac() >= 1 || slacks[v] <= margin || cone[v] {
+		if e.opt.slackFrac() >= 1 || slacks[v] <= margin || (cone != nil && cone.Get(int(v))) {
 			e.isVictim[v] = true
 			e.victims = append(e.victims, v)
 		}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestGridWaveformPerKParity extends the flat-grid kernel's parity
+// guarantee (internal/noise) through the enumeration stack: the top-k
+// curves — selections and per-cardinality delays — must be
+// byte-identical whether the noise fixpoint runs with the grid screen
+// or on the exact walk (Model.ExactWaveforms), in both modes. Every
+// delay the enumeration publishes funnels through fixpoint runs, so
+// this is the end-to-end form of the "the grid only discards work"
+// claim of DESIGN.md §12.
+func TestGridWaveformPerKParity(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		c, err := gen.Build(gen.Spec{Name: "gridperk", Gates: 14, Couplings: 16, Seed: 600 + seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, elim := range []bool{false, true} {
+			run := TopKAddition
+			mode := "addition"
+			if elim {
+				run = TopKElimination
+				mode = "elimination"
+			}
+			m := noise.NewModel(c)
+			grid, err := run(m, 4, Options{SlackFrac: 1, NoRescore: true})
+			if err != nil {
+				t.Fatalf("seed %d %s grid: %v", seed, mode, err)
+			}
+			exact, err := run(m.WithExactWaveforms(true), 4, Options{SlackFrac: 1, NoRescore: true})
+			if err != nil {
+				t.Fatalf("seed %d %s exact: %v", seed, mode, err)
+			}
+			if math.Float64bits(grid.BaseDelay) != math.Float64bits(exact.BaseDelay) ||
+				math.Float64bits(grid.AllDelay) != math.Float64bits(exact.AllDelay) {
+				t.Fatalf("seed %d %s: base/all delay diverge: %v/%v vs %v/%v",
+					seed, mode, grid.BaseDelay, grid.AllDelay, exact.BaseDelay, exact.AllDelay)
+			}
+			if len(grid.PerK) != len(exact.PerK) {
+				t.Fatalf("seed %d %s: curve lengths %d vs %d", seed, mode, len(grid.PerK), len(exact.PerK))
+			}
+			for i := range grid.PerK {
+				g, e := grid.PerK[i], exact.PerK[i]
+				if math.Float64bits(g.Delay) != math.Float64bits(e.Delay) {
+					t.Fatalf("seed %d %s k=%d: delay %v vs %v", seed, mode, i+1, g.Delay, e.Delay)
+				}
+				if len(g.IDs) != len(e.IDs) {
+					t.Fatalf("seed %d %s k=%d: set sizes %d vs %d", seed, mode, i+1, len(g.IDs), len(e.IDs))
+				}
+				for j := range g.IDs {
+					if g.IDs[j] != e.IDs[j] {
+						t.Fatalf("seed %d %s k=%d: sets %v vs %v", seed, mode, i+1, g.IDs, e.IDs)
+					}
+				}
+			}
+		}
+	}
+}

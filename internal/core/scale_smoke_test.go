@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"topkagg/internal/budget"
+	"topkagg/internal/gen"
+	"topkagg/internal/noise"
+)
+
+// TestScaleTopKUnderWorkBudget is the enumeration arm of the scaling
+// smoke: prepare a top-k query over a 10k-net gen.Scale circuit (the
+// preparation pays one full flat-kernel fixpoint run) and enumerate
+// under a small work allowance. The run must degrade, not fail — a
+// Partial result whose Stopped condition reports WorkExhausted —
+// which bounds CI's worst case while still driving the whole
+// prepare/enumerate stack at a size far past the paper benchmarks.
+func TestScaleTopKUnderWorkBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-net preparation is too slow for -short")
+	}
+	c, err := gen.Scale(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := PrepareAddition(noise.NewModel(c), WholeCircuit, Options{NoRescore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TopKBudget(budget.WithWork(context.Background(), 50), 4)
+	if err != nil {
+		t.Fatalf("budgeted enumeration: unexpected hard error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("a 50-unit allowance completed a 30k-coupling enumeration; the budget is not being charged")
+	}
+	if reason := budget.ReasonOf(res.Stopped); reason != budget.WorkExhausted {
+		t.Fatalf("Stopped reason = %v (err %v), want WorkExhausted", reason, res.Stopped)
+	}
+}

@@ -29,6 +29,7 @@
 package filter
 
 import (
+	"topkagg/internal/bitset"
 	"topkagg/internal/circuit"
 	"topkagg/internal/noise"
 )
@@ -141,17 +142,16 @@ func FalseAggressors(m *noise.Model, opt Options) (*Result, error) {
 
 	// Observability: output fanin cones, closed over directions that
 	// are still timing-live (noise on the far net matters because it
-	// widens a live envelope).
-	obs := make(map[circuit.NetID]bool)
+	// widens a live envelope). Pooled dense bitsets keep the repeated
+	// cone unions allocation-free.
+	obs := bitset.Get(m.C.NumNets())
+	defer bitset.Put(obs)
+	cone := bitset.Get(m.C.NumNets())
+	defer bitset.Put(cone)
+	var stack []circuit.NetID
 	addCone := func(n circuit.NetID) bool {
-		grew := false
-		for x := range m.C.FaninCone(n) {
-			if !obs[x] {
-				obs[x] = true
-				grew = true
-			}
-		}
-		return grew
+		stack = m.C.FaninConeBits(n, cone, stack)
+		return obs.Or(cone)
 	}
 	for _, po := range m.C.POs() {
 		addCone(po)
@@ -161,7 +161,7 @@ func FalseAggressors(m *noise.Model, opt Options) (*Result, error) {
 		for _, cp := range m.C.Couplings() {
 			for _, victim := range []circuit.NetID{cp.A, cp.B} {
 				agg := cp.Other(victim)
-				if obs[victim] && !obs[agg] && !classes[Direction{cp.ID, victim}].timingFalse {
+				if obs.Get(int(victim)) && !obs.Get(int(agg)) && !classes[Direction{cp.ID, victim}].timingFalse {
 					if addCone(agg) {
 						changed = true
 					}
@@ -183,7 +183,7 @@ func FalseAggressors(m *noise.Model, opt Options) (*Result, error) {
 					res.LateFiltered++
 				}
 				res.FalseDirections = append(res.FalseDirections, d)
-			case !obs[victim]:
+			case !obs.Get(int(victim)):
 				res.UnobservableFiltered++
 				res.FalseDirections = append(res.FalseDirections, d)
 			case dc.magFalse:

@@ -239,6 +239,30 @@ func addCouplings(c *circuit.Circuit, count int, rng *rand.Rand) error {
 	return nil
 }
 
+// ScaleSpec describes a synthetic benchmark of roughly the requested
+// net count, used to probe scaling beyond the paper's largest circuit
+// (i10, ~3.4k gates). Coupling density is fixed at three capacitors
+// per gate — inside the 2–10 range the paper's Table 2 circuits span —
+// so runtime growth with nets isolates the engine's scaling behaviour
+// rather than a density change. The seed is derived from the size, so
+// every call with the same count yields the identical circuit.
+func ScaleSpec(nets int) Spec {
+	return Spec{
+		Name:      fmt.Sprintf("scale%d", nets),
+		Gates:     nets,
+		Couplings: 3 * nets,
+		Seed:      900000 + int64(nets),
+	}
+}
+
+// Scale generates the ScaleSpec(nets) benchmark: a layered random
+// logic DAG with geometrically local, distance-scaled couplings —
+// the same structural character as the paper mirrors, at an arbitrary
+// size.
+func Scale(nets int) (*circuit.Circuit, error) {
+	return Build(ScaleSpec(nets))
+}
+
 // BuildPaper generates one of the paper's benchmarks by name.
 func BuildPaper(name string) (*circuit.Circuit, error) {
 	spec, err := PaperSpec(name)

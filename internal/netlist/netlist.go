@@ -133,6 +133,9 @@ func Parse(r io.Reader, lib *cell.Library) (*circuit.Circuit, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("netlist: %w", err)
 	}
+	// Parasitics were written through net pointers; drop any columnar
+	// snapshot built against intermediate state.
+	c.InvalidateColumns()
 	return c, nil
 }
 

@@ -1,11 +1,13 @@
 package noise
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"topkagg/internal/budget"
+	"topkagg/internal/cell"
 	"topkagg/internal/circuit"
 	"topkagg/internal/faultinject"
 	"topkagg/internal/sta"
@@ -19,30 +21,53 @@ import (
 // evaluations.
 const budgetStride = 64
 
-// envEntry memoizes the trapezoidal envelope one coupling induces on
-// one of its two endpoint nets, keyed on the aggressor window it was
-// built from. Late fixpoint iterations move only a handful of windows,
-// so almost every envelope is reused bit-for-bit. The pulse parameters
-// are memoized separately on the aggressor slew alone: window EAT/LAT
-// drift every iteration (noise accumulates), but the slew usually does
-// not, and the pulse solve is the only transcendental-math step of the
-// envelope build. Rebuilds write into the entry's own point buffer, so
-// after the first sweep envelope construction allocates nothing.
+// Flat-grid kernel tuning (DESIGN.md §12). gridCells is the fixed
+// column count of the per-victim sampling grid (a power of two, and at
+// most 64 so the cell-skip set fits one machine word). gridMinAgg is
+// the active-aggressor count below which the grid is not worth
+// building: accumulation is O(1) per trapezoid (affine range adds)
+// plus one O(cells) finalize/skip pass, while each walk evaluation it
+// avoids costs ~aggressors trap evaluations — so the grid pays once a
+// handful of aggressors is in play, the pprof-measured break-even on
+// the paper circuits.
+const (
+	gridCells  = 16
+	gridMinAgg = 4
+)
+
+// envEntry memoizes the envelope one coupling induces on one of its
+// two endpoint nets. An entry is invalidated eagerly the moment its
+// aggressor's notified window moves (markChanged), so validity is a
+// single flag load on the hot path; the trapezoid itself lives in the
+// victim CSR (vTraps), contiguous per victim. Late fixpoint
+// iterations move only a handful of windows, so almost every envelope
+// is reused bit-for-bit. The pulse parameters are memoized separately
+// on the aggressor slew alone: window EAT/LAT drift every iteration
+// (noise accumulates), but the slew usually does not, and the pulse
+// solve is the only transcendental-math step of the envelope build —
+// its edge reciprocals (invRise, invFall) ride along for the
+// division-free trap rebuilds (waveform.NewTrapPre). Validity is
+// cleared at the start of every run — carrying entries across runs
+// through the engine pool would make the memo hit/miss counters
+// depend on nondeterministic pool composition, breaking the
+// worker-invariance guarantee of the published stats.
 type envEntry struct {
-	win    sta.Window
-	pulse  Pulse
-	env    waveform.PWL
-	pts    []waveform.Point
-	valid  bool
-	pvalid bool
+	win              sta.Window
+	pulse            Pulse
+	invRise, invFall float64 // memoized 1/Rise, 1/Fall of the pulse
+	valid            bool
+	pvalid           bool
 }
 
-// evalScratch is one worker's allocation-free workspace: the k-way
-// envelope accumulator, the ramp-minus-envelope subtraction buffer,
-// the two-point victim ramp and the worker-local observability counts.
-// Each sweep worker owns exactly one.
+// evalScratch is one worker's allocation-free workspace: the union
+// breakpoint times of the current victim, the pooled sampling grid,
+// and the worker-local observability counts. sub and ramp serve the
+// public DelayNoise path (delayNoiseInto). Each sweep worker owns
+// exactly one.
 type evalScratch struct {
-	acc    waveform.Accumulator
+	times  []float64       // union of breakpoint times
+	traps  []waveform.Trap // active traps, densely packed in adjacency order
+	grid   *waveform.Grid
 	sub    []waveform.Point
 	ramp   [2]waveform.Point
 	counts evalCounts
@@ -64,6 +89,17 @@ type evalScratch struct {
 // the trajectory of the fixpoint ascent bit-identical to the full
 // per-iteration sweep the engine replaces.
 //
+// The per-victim evaluation runs on the flat-grid waveform kernel:
+// envelopes are closed-form trapezoids (waveform.Trap), the noisy
+// victim waveform g(t) = ramp(t) − Σ traps(t) is evaluated exactly
+// only at union breakpoint times during a descending crossing walk,
+// and a fixed-cell upper-bound grid over the victim's analysis window
+// screens whole evaluations (the bound proves the result is the
+// already-committed noise) and skips breakpoints that provably cannot
+// host the crossing. Published numbers never come from a grid sample —
+// the grid only discards work — so results are byte-identical with
+// the screen disabled (Model.ExactWaveforms).
+//
 // Within one sweep the dirty victims are evaluated in parallel: an
 // atomic cursor hands out queue slots, each worker writes only its
 // slot's result, and the merge that commits results runs serially in
@@ -71,16 +107,41 @@ type evalScratch struct {
 // writes (results are per-slot, envelope cache entries are owned by
 // exactly one victim, windows and noise are frozen during the sweep),
 // so results are byte-identical for any worker count.
+//
+// A fixpoint is pooled on its Model (getFixpoint/putFixpoint): the
+// victim CSR, memo arrays and worker scratch are rebuilt in place per
+// run, and the envelope memo persists across runs while the circuit
+// snapshot is unchanged.
 type fixpoint struct {
-	m   *Model
-	inc *sta.Incremental
+	m    *Model
+	cols *circuit.Columns
+	inc  *sta.Incremental
 
-	victims []circuit.NetID        // nets with ≥1 active coupling, in ID order
-	vIndex  []int32                // NetID -> index into victims, -1 otherwise
-	vIDs    [][]circuit.CouplingID // active couplings per victim
+	// Victim CSR under the run's mask: victims lists the nets with at
+	// least one active coupling in ascending NetID order; for victim
+	// index vi, entries vOff[vi]..vOff[vi+1] of the parallel arrays
+	// hold its active couplings (vCoup), their far endpoints (vAgg)
+	// and their directed envelope-memo indices (vEnv, the snapshot's
+	// CoupDir keys).
+	victims []int32
+	vIndex  []int32 // NetID -> victim index, -1 otherwise
+	vOff    []int32
+	vCoup   []int32
+	vAgg    []int32
+	vEnv    []int32
+
+	// Per-CSR-slot envelope trapezoids, contiguous per victim so the
+	// kernel streams them: vTraps[j] is the closed form of slot j's
+	// envelope, vAct[j] whether it contributes (pulse peak > 0). Both
+	// are (re)written only when slot j's memo entry rebuilds, and every
+	// entry starts a run invalid, so no stale value survives a mask
+	// change. Summation stays in adjacency order over active slots —
+	// bit-identical to the envelope-list order it replaces.
+	vTraps []waveform.Trap
+	vAct   []bool
 
 	dirty   []bool    // per victim index: re-evaluate next sweep
-	queue   []int     // victim indices evaluated this sweep, ascending
+	queue   []int32   // victim indices evaluated this sweep, ascending
 	results []float64 // per queue slot
 
 	// notified is the per-net window as of the last time dependents
@@ -93,16 +154,13 @@ type fixpoint struct {
 	notified []sta.Window
 	markTol  float64
 
-	envs []envEntry // memo cache, indexed 2*CouplingID + victim side
+	envs []envEntry // memo cache indexed by CoupDir (2*CouplingID + side)
 
-	// Per-victim memo of the combined (summed) envelope and of the raw
-	// delay-noise evaluation. Both are owned by the victim's evaluator,
-	// so parallel sweeps touch disjoint entries. sumPts holds a copy of
-	// the last merged envelope, valid while every per-coupling entry
-	// was a cache hit; raw* hold the last delayNoise inputs/output,
-	// valid while the summed envelope is unchanged.
-	sumPts  [][]waveform.Point
-	sumOK   []bool
+	// Per-victim memo of the raw delay-noise evaluation, keyed on the
+	// reference arrival and slew and invalidated whenever any incident
+	// envelope rebuilt. Owned by the victim's evaluator, so parallel
+	// sweeps touch disjoint entries. Cleared every run: the stored
+	// value depends on the run's active-coupling set.
 	rawLAT  []float64
 	rawSlew []float64
 	rawVal  []float64
@@ -110,53 +168,120 @@ type fixpoint struct {
 
 	scratch []evalScratch
 	workers int
+	exact   bool // Model.ExactWaveforms: disable the grid fast path
 
 	bud *budget.B // cooperative stop; nil runs unbounded
 	obs *fixObs   // resolved metric handles; nil when uninstrumented
 }
 
-// newFixpoint builds the sweep state for one analysis: the victim set
-// under the given mask, its per-victim active-coupling lists, the
-// envelope memo cache and the per-worker scratch. inc carries the
-// starting timing and noise vector; bud (nil = unlimited) lets the
-// caller cancel the ascent between evaluation batches.
+// getFixpoint checks an engine out of the model's pool (or allocates
+// one for pool-less zero-value models); newFixpoint rebuilds every
+// piece of state in place, so only the storage is recycled.
+func (m *Model) getFixpoint() *fixpoint {
+	if m.fixPool != nil {
+		return m.fixPool.Get().(*fixpoint)
+	}
+	return new(fixpoint)
+}
+
+// putFixpoint returns an engine to the model's pool, dropping the
+// run-scoped references.
+func (m *Model) putFixpoint(f *fixpoint) {
+	f.m, f.inc, f.bud, f.obs = nil, nil, nil, nil
+	if m.fixPool != nil {
+		m.fixPool.Put(f)
+	}
+}
+
+// grow returns s resized to n elements, reusing capacity when it can.
+// Contents are unspecified; callers initialize what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// newFixpoint builds the sweep state for one analysis: the victim CSR
+// under the given mask, the envelope memo cache and the per-worker
+// scratch. inc carries the starting timing and noise vector; bud (nil
+// = unlimited) lets the caller cancel the ascent between evaluation
+// batches. The returned engine must be released with putFixpoint.
 func newFixpoint(m *Model, active Mask, inc *sta.Incremental, bud *budget.B) *fixpoint {
-	c := m.C
-	f := &fixpoint{m: m, inc: inc, bud: bud}
-	f.vIndex = make([]int32, c.NumNets())
+	cols := inc.Columns()
+	f := m.getFixpoint()
+	f.m, f.cols, f.inc, f.bud = m, cols, inc, bud
+	f.exact = m.ExactWaveforms
+
+	nn := cols.NumNets()
+	f.vIndex = grow(f.vIndex, nn)
 	for i := range f.vIndex {
 		f.vIndex[i] = -1
 	}
-	for _, net := range c.Nets() {
-		ids := m.activeCouplingsOf(net.ID, active, nil)
-		if len(ids) == 0 {
+	f.victims, f.vOff = f.victims[:0], f.vOff[:0]
+	f.vCoup, f.vAgg, f.vEnv = f.vCoup[:0], f.vAgg[:0], f.vEnv[:0]
+	for n := 0; n < nn; n++ {
+		start := int32(len(f.vCoup))
+		for j := cols.CoupOff[n]; j < cols.CoupOff[n+1]; j++ {
+			if active.Active(circuit.CouplingID(cols.CoupIDs[j])) {
+				f.vCoup = append(f.vCoup, cols.CoupIDs[j])
+				f.vAgg = append(f.vAgg, cols.CoupOther[j])
+				f.vEnv = append(f.vEnv, cols.CoupDir[j])
+			}
+		}
+		if int32(len(f.vCoup)) == start {
 			continue
 		}
-		f.vIndex[net.ID] = int32(len(f.victims))
-		f.victims = append(f.victims, net.ID)
-		f.vIDs = append(f.vIDs, ids)
+		f.vIndex[n] = int32(len(f.victims))
+		f.victims = append(f.victims, int32(n))
+		f.vOff = append(f.vOff, start)
 	}
-	f.dirty = make([]bool, len(f.victims))
-	f.envs = make([]envEntry, 2*c.NumCouplings())
-	f.notified = append([]sta.Window(nil), inc.Result().Windows...)
+	f.vOff = append(f.vOff, int32(len(f.vCoup)))
+
+	nc := len(f.vCoup)
+	f.vTraps = grow(f.vTraps, nc)
+	f.vAct = grow(f.vAct, nc)
+
+	nv := len(f.victims)
+	f.dirty = grow(f.dirty, nv)
+	clear(f.dirty)
+	f.rawLAT = grow(f.rawLAT, nv)
+	f.rawSlew = grow(f.rawSlew, nv)
+	f.rawVal = grow(f.rawVal, nv)
+	f.rawOK = grow(f.rawOK, nv)
+	clear(f.rawOK)
+	f.notified = append(f.notified[:0], inc.Result().Windows...)
 	f.markTol = m.Tol
-	f.sumPts = make([][]waveform.Point, len(f.victims))
-	f.sumOK = make([]bool, len(f.victims))
-	f.rawLAT = make([]float64, len(f.victims))
-	f.rawSlew = make([]float64, len(f.victims))
-	f.rawVal = make([]float64, len(f.victims))
-	f.rawOK = make([]bool, len(f.victims))
+
+	// The envelope memo recycles its storage through the pool but
+	// starts every run invalid (see envEntry).
+	ne := 2 * cols.NumCouplings()
+	if cap(f.envs) < ne {
+		f.envs = make([]envEntry, ne)
+	} else {
+		f.envs = f.envs[:ne]
+		for i := range f.envs {
+			f.envs[i].valid, f.envs[i].pvalid = false, false
+		}
+	}
+
 	f.workers = m.Workers
 	if f.workers <= 0 {
 		f.workers = runtime.GOMAXPROCS(0)
 	}
-	if f.workers > len(f.victims) {
-		f.workers = len(f.victims)
+	if f.workers > nv {
+		f.workers = nv
 	}
 	if f.workers < 1 {
 		f.workers = 1
 	}
-	f.scratch = make([]evalScratch, f.workers)
+	if cap(f.scratch) >= f.workers {
+		f.scratch = f.scratch[:f.workers]
+	} else {
+		old := f.scratch
+		f.scratch = make([]evalScratch, f.workers)
+		copy(f.scratch, old)
+	}
 	f.obs = newFixObs(m.Obs)
 	return f
 }
@@ -189,11 +314,15 @@ func (f *fixpoint) markChanged(changed []circuit.NetID) {
 		}
 		f.notified[n] = wins[n]
 		f.dirty[vi] = true
-		for _, id := range f.vIDs[vi] {
-			u := f.m.C.Coupling(id).Other(n)
-			if ui := f.vIndex[u]; ui >= 0 {
+		for j := f.vOff[vi]; j < f.vOff[vi+1]; j++ {
+			if ui := f.vIndex[f.vAgg[j]]; ui >= 0 {
 				f.dirty[ui] = true
 			}
+			// Envelopes built from this net's window are now stale.
+			// Notification is the only way a notified-view window moves,
+			// so invalidating here makes the memo check a single flag
+			// load: an entry is stale exactly when its key window moved.
+			f.envs[f.vEnv[j]^1].valid = false
 		}
 	}
 }
@@ -250,7 +379,7 @@ func (f *fixpoint) buildQueue() {
 	for vi, d := range f.dirty {
 		if d {
 			f.dirty[vi] = false
-			f.queue = append(f.queue, vi)
+			f.queue = append(f.queue, int32(vi))
 		}
 	}
 }
@@ -304,7 +433,7 @@ func (f *fixpoint) sweep() (float64, error) {
 							return
 						}
 					}
-					res[qi] = f.evaluate(f.queue[qi], s)
+					res[qi] = f.evaluate(int(f.queue[qi]), s)
 				}
 			}(&f.scratch[w])
 		}
@@ -319,7 +448,7 @@ func (f *fixpoint) sweep() (float64, error) {
 	maxDelta := 0.0
 	extra := f.inc.ExtraLAT()
 	for qi, vi := range f.queue {
-		v := f.victims[vi]
+		v := circuit.NetID(f.victims[vi])
 		nv := res[qi]
 		if d := nv - extra[v]; d > maxDelta {
 			maxDelta = d
@@ -348,72 +477,73 @@ func (f *fixpoint) sweepSerial(res []float64) (err error) {
 				return e
 			}
 		}
-		res[qi] = f.evaluate(vi, s)
+		res[qi] = f.evaluate(int(vi), s)
 	}
 	return nil
+}
+
+// pulseFromCols is PulseParams fed from the columnar snapshot: the
+// victim's driver resistance and lumped ground capacitance and the
+// coupling's Cc come from precomputed columns whose values are
+// bit-identical to the pointer-model accessors, so the pulse is too.
+func (f *fixpoint) pulseFromCols(v, cid int32, aggSlew float64) Pulse {
+	rv := f.cols.DriverRes[v]
+	cv := f.cols.CvBase[v]
+	cc := f.cols.CoupCc[cid]
+	tr := math.Max(aggSlew, 1e-3)
+	vp, rEff := f.m.solvePeak(rv, cc, cv, tr)
+	tau := cell.RC(rEff, cc+cv)
+	return Pulse{Vp: vp, Rise: tr / 2, Fall: math.Max(2*tau, 1e-3)}
 }
 
 // evaluate recomputes one victim's worst-case delay noise from its
 // aggressors' current windows, applying the monotone clamp of the
 // fixpoint ascent. It reads only sweep-frozen state (windows, noise,
-// its own cache entries) and writes only the worker's scratch, so
-// concurrent evaluations of distinct victims never interfere.
+// its own cache entries) and writes only the worker's scratch and its
+// own memo entries, so concurrent evaluations of distinct victims
+// never interfere.
 func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 	faultinject.Fire(faultinject.SiteNoiseEval)
-	m := f.m
 	v := f.victims[vi]
 	// Envelopes and the reference ramp are built from the notified
 	// window view: stale by at most markTol, stable between
 	// notifications, identical for every worker count.
 	wins := f.notified
-	s.acc.Reset()
 	s.counts.evals++
+	lo, hi := f.vOff[vi], f.vOff[vi+1]
+	nact := 0
 	allHit := true
-	for _, id := range f.vIDs[vi] {
-		cp := m.C.Coupling(id)
-		agg := cp.Other(v)
-		side := 0
-		if cp.B == v {
-			side = 1
-		}
-		e := &f.envs[2*int(id)+side]
-		if !e.valid || e.win != wins[agg] {
+	for j := lo; j < hi; j++ {
+		e := &f.envs[f.vEnv[j]]
+		if !e.valid {
 			s.counts.envMisses++
-			if !e.pvalid || e.win.Slew != wins[agg].Slew {
+			win := wins[f.vAgg[j]]
+			if !e.pvalid || e.win.Slew != win.Slew {
 				s.counts.pulseMiss++
-				e.pulse = m.PulseParams(v, cp, wins[agg].Slew)
+				e.pulse = f.pulseFromCols(v, f.vCoup[j], win.Slew)
+				e.invRise = 1 / e.pulse.Rise
+				e.invFall = 1 / e.pulse.Fall
 				e.pvalid = true
 			} else {
 				s.counts.pulseHits++
 			}
-			e.win = wins[agg]
-			// Inline Envelope with the memoized pulse, building into the
-			// entry's reusable buffer.
-			if e.pulse.Vp <= 0 {
-				e.env = waveform.Zero()
-			} else {
-				e.pts = waveform.AppendTrapezoid(e.pts[:0],
-					e.win.EAT-e.pulse.Rise, e.pulse.Rise, e.win.LAT, e.pulse.Fall, e.pulse.Vp)
-				e.env = waveform.View(e.pts)
+			e.win = win
+			act := e.pulse.Vp > 0
+			f.vAct[j] = act
+			if act {
+				f.vTraps[j] = waveform.NewTrapPre(win.EAT-e.pulse.Rise, e.pulse.Rise,
+					win.LAT, e.pulse.Fall, e.pulse.Vp, e.invRise, e.invFall)
 			}
 			e.valid = true
 			allHit = false
 		} else {
 			s.counts.envHits++
 		}
-		s.acc.Add(e.env)
+		if f.vAct[j] {
+			nact++
+		}
 	}
-	var env waveform.PWL
-	if allHit && f.sumOK[vi] {
-		// No aggressor window moved since the last evaluation, so the
-		// combined envelope is the cached one, bit for bit.
-		s.counts.sumHits++
-		env = waveform.View(f.sumPts[vi])
-	} else {
-		s.counts.sumMisses++
-		f.sumPts[vi] = s.acc.Sum().AppendTo(f.sumPts[vi][:0])
-		env = waveform.View(f.sumPts[vi])
-		f.sumOK[vi] = true
+	if !allHit {
 		f.rawOK[vi] = false
 	}
 	// The reference victim transition includes noise propagated from
@@ -424,13 +554,16 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 	vw.LAT -= prev
 	var n float64
 	if f.rawOK[vi] && vw.LAT == f.rawLAT[vi] && vw.Slew == f.rawSlew[vi] {
-		// Identical envelope, reference arrival and slew: the pure
-		// delay-noise function returns the memoized value.
+		// Identical envelopes, reference arrival and slew: the memoized
+		// value stands. (A grid-screened memo entry stores the prev it
+		// proved unbeatable; prev is monotone per victim within a run,
+		// so the clamp below reconciles it exactly as a re-screen
+		// would.)
 		s.counts.rawHits++
 		n = f.rawVal[vi]
 	} else {
 		s.counts.rawMisses++
-		n = m.delayNoiseInto(vw, env, s)
+		n = f.delayNoiseFlat(vw, prev, f.vTraps[lo:hi], f.vAct[lo:hi], nact, s)
 		f.rawLAT[vi], f.rawSlew[vi], f.rawVal[vi] = vw.LAT, vw.Slew, n
 		f.rawOK[vi] = true
 	}
@@ -443,4 +576,241 @@ func (f *fixpoint) evaluate(vi int, s *evalScratch) float64 {
 		n = prev
 	}
 	return n
+}
+
+// gAt evaluates the noisy victim waveform g(t) = ramp(t) − Σ trap_i(t)
+// exactly: the ramp interpolation is the PWL segment expression on the
+// two-point ramp {(r0,0),(r1,Vdd)}, and the traps — densely packed in
+// the victim's adjacency order, inactive slots dropped (they would add
+// exactly +0.0, and At is non-negative so no −0.0 hazard exists) — are
+// summed in that order, making the value a deterministic pure function
+// of the frozen sweep state.
+func (f *fixpoint) gAt(t, r0, r1 float64, traps []waveform.Trap) float64 {
+	var rv float64
+	switch {
+	case t <= r0:
+		rv = 0
+	case t >= r1:
+		rv = f.m.Vdd
+	default:
+		fr := (t - r0) / (r1 - r0)
+		rv = fr * f.m.Vdd
+	}
+	sum := 0.0
+	for i := range traps {
+		sum += traps[i].At(t)
+	}
+	return rv - sum
+}
+
+// delayNoiseFlat computes the victim's raw worst-case delay noise on
+// the flat kernel: the latest time the noisy waveform g(t) = ramp(t)
+// − Σ envelopes(t) still sits at or below Vdd/2, minus the reference
+// arrival. g is piecewise linear with breakpoints only at the union
+// of the ramp's and the trapezoids' breakpoints, so the crossing walk
+// evaluates g exactly at those times, descending, and interpolates
+// within the bracketing segment — the same latest-upward-crossing
+// semantics as PWL.LatestTimeAtOrBelow, without ever building the
+// merged waveform.
+//
+// With enough aggressors (gridMinAgg) and the grid enabled, a
+// gridCells-cell upper-bound accumulation over the window first
+// derives a cell-skip word: cell c is skipped when even ramp(PadLeft(c)) − Col[c] — a
+// certified lower bound on g anywhere in the cell, exact in float
+// because per-trap column contributions dominate the summands of gAt
+// pointwise and float addition/subtraction are monotone — exceeds
+// level+Eps, so no time in the cell can be a crossing candidate. The
+// same word yields an upper bound on the crossing time; when that
+// bound cannot beat prev (the victim's committed noise, which the
+// caller's monotone clamp would restore anyway), the walk is skipped
+// entirely and prev is returned. Both shortcuts discard provably
+// irrelevant work only, so the result is byte-identical to the exact
+// walk (Model.ExactWaveforms).
+func (f *fixpoint) delayNoiseFlat(vw sta.Window, prev float64, traps []waveform.Trap, act []bool, nact int, s *evalScratch) float64 {
+	if nact == 0 {
+		return 0
+	}
+	vdd := f.m.Vdd
+	level := vdd / 2
+	slew := math.Max(vw.Slew, 1e-3)
+	r0, r1 := vw.LAT-slew/2, vw.LAT+slew/2
+
+	// Gather the union breakpoint times, pruning as they stream past.
+	// Any breakpoint at or below the ramp's midpoint is a certified
+	// crossing candidate: the exact ramp expression is monotone in t and
+	// checked once at tMid, and the envelope only subtracts. The
+	// descending walk always returns at the first candidate it meets —
+	// every time above a candidate evaluated non-candidate, so the
+	// bracket is valid the moment one appears. Times below the latest
+	// certified candidate (tstop) can therefore never be visited, in
+	// either mode: the gather keeps only breakpoints above tMid plus
+	// tstop itself, and the grid starts there instead of at the earliest
+	// envelope onset, doubling its resolution over the decidable region.
+	tMid := r0 + (r1-r0)/2
+	if fr := (tMid - r0) / (r1 - r0); !(fr*vdd <= level) {
+		tMid = r0 // pathological rounding: keep everything past the ramp foot
+	}
+	tstop := r0 // ramp(r0) is exactly zero: always a candidate
+	ts := append(s.times[:0], r1)
+	envEnd := math.Inf(-1)
+	// Compact the active traps densely while streaming their
+	// breakpoints: the walk's exact evaluations and the grid
+	// accumulation then loop branch-free, and the adjacency order the
+	// summation depends on is preserved.
+	dense := s.traps[:0]
+	for i := range traps {
+		if !act[i] {
+			continue
+		}
+		dense = append(dense, traps[i])
+		tr := &dense[len(dense)-1]
+		if tr.Q3 > envEnd {
+			envEnd = tr.Q3
+		}
+		if tr.Q0 > tMid {
+			ts = append(ts, tr.Q0)
+		} else if tr.Q0 > tstop {
+			tstop = tr.Q0
+		}
+		if tr.Q1 > tMid {
+			ts = append(ts, tr.Q1)
+		} else if tr.Q1 > tstop {
+			tstop = tr.Q1
+		}
+		if tr.Q2 != tr.Q1 {
+			if tr.Q2 > tMid {
+				ts = append(ts, tr.Q2)
+			} else if tr.Q2 > tstop {
+				tstop = tr.Q2
+			}
+		}
+		if tr.Q3 > tMid {
+			ts = append(ts, tr.Q3)
+		} else if tr.Q3 > tstop {
+			tstop = tr.Q3
+		}
+	}
+	ts = append(ts, tstop)
+	s.times, s.traps = ts, dense
+	hi := r1
+	if envEnd > hi {
+		hi = envEnd
+	}
+	n := len(ts)
+
+	var g *waveform.Grid
+	var skip uint64
+	if !f.exact && nact >= gridMinAgg {
+		g = s.grid
+		if g == nil {
+			g = waveform.GetGrid()
+			s.grid = g
+		}
+		g.Reset(tstop, hi, gridCells)
+		for i := range dense {
+			g.AddTrapMax(dense[i])
+		}
+		// Fold the range additions and derive the cell-skip word and the
+		// highest surviving cell in one register-only pass: cell c is
+		// skipped when even ramp(PadLeft(c)) minus the column bound — a
+		// certified lower bound on g anywhere in the cell — clears
+		// level+Eps.
+		var cMax int
+		skip, cMax = g.FinalizeSkip(r0, r1, vdd, level+waveform.Eps)
+		// Victim screen, before any sorting: a crossing time satisfies
+		// g(t*) = level, so its cell is unskipped, and the tail outcome
+		// envEnd is at most the global latest breakpoint, whose cell
+		// must be unskipped for the tail to fire at all. Either way the
+		// result time is bounded by the padded right edge of the
+		// highest unskipped cell (the walk-exhausted outcome, tstop, is
+		// below vw.LAT and can never beat a committed prev).
+		if skip != 0 {
+			ub := tstop
+			if cMax >= 0 {
+				ub = g.PadRight(cMax)
+			}
+			if ub-vw.LAT <= prev {
+				s.counts.gridScreens++
+				return prev
+			}
+		}
+	}
+
+	// Sort the pruned times ascending. Insertion sort: the array is a
+	// couple dozen entries of short ascending runs, and the sorted
+	// result is a pure function of the time multiset, so both modes
+	// walk identical breakpoint sequences.
+	for i := 1; i < n; i++ {
+		v := ts[i]
+		j := i - 1
+		for ; j >= 0 && ts[j] > v; j-- {
+			ts[j+1] = ts[j]
+		}
+		ts[j+1] = v
+	}
+
+	// Tail anchor: at the global latest time hi every trapezoid has
+	// decayed to exactly zero and the ramp is saturated, so g(hi) is
+	// exactly Vdd — the gAt call would reproduce it bit-for-bit. The
+	// settle branch (envelope holding the victim below threshold past
+	// its own span) fires only for degenerate sub-Eps supplies.
+	tPrev := ts[n-1]
+	gPrev := vdd
+	if gPrev <= level+waveform.Eps {
+		d := envEnd - vw.LAT
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	// Descending crossing walk over distinct breakpoint times. A
+	// skipped time cannot satisfy the candidate test (its g provably
+	// exceeds level+Eps), so it participates only as the upper end of
+	// a bracket, evaluated exactly on demand.
+	prevValid := true
+	for i := n - 2; i >= 0; i-- {
+		t := ts[i]
+		if t == ts[i+1] {
+			continue
+		}
+		if skip != 0 && skip&(1<<uint(g.CellOf(t))) != 0 {
+			s.counts.gridSkips++
+			tPrev, prevValid = t, false
+			continue
+		}
+		gt := f.gAt(t, r0, r1, dense)
+		if gt <= level+waveform.Eps {
+			gb := gPrev
+			if !prevValid {
+				gb = f.gAt(tPrev, r0, r1, dense)
+			}
+			if gb > level {
+				var tc float64
+				if gb == gt {
+					tc = tPrev
+				} else {
+					fr := (level - gt) / (gb - gt)
+					if fr < 0 {
+						fr = 0
+					}
+					if fr > 1 {
+						fr = 1
+					}
+					tc = t + fr*(tPrev-t)
+				}
+				d := tc - vw.LAT
+				if d < 0 {
+					return 0
+				}
+				return d
+			}
+		}
+		tPrev, gPrev, prevValid = t, gt, true
+	}
+	// Entire waveform above level.
+	d := ts[0] - vw.LAT
+	if d < 0 {
+		return 0
+	}
+	return d
 }

@@ -1,0 +1,99 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"topkagg/internal/gen"
+)
+
+// assertGridExactParity runs the model's fixpoint with the flat-grid
+// screen enabled and disabled, at one and at eight sweep workers, and
+// requires every published number to match bit for bit: the grid is a
+// work-discarding device, never a value source, so any ulp of
+// divergence is a soundness bug in the screen, not noise.
+func assertGridExactParity(t *testing.T, m *Model) {
+	t.Helper()
+	type run struct {
+		name string
+		an   *Analysis
+	}
+	var runs []run
+	for _, w := range []int{1, 8} {
+		g, err := m.WithWorkers(w).Run(nil)
+		if err != nil {
+			t.Fatalf("grid run (workers=%d): %v", w, err)
+		}
+		e, err := m.WithWorkers(w).WithExactWaveforms(true).Run(nil)
+		if err != nil {
+			t.Fatalf("exact run (workers=%d): %v", w, err)
+		}
+		runs = append(runs,
+			run{fmt.Sprintf("grid-w%d", w), g},
+			run{fmt.Sprintf("exact-w%d", w), e})
+	}
+	ref := runs[0]
+	for _, r := range runs[1:] {
+		if r.an.Iterations != ref.an.Iterations || r.an.Converged != ref.an.Converged {
+			t.Fatalf("%s vs %s: iterations/converged %d/%v vs %d/%v",
+				r.name, ref.name, r.an.Iterations, r.an.Converged, ref.an.Iterations, ref.an.Converged)
+		}
+		for n := range ref.an.NetNoise {
+			if math.Float64bits(r.an.NetNoise[n]) != math.Float64bits(ref.an.NetNoise[n]) {
+				t.Fatalf("%s vs %s: NetNoise[%d] = %v vs %v",
+					r.name, ref.name, n, r.an.NetNoise[n], ref.an.NetNoise[n])
+			}
+		}
+		for _, n := range m.C.Nets() {
+			rw, ww := r.an.Timing.Window(n.ID), ref.an.Timing.Window(n.ID)
+			if math.Float64bits(rw.EAT) != math.Float64bits(ww.EAT) ||
+				math.Float64bits(rw.LAT) != math.Float64bits(ww.LAT) ||
+				math.Float64bits(rw.Slew) != math.Float64bits(ww.Slew) {
+				t.Fatalf("%s vs %s: window[%s] = %+v vs %+v", r.name, ref.name, n.Name, rw, ww)
+			}
+		}
+	}
+}
+
+// TestGridExactParitySeededCircuits sweeps 50 seeded random circuits
+// of varied size and coupling density through the parity check. Run
+// under -race this doubles as the worker-invariance certificate for
+// the grid kernel.
+func TestGridExactParitySeededCircuits(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		spec := gen.Spec{
+			Name:      fmt.Sprintf("parity%d", seed),
+			Gates:     20 + (seed*7)%60,
+			Couplings: 30 + (seed*13)%150,
+			Seed:      int64(2000 + seed),
+		}
+		c, err := gen.Build(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertGridExactParity(t, NewModel(c))
+	}
+}
+
+// TestGridExactParityScale runs the parity check on the scaling
+// generator's circuits, whose nanosecond-scale windows and deeper
+// aggressor fan-in exercise the memoized-reciprocal fallback and the
+// 64-bit skip word harder than the paper mirrors do.
+func TestGridExactParityScale(t *testing.T) {
+	sizes := []int{1000, 10000}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, n := range sizes {
+		c, err := gen.Scale(n)
+		if err != nil {
+			t.Fatalf("scale %d: %v", n, err)
+		}
+		assertGridExactParity(t, NewModel(c))
+	}
+}

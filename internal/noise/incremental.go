@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"topkagg/internal/bitset"
 	"topkagg/internal/budget"
 	"topkagg/internal/circuit"
 	"topkagg/internal/sta"
@@ -69,7 +70,9 @@ func (m *Model) RunIncrementalBudget(b *budget.B, prev *Analysis, prevMask, mask
 		return prev, IncrementalStats{}, nil
 	}
 	affected := m.changeCone(changed)
-	if len(affected) >= m.C.NumNets()*3/5 {
+	defer bitset.Put(affected)
+	nAffected := affected.Count()
+	if nAffected >= m.C.NumNets()*3/5 {
 		an, err := m.RunBudget(b, mask)
 		m.incrementalDone(m.C.NumNets(), true)
 		return an, IncrementalStats{Affected: m.C.NumNets(), Full: true}, err
@@ -83,16 +86,17 @@ func (m *Model) RunIncrementalBudget(b *budget.B, prev *Analysis, prevMask, mask
 	if err != nil {
 		return nil, IncrementalStats{}, fmt.Errorf("noise: incremental: %w", err)
 	}
-	for v := range affected {
-		inc.SetExtraLAT(v, 0) // the cone restarts; couplings may have been removed
-	}
+	affected.ForEach(func(v int) {
+		inc.SetExtraLAT(circuit.NetID(v), 0) // the cone restarts; couplings may have been removed
+	})
 	f := newFixpoint(m, mask, inc, b)
+	defer m.putFixpoint(f)
 	f.markChanged(inc.Update())
-	for v := range affected {
+	affected.ForEach(func(v int) {
 		if vi := f.vIndex[v]; vi >= 0 {
 			f.dirty[vi] = true
 		}
-	}
+	})
 	iters, converged, err := f.iterate()
 	if err != nil {
 		return nil, IncrementalStats{}, fmt.Errorf("noise: incremental: %w", err)
@@ -104,8 +108,8 @@ func (m *Model) RunIncrementalBudget(b *budget.B, prev *Analysis, prevMask, mask
 		Iterations: iters,
 		Converged:  converged,
 	}
-	m.incrementalDone(len(affected), false)
-	return an, IncrementalStats{Affected: len(affected)}, nil
+	m.incrementalDone(nAffected, false)
+	return an, IncrementalStats{Affected: nAffected}, nil
 }
 
 // incrementalDone records one RunIncremental outcome: the size of the
@@ -137,13 +141,14 @@ func changedCouplings(c *circuit.Circuit, a, b Mask) []circuit.CouplingID {
 // changeCone returns the nets whose noise or windows can change when
 // the given couplings toggle: the endpoints, closed under gate fanout
 // (windows shift downstream) and coupling adjacency (envelopes depend
-// on neighbour windows).
-func (m *Model) changeCone(changed []circuit.CouplingID) map[circuit.NetID]bool {
-	cone := make(map[circuit.NetID]bool)
+// on neighbour windows). The set is a pooled dense bitset; the caller
+// releases it with bitset.Put.
+func (m *Model) changeCone(changed []circuit.CouplingID) *bitset.Dense {
+	cone := bitset.Get(m.C.NumNets())
 	var stack []circuit.NetID
 	push := func(n circuit.NetID) {
-		if !cone[n] {
-			cone[n] = true
+		if !cone.Get(int(n)) {
+			cone.Set(int(n))
 			stack = append(stack, n)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"topkagg/internal/budget"
 	"topkagg/internal/cell"
@@ -116,6 +117,19 @@ type Model struct {
 	// (see internal/obs and DESIGN.md §8). Nil disables instrumentation
 	// at near-zero cost; analysis results are identical either way.
 	Obs *obs.Registry
+	// ExactWaveforms disables the flat-grid screen of the fixpoint
+	// kernel: every victim evaluation runs the exact crossing walk over
+	// all envelope breakpoints. Results are byte-identical either way —
+	// the grid only skips work it proves cannot change the outcome
+	// (DESIGN.md §12) — so the flag exists for differential testing
+	// (cmd/topk -exact-waveforms) and debugging, at a throughput cost.
+	ExactWaveforms bool
+
+	// fixPool recycles fixpoint engine state (victim CSR, envelope
+	// memo, per-worker scratch) across runs on the same model. Shallow
+	// model copies (WithObs, WithWorkers, ...) share the pool; a
+	// zero-value Model has none and allocates per run.
+	fixPool *sync.Pool
 }
 
 // WithObs returns a shallow copy of the model publishing metrics to r
@@ -136,10 +150,21 @@ func (m *Model) WithWorkers(n int) *Model {
 	return &cp
 }
 
+// WithExactWaveforms returns a shallow copy of the model with the
+// grid fast path enabled or disabled; see the ExactWaveforms field.
+func (m *Model) WithExactWaveforms(exact bool) *Model {
+	cp := *m
+	cp.ExactWaveforms = exact
+	return &cp
+}
+
 // NewModel creates a model with default iteration controls, taking
 // Vdd from the circuit's library.
 func NewModel(c *circuit.Circuit) *Model {
-	return &Model{C: c, Vdd: c.Lib.Vdd, MaxIterations: 32, Tol: 1e-6}
+	return &Model{
+		C: c, Vdd: c.Lib.Vdd, MaxIterations: 32, Tol: 1e-6,
+		fixPool: &sync.Pool{New: func() any { return new(fixpoint) }},
+	}
 }
 
 // Pulse describes the triangular noise pulse one coupling injects on a
@@ -369,6 +394,7 @@ func (m *Model) RunBudget(b *budget.B, active Mask) (*Analysis, error) {
 	}
 	inc.Instrument(m.Obs)
 	f := newFixpoint(m, active, inc, b)
+	defer m.putFixpoint(f)
 	f.seedAll()
 	iters, converged, err := f.iterate()
 	if err != nil {

@@ -24,22 +24,22 @@ import (
 //	noise.fixpoint.env_memo_misses  ... and rebuilds
 //	noise.fixpoint.pulse_memo_hits  transcendental pulse-solve memo hits
 //	noise.fixpoint.pulse_memo_misses
-//	noise.fixpoint.sum_memo_hits    combined-envelope memo hits
-//	noise.fixpoint.sum_memo_misses
 //	noise.fixpoint.raw_memo_hits    raw delay-noise memo hits
 //	noise.fixpoint.raw_memo_misses
+//	noise.fixpoint.grid_screen_hits whole evaluations skipped by the grid bound
+//	noise.fixpoint.grid_eval_skips  breakpoint evaluations skipped in crossing walks
 //	noise.fixpoint.stops            runs stopped early by budget/cancellation
 //	noise.fixpoint.panics           runs stopped by a recovered worker panic
 type fixObs struct {
-	runs, converged      *obs.Counter
-	sweeps, iterations   *obs.Counter
-	evals                *obs.Counter
-	envHits, envMisses   *obs.Counter
-	pulseHits, pulseMiss *obs.Counter
-	sumHits, sumMisses   *obs.Counter
-	rawHits, rawMisses   *obs.Counter
-	stops, panics        *obs.Counter
-	worklistDepth        *obs.Histogram
+	runs, converged        *obs.Counter
+	sweeps, iterations     *obs.Counter
+	evals                  *obs.Counter
+	envHits, envMisses     *obs.Counter
+	pulseHits, pulseMiss   *obs.Counter
+	rawHits, rawMisses     *obs.Counter
+	gridScreens, gridSkips *obs.Counter
+	stops, panics          *obs.Counter
+	worklistDepth          *obs.Histogram
 }
 
 // newFixObs resolves the fixpoint metric handles, or returns nil for
@@ -58,10 +58,10 @@ func newFixObs(r *obs.Registry) *fixObs {
 		envMisses:     r.Counter("noise.fixpoint.env_memo_misses"),
 		pulseHits:     r.Counter("noise.fixpoint.pulse_memo_hits"),
 		pulseMiss:     r.Counter("noise.fixpoint.pulse_memo_misses"),
-		sumHits:       r.Counter("noise.fixpoint.sum_memo_hits"),
-		sumMisses:     r.Counter("noise.fixpoint.sum_memo_misses"),
 		rawHits:       r.Counter("noise.fixpoint.raw_memo_hits"),
 		rawMisses:     r.Counter("noise.fixpoint.raw_memo_misses"),
+		gridScreens:   r.Counter("noise.fixpoint.grid_screen_hits"),
+		gridSkips:     r.Counter("noise.fixpoint.grid_eval_skips"),
 		stops:         r.Counter("noise.fixpoint.stops"),
 		panics:        r.Counter("noise.fixpoint.panics"),
 		worklistDepth: r.Histogram("noise.fixpoint.worklist_depth"),
@@ -89,11 +89,11 @@ func (o *fixObs) stopObserved(err error) {
 // evaluation set and memo trajectories are deterministic; addition is
 // commutative).
 type evalCounts struct {
-	evals                int64
-	envHits, envMisses   int64
-	pulseHits, pulseMiss int64
-	sumHits, sumMisses   int64
-	rawHits, rawMisses   int64
+	evals                  int64
+	envHits, envMisses     int64
+	pulseHits, pulseMiss   int64
+	rawHits, rawMisses     int64
+	gridScreens, gridSkips int64
 }
 
 // flush publishes the summed per-worker counts. No-op when disabled.
@@ -109,10 +109,10 @@ func (o *fixObs) flush(scratch []evalScratch, iters int, converged bool) {
 		t.envMisses += c.envMisses
 		t.pulseHits += c.pulseHits
 		t.pulseMiss += c.pulseMiss
-		t.sumHits += c.sumHits
-		t.sumMisses += c.sumMisses
 		t.rawHits += c.rawHits
 		t.rawMisses += c.rawMisses
+		t.gridScreens += c.gridScreens
+		t.gridSkips += c.gridSkips
 		*c = evalCounts{}
 	}
 	o.runs.Inc()
@@ -125,8 +125,8 @@ func (o *fixObs) flush(scratch []evalScratch, iters int, converged bool) {
 	o.envMisses.Add(t.envMisses)
 	o.pulseHits.Add(t.pulseHits)
 	o.pulseMiss.Add(t.pulseMiss)
-	o.sumHits.Add(t.sumHits)
-	o.sumMisses.Add(t.sumMisses)
 	o.rawHits.Add(t.rawHits)
 	o.rawMisses.Add(t.rawMisses)
+	o.gridScreens.Add(t.gridScreens)
+	o.gridSkips.Add(t.gridSkips)
 }

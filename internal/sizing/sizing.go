@@ -97,10 +97,12 @@ func Optimize(m *noise.Model, budget int, opt Options) (*Result, error) {
 			}
 			prev := g.Cell
 			g.Cell = nc
+			m.C.InvalidateColumns()
 			an, err := m.Run(nil)
 			res.Trials++
 			if err != nil {
 				g.Cell = prev
+				m.C.InvalidateColumns()
 				return nil, err
 			}
 			if d := an.CircuitDelay(); d < res.After-1e-9 && (best == nil || d < best.Delay) {
@@ -108,6 +110,7 @@ func Optimize(m *noise.Model, budget int, opt Options) (*Result, error) {
 				bestGate = g
 			}
 			g.Cell = prev
+			m.C.InvalidateColumns()
 		}
 		if best == nil {
 			break // no improving move left
@@ -118,6 +121,7 @@ func Optimize(m *noise.Model, budget int, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sizing: %w", err)
 		}
 		bestGate.Cell = nc
+		m.C.InvalidateColumns()
 		cur, err = m.Run(nil)
 		if err != nil {
 			return nil, err

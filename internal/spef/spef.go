@@ -144,6 +144,9 @@ func Apply(r io.Reader, c *circuit.Circuit) error {
 	if !sawHeader {
 		return fmt.Errorf("spef: missing *SPEF header")
 	}
+	// Cgnd/Rwire were overwritten through net pointers; invalidate any
+	// cached columnar snapshot.
+	c.InvalidateColumns()
 	return nil
 }
 

@@ -1,0 +1,100 @@
+package sta_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/gen"
+	"topkagg/internal/sta"
+)
+
+// refAnalyze is the original pointer-model window propagation, kept
+// as the oracle the columnar production path must reproduce bit for
+// bit.
+func refAnalyze(c *circuit.Circuit, opt sta.Options) ([]sta.Window, error) {
+	order, err := c.TopoNets()
+	if err != nil {
+		return nil, err
+	}
+	windows := make([]sta.Window, c.NumNets())
+	for _, nid := range order {
+		net := c.Net(nid)
+		if net.Driver == circuit.NoGate {
+			w := sta.Window{EAT: 0, LAT: 0, Slew: sta.DefaultPISlew}
+			if opt.PIArrival != nil {
+				w = opt.PIArrival(nid)
+			}
+			if opt.ExtraLAT != nil {
+				w.LAT += opt.ExtraLAT[nid]
+			}
+			windows[nid] = w
+			continue
+		}
+		g := c.Gate(net.Driver)
+		load := c.LoadCap(nid)
+		eat := math.Inf(1)
+		lat := math.Inf(-1)
+		slew := sta.DefaultPISlew
+		for _, in := range g.Inputs {
+			iw := windows[in]
+			d := g.Cell.Delay(load, iw.Slew)
+			if t := iw.EAT + d; t < eat {
+				eat = t
+			}
+			if t := iw.LAT + d; t > lat {
+				lat = t
+				slew = g.Cell.OutputSlew(load, iw.Slew)
+			}
+		}
+		w := sta.Window{EAT: eat, LAT: lat, Slew: slew}
+		if opt.ExtraLAT != nil {
+			w.LAT += opt.ExtraLAT[nid]
+		}
+		windows[nid] = w
+	}
+	return windows, nil
+}
+
+// TestColumnarAnalyzeBitIdentical pins the columnar propagation to
+// the pointer-model oracle on random circuits, with and without an
+// ExtraLAT injection vector.
+func TestColumnarAnalyzeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for seed := int64(0); seed < 20; seed++ {
+		c, err := gen.Build(gen.Spec{
+			Name:      "colpar",
+			Gates:     20 + int(seed)*7,
+			Couplings: 30 + int(seed)*9,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opt sta.Options
+		if seed%2 == 1 {
+			extra := make([]float64, c.NumNets())
+			for i := range extra {
+				if rng.Float64() < 0.3 {
+					extra[i] = rng.Float64() * 0.2
+				}
+			}
+			opt.ExtraLAT = extra
+		}
+		got, err := sta.Analyze(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refAnalyze(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got.Windows[i] != want[i] {
+				t.Fatalf("seed %d net %d: columnar window %+v != reference %+v",
+					seed, i, got.Windows[i], want[i])
+			}
+		}
+	}
+}

@@ -22,15 +22,15 @@ import (
 // An Incremental is single-owner mutable state; it is not safe for
 // concurrent use.
 type Incremental struct {
-	c   *circuit.Circuit
-	opt Options // ExtraLAT aliases extra and is always non-nil
+	c    *circuit.Circuit
+	cols *circuit.Columns
+	opt  Options // ExtraLAT aliases extra and is always non-nil
 
 	res   *Result
 	extra []float64
 
-	pos     []int // NetID -> position in topological order
 	inHeap  []bool
-	heap    []int // min-heap of topological positions pending recompute
+	heap    []int32 // min-heap of topological positions pending recompute
 	changed []circuit.NetID
 
 	// Observability handles (nil when not instrumented; see Instrument).
@@ -77,16 +77,20 @@ func NewIncrementalFrom(res *Result, opt Options) (*Incremental, error) {
 }
 
 func newIncremental(c *circuit.Circuit, opt Options, res *Result, extra []float64) *Incremental {
-	pos := make([]int, c.NumNets())
-	for i, nid := range res.order {
-		pos[nid] = i
+	// The columnar snapshot already exists (the full analysis that
+	// produced res built it); the topological positions it carries
+	// replace the per-Incremental position index.
+	cols, err := c.Columns()
+	if err != nil {
+		// Unreachable after a successful Analyze; keep the failure loud.
+		panic(fmt.Sprintf("sta: incremental: %v", err))
 	}
 	return &Incremental{
 		c:      c,
+		cols:   cols,
 		opt:    opt,
 		res:    res,
 		extra:  extra,
-		pos:    pos,
 		inHeap: make([]bool, c.NumNets()),
 	}
 }
@@ -107,6 +111,11 @@ func (inc *Incremental) Instrument(r *obs.Registry) {
 // Result returns the live timing view. Its windows are mutated in
 // place by Update; callers needing a stable copy use Snapshot.
 func (inc *Incremental) Result() *Result { return inc.res }
+
+// Columns returns the columnar circuit snapshot this Incremental was
+// built against — the same revision every window it maintains was
+// computed from.
+func (inc *Incremental) Columns() *circuit.Columns { return inc.cols }
 
 // Snapshot returns an immutable copy of the current timing, safe to
 // publish after further Updates.
@@ -139,18 +148,21 @@ func (inc *Incremental) SetExtraLAT(n circuit.NetID, v float64) {
 func (inc *Incremental) Update() []circuit.NetID {
 	inc.changed = inc.changed[:0]
 	recomputed := 0
+	cols := inc.cols
 	for len(inc.heap) > 0 {
 		nid := inc.pop()
 		recomputed++
 		old := inc.res.Windows[nid]
-		w := computeWindow(inc.c, inc.opt, inc.res.Windows, nid)
+		w := computeWindow(cols, inc.opt, inc.res.Windows, nid)
 		if w == old {
 			continue
 		}
 		inc.res.Windows[nid] = w
 		inc.changed = append(inc.changed, nid)
-		for _, gid := range inc.c.Net(nid).Loads {
-			inc.push(inc.c.Gate(gid).Output)
+		// Push the fanout successors straight from the precomputed
+		// column (each load gate's output net).
+		for i := cols.LoadOff[nid]; i < cols.LoadOff[nid+1]; i++ {
+			inc.push(circuit.NetID(cols.Fanout[i]))
 		}
 	}
 	if inc.updates != nil {
@@ -166,7 +178,7 @@ func (inc *Incremental) push(n circuit.NetID) {
 		return
 	}
 	inc.inHeap[n] = true
-	h := append(inc.heap, inc.pos[n])
+	h := append(inc.heap, inc.cols.TopoPos[n])
 	for i := len(h) - 1; i > 0; {
 		p := (i - 1) / 2
 		if h[p] <= h[i] {

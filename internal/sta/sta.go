@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"topkagg/internal/cell"
 	"topkagg/internal/circuit"
 )
 
@@ -77,14 +78,22 @@ func (w Window) finite() bool {
 }
 
 // Analyze runs static timing analysis and returns per-net windows.
+//
+// The propagation walks the circuit's columnar snapshot
+// (circuit.Columns): topological order, gate-input CSR spans and the
+// precomputed per-net load capacitance, with the cell model flattened
+// into per-gate coefficient columns. The per-step arithmetic is the
+// cell model's, operation for operation, so the windows are
+// bit-identical to a pointer-model propagation.
 func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
-	order, err := c.TopoNets()
+	cols, err := c.Columns()
 	if err != nil {
 		return nil, fmt.Errorf("sta: %w", err)
 	}
+	order := cols.TopoNets
 	res := &Result{Circuit: c, Windows: make([]Window, c.NumNets()), order: order}
 	for _, nid := range order {
-		w := computeWindow(c, opt, res.Windows, nid)
+		w := computeWindow(cols, opt, res.Windows, nid)
 		if !w.finite() {
 			return nil, &NonFiniteError{Net: nid, Window: w}
 		}
@@ -95,10 +104,13 @@ func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
 
 // computeWindow evaluates one net's window from its fanin windows —
 // the single propagation step shared by the full and incremental
-// analyses, so both produce bit-identical results.
-func computeWindow(c *circuit.Circuit, opt Options, windows []Window, nid circuit.NetID) Window {
-	net := c.Net(nid)
-	if net.Driver == circuit.NoGate {
+// analyses, so both produce bit-identical results. The arithmetic is
+// exactly cell.Delay/cell.OutputSlew over the precomputed LoadCap:
+// the invariant (D0 + KD·load) part is hoisted out of the input loop,
+// which preserves the original association order.
+func computeWindow(k *circuit.Columns, opt Options, windows []Window, nid circuit.NetID) Window {
+	drv := k.Driver[nid]
+	if drv < 0 {
 		w := Window{EAT: 0, LAT: 0, Slew: DefaultPISlew}
 		if opt.PIArrival != nil {
 			w = opt.PIArrival(nid)
@@ -108,20 +120,25 @@ func computeWindow(c *circuit.Circuit, opt Options, windows []Window, nid circui
 		}
 		return w
 	}
-	g := c.Gate(net.Driver)
-	load := c.LoadCap(nid)
+	load := k.LoadCap[nid]
+	dBase := k.D0[drv] + k.KD[drv]*load
+	sBase := k.S0[drv] + k.KS[drv]*load
 	eat := math.Inf(1)
 	lat := math.Inf(-1)
 	slew := DefaultPISlew
-	for _, in := range g.Inputs {
-		iw := windows[in]
-		d := g.Cell.Delay(load, iw.Slew)
+	for ii := k.GateInOff[drv]; ii < k.GateInOff[drv+1]; ii++ {
+		iw := windows[k.GateIn[ii]]
+		d := dBase + cell.DelaySlewFrac*iw.Slew
 		if t := iw.EAT + d; t < eat {
 			eat = t
 		}
 		if t := iw.LAT + d; t > lat {
 			lat = t
-			slew = g.Cell.OutputSlew(load, iw.Slew)
+			s := sBase + cell.SlewSlewFrac*iw.Slew
+			if s < cell.MinSlew {
+				s = cell.MinSlew
+			}
+			slew = s
 		}
 	}
 	w := Window{EAT: eat, LAT: lat, Slew: slew}

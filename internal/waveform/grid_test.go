@@ -1,0 +1,165 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randTrapParams draws trapezoid parameters covering the degenerate
+// regions: sub-minWidth edges, collapsed flat tops, tiny and large
+// peaks.
+func randTrapParams(rng *rand.Rand) (t0, rise, flatEnd, fall, vp float64) {
+	t0 = rng.Float64()*20 - 5
+	rise = math.Pow(10, rng.Float64()*8-7) // 1e-7 .. 1e1
+	fall = math.Pow(10, rng.Float64()*8-7)
+	switch rng.Intn(3) {
+	case 0:
+		flatEnd = t0 + rise + rng.Float64()*5 // proper flat top
+	case 1:
+		flatEnd = t0 + rise - rng.Float64() // collapses
+	default:
+		flatEnd = t0 + rise + rng.Float64()*2e-9 // near the Eps merge
+	}
+	vp = rng.Float64() * 2
+	return
+}
+
+// TestTrapMatchesPWLBitwise pins Trap.At to the PWL evaluation of the
+// same trapezoid, bit for bit, including at and around breakpoints.
+func TestTrapMatchesPWLBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		t0, rise, flatEnd, fall, vp := randTrapParams(rng)
+		tr := NewTrap(t0, rise, flatEnd, fall, vp)
+		w := Trapezoid(t0, rise, flatEnd, fall, vp)
+		times := []float64{
+			tr.Q0, tr.Q1, tr.Q2, tr.Q3,
+			tr.Q0 - 1, tr.Q3 + 1,
+			math.Nextafter(tr.Q0, math.Inf(1)),
+			math.Nextafter(tr.Q1, math.Inf(-1)),
+			math.Nextafter(tr.Q3, math.Inf(-1)),
+		}
+		for i := 0; i < 40; i++ {
+			lo, hi := tr.Q0-0.5, tr.Q3+0.5
+			times = append(times, lo+rng.Float64()*(hi-lo))
+		}
+		for _, tt := range times {
+			got, want := tr.At(tt), w.Value(tt)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("trial %d: At(%v)=%v, PWL Value=%v (params t0=%v rise=%v flatEnd=%v fall=%v vp=%v)",
+					trial, tt, got, want, t0, rise, flatEnd, fall, vp)
+			}
+		}
+		// The closed form must carry exactly the PWL's breakpoints.
+		pts := w.Points()
+		if tr.Q0 != pts[0].T || tr.Q3 != pts[len(pts)-1].T {
+			t.Fatalf("trial %d: endpoint mismatch", trial)
+		}
+	}
+}
+
+// TestTrapMaxOnConservative checks MaxOn dominates dense sampling of
+// At over the interval.
+func TestTrapMaxOnConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		t0, rise, flatEnd, fall, vp := randTrapParams(rng)
+		if vp < 0 {
+			vp = -vp
+		}
+		tr := NewTrap(t0, rise, flatEnd, fall, vp)
+		span := tr.Q3 - tr.Q0 + 2
+		a := tr.Q0 - 1 + rng.Float64()*span
+		b := a + rng.Float64()*span/4
+		bound := tr.MaxOn(a, b)
+		for i := 0; i <= 200; i++ {
+			tt := a + (b-a)*float64(i)/200
+			if tt > b {
+				tt = b // accumulated rounding may step past the interval
+			}
+			if v := tr.At(tt); v > bound {
+				t.Fatalf("trial %d: At(%v)=%v exceeds MaxOn(%v,%v)=%v", trial, tt, v, a, b, bound)
+			}
+		}
+	}
+}
+
+// TestGridColumnsConservative checks that after accumulating several
+// trapezoids, every column bounds the exact envelope sum at every
+// time the grid assigns to that cell.
+func TestGridColumnsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := GetGrid()
+	defer PutGrid(g)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		traps := make([]Trap, k)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range traps {
+			t0, rise, flatEnd, fall, vp := randTrapParams(rng)
+			traps[i] = NewTrap(t0, rise, flatEnd, fall, vp)
+			lo = math.Min(lo, traps[i].Q0)
+			hi = math.Max(hi, traps[i].Q3)
+		}
+		g.Reset(lo, hi, 64)
+		if g.Cells != 64 {
+			t.Fatalf("cells = %d, want 64", g.Cells)
+		}
+		for _, tr := range traps {
+			g.AddTrapMax(tr)
+		}
+		g.Finalize()
+		for i := 0; i < 500; i++ {
+			tt := lo + rng.Float64()*(hi-lo)
+			sum := 0.0
+			for _, tr := range traps {
+				sum += tr.At(tt)
+			}
+			c := g.CellOf(tt)
+			// Allow only summation-order rounding between the exact sum
+			// and the column bound.
+			if sum > g.Col[c]+1e-12 {
+				t.Fatalf("trial %d: sum %v at t=%v exceeds column %v (cell %d)", trial, sum, tt, g.Col[c], c)
+			}
+		}
+	}
+}
+
+func TestGridResetPowerOfTwoAndReuse(t *testing.T) {
+	g := GetGrid()
+	defer PutGrid(g)
+	g.Reset(0, 10, 48)
+	if g.Cells != 64 {
+		t.Fatalf("48 cells rounded to %d, want 64", g.Cells)
+	}
+	g.Col[0] = 5
+	g.Reset(0, 10, 64)
+	g.Finalize()
+	if g.Col[0] != 0 {
+		t.Fatal("Finalize after empty Reset did not clear columns")
+	}
+	// Degenerate window must not divide by zero.
+	g.Reset(3, 3, 16)
+	if c := g.CellOf(3); c < 0 || c >= g.Cells {
+		t.Fatalf("degenerate window CellOf out of range: %d", c)
+	}
+}
+
+func TestCellOfMonotoneClamped(t *testing.T) {
+	g := GetGrid()
+	defer PutGrid(g)
+	g.Reset(-2, 7, 32)
+	prevC := 0
+	for i := 0; i <= 3000; i++ {
+		tt := -4 + float64(i)*15/3000 // sorted sweep past both ends
+		c := g.CellOf(tt)
+		if c < 0 || c >= g.Cells {
+			t.Fatalf("CellOf(%v) = %d out of range", tt, c)
+		}
+		if c < prevC {
+			t.Fatalf("CellOf not monotone at t=%v: %d after %d", tt, c, prevC)
+		}
+		prevC = c
+	}
+}
