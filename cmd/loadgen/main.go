@@ -119,6 +119,82 @@ func parseSpec(s string) (gen.Spec, error) {
 	return spec, nil
 }
 
+// retryPolicy shapes the transient-failure retry loop: capped
+// exponential backoff with full jitter, Retry-After honored when the
+// server names a wait.
+type retryPolicy struct {
+	max  int           // retry attempts after the first try
+	base time.Duration // first backoff ceiling
+	cap  time.Duration // backoff ceiling
+}
+
+// transient reports whether an outcome is worth retrying: transport
+// errors (connection refused/reset mid-restart) and the server's
+// explicit pushback statuses (429 over-queue, 503 draining/unready).
+func transient(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// backoff returns the sleep before the n-th retry (1-based): a
+// Retry-After hint wins (clamped to the cap), otherwise full jitter
+// over an exponentially growing ceiling — the fleet decorrelates
+// instead of hammering the server in lockstep.
+func (p retryPolicy) backoff(n int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > p.cap {
+			return p.cap
+		}
+		return retryAfter
+	}
+	d := p.base << uint(n-1)
+	if d <= 0 || d > p.cap {
+		d = p.cap
+	}
+	return time.Duration(rng.Int63n(int64(d) + 1))
+}
+
+// retryAfterOf parses a Retry-After seconds value (0 when absent or
+// not in the delta-seconds form).
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
+}
+
+// doRetry runs mk (which must build and issue a fresh request each
+// call) until a non-transient outcome or the retry budget is spent.
+// It returns the final response (nil on transport error), how many
+// retries it spent, and whether it gave up on a still-transient
+// failure.
+func doRetry(mk func() (*http.Response, error), pol retryPolicy, rng *rand.Rand) (resp *http.Response, retries int, gaveUp bool) {
+	for attempt := 0; ; attempt++ {
+		r, err := mk()
+		if !transient(r, err) {
+			return r, attempt, false
+		}
+		if attempt == pol.max {
+			return r, attempt, true
+		}
+		wait := pol.backoff(attempt+1, retryAfterOf(r), rng)
+		if r != nil {
+			// Drain so the connection is reusable across the retry.
+			_, _ = io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+		time.Sleep(wait)
+	}
+}
+
 // percentile returns the q-quantile (0..1) of sorted ns latencies.
 func percentile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
@@ -130,10 +206,18 @@ func percentile(sorted []int64, q float64) int64 {
 
 // opStats aggregates one op kind's outcomes.
 type opStats struct {
-	Count  int   `json:"count"`
-	Errors int   `json:"errors"`
-	P50Ns  int64 `json:"p50Ns"`
-	P99Ns  int64 `json:"p99Ns"`
+	Count int `json:"count"`
+	// Errors counts non-transient failures (4xx other than 429, 5xx
+	// other than 503, malformed requests).
+	Errors int `json:"errors"`
+	// Retries counts backoff-and-retry cycles that were eventually
+	// absorbed; GiveUps counts requests abandoned still-transient after
+	// the retry budget. Transient pushback is workload weather, not a
+	// hard error — it gets its own columns.
+	Retries int   `json:"retries"`
+	GiveUps int   `json:"giveUps"`
+	P50Ns   int64 `json:"p50Ns"`
+	P99Ns   int64 `json:"p99Ns"`
 }
 
 // report is the machine-readable summary (-o).
@@ -146,6 +230,8 @@ type report struct {
 	Mix         string             `json:"mix"`
 	Total       int                `json:"total"`
 	Errors      int                `json:"errors"`
+	Retries     int                `json:"retries"`
+	GiveUps     int                `json:"giveUps"`
 	QPS         float64            `json:"qps"`
 	P50Ns       int64              `json:"p50Ns"`
 	P90Ns       int64              `json:"p90Ns"`
@@ -155,9 +241,11 @@ type report struct {
 
 // sample is one request's outcome.
 type sample struct {
-	op string
-	ns int64
-	ok bool
+	op      string
+	ns      int64
+	ok      bool
+	retries int
+	gaveUp  bool
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -174,9 +262,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 	out := fs.String("o", "", "write the JSON report here too")
 	seed := fs.Int64("seed", 1, "workload randomization seed")
+	retries := fs.Int("retries", 4, "retry budget per request for 429/503/transport failures (0 = no retries)")
+	retryBase := fs.Duration("retry-base", 25*time.Millisecond, "first backoff ceiling (full jitter, doubles per retry)")
+	retryCap := fs.Duration("retry-cap", 1*time.Second, "backoff ceiling")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *retries < 0 || *retryBase <= 0 || *retryCap < *retryBase {
+		fmt.Fprintln(stderr, "loadgen: want -retries >= 0 and 0 < -retry-base <= -retry-cap")
+		return 1
+	}
+	pol := retryPolicy{max: *retries, base: *retryBase, cap: *retryCap}
 	if *concurrency < 1 || *duration <= 0 {
 		fmt.Fprintln(stderr, "loadgen: -concurrency must be >= 1 and -duration > 0")
 		return 1
@@ -200,7 +296,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base := "http://" + *addr
 	client := &http.Client{Timeout: *timeout}
 	if !*noUpload {
-		if err := upload(client, base, *model, c); err != nil {
+		if err := upload(client, base, *model, c, pol, rand.New(rand.NewSource(*seed))); err != nil {
 			fmt.Fprintln(stderr, "loadgen: upload:", err)
 			return 1
 		}
@@ -228,8 +324,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for time.Now().Before(stopAt) {
 				op := m.pick(rng)
 				start := time.Now()
-				ok := fire(client, base, *model, op, *k, nets, c.NumCouplings(), rng)
-				local = append(local, sample{op: op, ns: int64(time.Since(start)), ok: ok})
+				s := fire(client, base, *model, op, *k, nets, c.NumCouplings(), rng, pol)
+				s.op, s.ns = op, int64(time.Since(start))
+				local = append(local, s)
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -239,16 +336,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wg.Wait()
 
 	rep := summarize(samples, *addr, *model, *duration, *concurrency, *mixFlag)
-	fmt.Fprintf(stdout, "loadgen: %d requests in %s (%d workers): %.1f qps, p50 %s, p90 %s, p99 %s, %d errors\n",
+	fmt.Fprintf(stdout, "loadgen: %d requests in %s (%d workers): %.1f qps, p50 %s, p90 %s, p99 %s, %d errors, %d retries, %d giveups\n",
 		rep.Total, duration.Round(time.Millisecond), *concurrency, rep.QPS,
 		time.Duration(rep.P50Ns).Round(time.Microsecond),
 		time.Duration(rep.P90Ns).Round(time.Microsecond),
-		time.Duration(rep.P99Ns).Round(time.Microsecond), rep.Errors)
+		time.Duration(rep.P99Ns).Round(time.Microsecond), rep.Errors, rep.Retries, rep.GiveUps)
 	for _, op := range opNames {
 		if st, ok := rep.PerOp[op]; ok {
-			fmt.Fprintf(stdout, "  %-6s %6d reqs  p50 %-12s p99 %-12s %d errors\n", op, st.Count,
+			fmt.Fprintf(stdout, "  %-6s %6d reqs  p50 %-12s p99 %-12s %d errors, %d retries, %d giveups\n", op, st.Count,
 				time.Duration(st.P50Ns).Round(time.Microsecond),
-				time.Duration(st.P99Ns).Round(time.Microsecond), st.Errors)
+				time.Duration(st.P99Ns).Round(time.Microsecond), st.Errors, st.Retries, st.GiveUps)
 		}
 	}
 	if *out != "" {
@@ -263,7 +360,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
-	if rep.Total > 0 && rep.Errors == rep.Total {
+	if rep.Total > 0 && rep.Errors+rep.GiveUps == rep.Total {
 		fmt.Fprintln(stderr, "loadgen: every request failed")
 		return 1
 	}
@@ -287,12 +384,18 @@ func summarize(samples []sample, addr, model string, d time.Duration, concurrenc
 	for _, s := range samples {
 		all = append(all, s.ns)
 		perOp[s.op] = append(perOp[s.op], s.ns)
-		if !s.ok {
+		st := rep.PerOp[s.op]
+		switch {
+		case s.gaveUp:
+			rep.GiveUps++
+			st.GiveUps++
+		case !s.ok:
 			rep.Errors++
-			st := rep.PerOp[s.op]
 			st.Errors++
-			rep.PerOp[s.op] = st
 		}
+		rep.Retries += s.retries
+		st.Retries += s.retries
+		rep.PerOp[s.op] = st
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.QPS = float64(len(all)) / d.Seconds()
@@ -310,29 +413,36 @@ func summarize(samples []sample, addr, model string, d time.Duration, concurrenc
 	return rep
 }
 
-// upload registers the circuit under name as a raw netlist body.
-func upload(client *http.Client, base, name string, c *circuit.Circuit) error {
-	req, err := http.NewRequest(http.MethodPut, base+"/v1/models/"+name,
-		strings.NewReader(netlist.String(c)))
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
+// upload registers the circuit under name as a raw netlist body,
+// retrying through transient pushback (a restarting or draining server
+// answers 503 until ready).
+func upload(client *http.Client, base, name string, c *circuit.Circuit, pol retryPolicy, rng *rand.Rand) error {
+	text := netlist.String(c)
+	resp, _, gaveUp := doRetry(func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPut, base+"/v1/models/"+name, strings.NewReader(text))
+		if err != nil {
+			return nil, err
+		}
+		return client.Do(req)
+	}, pol, rng)
+	if resp == nil {
+		return fmt.Errorf("no response after retries")
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK {
+		if gaveUp {
+			return fmt.Errorf("gave up after retries: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
 		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	return nil
 }
 
-// fire sends one request of the given op kind and reports success.
-// 429/503 count as errors (the point of a saturation run is to see
-// where they start).
-func fire(client *http.Client, base, model, op string, k int, nets []string, numCouplings int, rng *rand.Rand) bool {
+// fire sends one request of the given op kind, retrying transient
+// pushback per the policy, and reports the outcome (op and latency are
+// filled by the caller).
+func fire(client *http.Client, base, model, op string, k int, nets []string, numCouplings int, rng *rand.Rand, pol retryPolicy) sample {
 	var path string
 	body := map[string]any{}
 	switch op {
@@ -374,15 +484,19 @@ func fire(client *http.Client, base, model, op string, k int, nets []string, num
 	}
 	data, err := json.Marshal(body)
 	if err != nil {
-		return false
+		return sample{}
 	}
-	resp, err := client.Post(base+"/v1/models/"+model+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return false
+	resp, retries, gaveUp := doRetry(func() (*http.Response, error) {
+		return client.Post(base+"/v1/models/"+model+path, "application/json", bytes.NewReader(data))
+	}, pol, rng)
+	s := sample{retries: retries, gaveUp: gaveUp}
+	if resp == nil {
+		return s
 	}
 	defer resp.Body.Close()
 	// Drain so the connection is reused; a sweep's records count as
 	// payload to consume, not to parse.
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	s.ok = resp.StatusCode == http.StatusOK
+	return s
 }

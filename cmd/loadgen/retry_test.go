@@ -1,0 +1,131 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTransient(t *testing.T) {
+	if !transient(nil, errors.New("connection reset")) {
+		t.Error("transport error not transient")
+	}
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		if !transient(&http.Response{StatusCode: code}, nil) {
+			t.Errorf("status %d not transient", code)
+		}
+	}
+	for _, code := range []int{200, 400, 404, 500} {
+		if transient(&http.Response{StatusCode: code}, nil) {
+			t.Errorf("status %d treated as transient", code)
+		}
+	}
+}
+
+func TestBackoffJitterAndCap(t *testing.T) {
+	pol := retryPolicy{max: 8, base: 10 * time.Millisecond, cap: 80 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 8; n++ {
+		ceil := pol.base << uint(n-1)
+		if ceil <= 0 || ceil > pol.cap {
+			ceil = pol.cap
+		}
+		for i := 0; i < 100; i++ {
+			d := pol.backoff(n, 0, rng)
+			if d < 0 || d > ceil {
+				t.Fatalf("backoff(n=%d) = %v outside [0, %v]", n, d, ceil)
+			}
+		}
+	}
+	// A Retry-After hint wins over jitter, clamped to the cap.
+	if d := pol.backoff(1, 30*time.Millisecond, rng); d != 30*time.Millisecond {
+		t.Errorf("Retry-After 30ms gave %v", d)
+	}
+	if d := pol.backoff(1, time.Minute, rng); d != pol.cap {
+		t.Errorf("Retry-After 1m not clamped to cap: %v", d)
+	}
+}
+
+func TestRetryAfterOf(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		v    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-1", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form: ignored
+	}
+	for _, c := range cases {
+		if got := retryAfterOf(mk(c.v)); got != c.want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if retryAfterOf(nil) != 0 {
+		t.Error("nil response should yield 0")
+	}
+}
+
+// TestDoRetryAbsorbsPushback drives doRetry against a live server that
+// answers 503 twice before succeeding: the loop must absorb both
+// pushbacks and land the request.
+func TestDoRetryAbsorbsPushback(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	pol := retryPolicy{max: 5, base: time.Microsecond, cap: time.Millisecond}
+	rng := rand.New(rand.NewSource(7))
+	resp, retries, gaveUp := doRetry(func() (*http.Response, error) {
+		return http.Get(ts.URL)
+	}, pol, rng)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("final response: %+v", resp)
+	}
+	resp.Body.Close()
+	if retries != 2 || gaveUp {
+		t.Errorf("retries = %d, gaveUp = %v; want 2, false", retries, gaveUp)
+	}
+}
+
+// TestDoRetryGivesUp pins the budget: a server that never stops
+// pushing back costs exactly max retries and is reported as a give-up,
+// not an error.
+func TestDoRetryGivesUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	pol := retryPolicy{max: 3, base: time.Microsecond, cap: time.Millisecond}
+	rng := rand.New(rand.NewSource(7))
+	resp, retries, gaveUp := doRetry(func() (*http.Response, error) {
+		return http.Get(ts.URL)
+	}, pol, rng)
+	if resp == nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("final response: %+v", resp)
+	}
+	resp.Body.Close()
+	if retries != 3 || !gaveUp {
+		t.Errorf("retries = %d, gaveUp = %v; want 3, true", retries, gaveUp)
+	}
+}

@@ -7,11 +7,22 @@
 //
 //	topkd -addr localhost:8080
 //	topkd -addr :8080 -preload c17=testdata/c17.ckt -max-inflight 64
+//	topkd -addr :8080 -state-dir /var/lib/topkd -snapshot-interval 5m
+//
+// With -state-dir set, every model (and its warm analysis caches) is
+// persisted to versioned, checksummed snapshot files: written
+// atomically on upload, on a periodic timer, and on shutdown; restored
+// on boot. Corrupt or truncated snapshots are quarantined, the model
+// rebuilt from its persisted design source when possible, and the
+// daemon boots regardless. GET /readyz answers 503 until restore
+// completes and again from the moment draining starts; /healthz only
+// proves the process is alive.
 //
 // The /debug/ tree (metrics snapshot, expvar, pprof) rides the same
 // listener unless -no-debug is set. SIGINT/SIGTERM drain gracefully:
-// admission starts answering 503, in-flight requests finish, then the
-// listener closes.
+// /readyz flips to 503, -drain-wait elapses (time for load balancers
+// to notice), admission starts answering 503, in-flight requests
+// finish, a final snapshot is taken, then the listener closes.
 package main
 
 import (
@@ -24,15 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"topkagg/internal/faultinject"
 	"topkagg/internal/httpapi"
-	"topkagg/internal/netlist"
 	"topkagg/internal/obs"
-
-	"topkagg/internal/cell"
 )
 
 func main() {
@@ -45,16 +55,17 @@ const (
 	exitUsage = 2
 )
 
-// preloads collects repeated -preload name=path flags.
-type preloads []string
+// repeated collects repeatable string flags (-preload, -fault).
+type repeated []string
 
-func (p *preloads) String() string     { return strings.Join(*p, ",") }
-func (p *preloads) Set(s string) error { *p = append(*p, s); return nil }
+func (p *repeated) String() string     { return strings.Join(*p, ",") }
+func (p *repeated) Set(s string) error { *p = append(*p, s); return nil }
 
 // run is the whole daemon: parse flags, boot, serve until the parent
 // context (or a signal) stops it. ready, when non-nil, receives the
-// bound listen address once the server is accepting — tests use it to
-// drive a real listener without racing the boot.
+// bound listen address once the server is fully ready (restore and
+// preloads done) — tests use it to drive a real listener without
+// racing the boot.
 func run(parent context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("topkd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -68,15 +79,49 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer, ready 
 	fixWorkers := fs.Int("fixpoint-workers", 0, "worker goroutines per noise-fixpoint sweep (0 = GOMAXPROCS)")
 	noDebug := fs.Bool("no-debug", false, "disable the /debug/ tree (metrics, expvar, pprof)")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight requests are cut off")
-	var pre preloads
+	stateDir := fs.String("state-dir", "", "persist model state here: restore on boot, snapshot on upload/timer/shutdown")
+	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot cadence with -state-dir (0 = only on upload and shutdown)")
+	drainWait := fs.Duration("drain-wait", 0, "hold /readyz at 503 this long before rejecting requests on shutdown")
+	var pre, faults repeated
 	fs.Var(&pre, "preload", "name=path: register a native netlist at boot (repeatable)")
+	fs.Var(&faults, "fault", "site:k=v,...: arm a fault-injection rule, e.g. snapshot.write:delay=2s (repeatable, test builds)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 	if *maxInFlight < 0 || *maxQueue < 0 || *maxBody <= 0 || *defaultTimeout < 0 ||
-		*maxTimeout < 0 || *maxWork < 0 || *fixWorkers < 0 {
+		*maxTimeout < 0 || *maxWork < 0 || *fixWorkers < 0 || *snapInterval < 0 || *drainWait < 0 {
 		fmt.Fprintln(stderr, "topkd: limits must be non-negative (and -max-body positive)")
 		return exitErr
+	}
+	if len(faults) > 0 {
+		plan, err := parseFaults(faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "topkd:", err)
+			return exitErr
+		}
+		faultinject.Arm(plan)
+		fmt.Fprintf(stdout, "topkd: armed %d fault rule(s)\n", len(faults))
+	}
+	// Read preload files up front so a bad path fails before the
+	// listener binds; registration happens after restore so an explicit
+	// -preload wins over persisted state of the same name.
+	type preloadReq struct {
+		name string
+		up   *httpapi.UploadRequest
+	}
+	var preReqs []preloadReq
+	for _, p := range pre {
+		name, path, ok := strings.Cut(p, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "topkd: -preload wants name=path, got %q\n", p)
+			return exitErr
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "topkd:", err)
+			return exitErr
+		}
+		preReqs = append(preReqs, preloadReq{name, &httpapi.UploadRequest{Netlist: string(data)}})
 	}
 
 	cfg := httpapi.Config{
@@ -93,19 +138,10 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer, ready 
 		cfg.Obs.PublishExpvar("topkagg")
 	}
 	api := httpapi.NewServer(cfg)
-	for _, p := range pre {
-		name, path, ok := strings.Cut(p, "=")
-		if !ok {
-			fmt.Fprintf(stderr, "topkd: -preload wants name=path, got %q\n", p)
-			return exitErr
-		}
-		if err := preload(api, name, path); err != nil {
-			fmt.Fprintln(stderr, "topkd:", err)
-			return exitErr
-		}
-		fmt.Fprintf(stdout, "preloaded model %q from %s\n", name, path)
-	}
 
+	// Listener up before restore: during a long restore the daemon
+	// already answers /healthz 200 and /readyz 503, so orchestrators
+	// see "alive but not ready" instead of connection refused.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "topkd:", err)
@@ -114,12 +150,59 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer, ready 
 	srv := &http.Server{Handler: api}
 	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "topkd listening on http://%s/\n", ln.Addr())
+
+	if *stateDir != "" {
+		outs, err := api.OpenState(*stateDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "topkd:", err)
+			srv.Close()
+			return exitErr
+		}
+		for _, o := range outs {
+			switch {
+			case o.Warm:
+				fmt.Fprintf(stdout, "topkd: restored model %q (warm)\n", o.Name)
+			case o.Rebuilt:
+				fmt.Fprintf(stdout, "topkd: rebuilt model %q from persisted source (snapshot quarantined at %s: %v)\n",
+					o.Name, o.Quarantined, o.Err)
+			default:
+				fmt.Fprintf(stderr, "topkd: model %q lost to corruption (quarantined at %q): %v\n",
+					o.Name, o.Quarantined, o.Err)
+			}
+		}
+	}
+	for _, p := range preReqs {
+		if err := api.PreloadUpload(p.name, p.up); err != nil {
+			fmt.Fprintf(stderr, "topkd: preload %s: %v\n", p.name, err)
+			srv.Close()
+			return exitErr
+		}
+		fmt.Fprintf(stdout, "preloaded model %q\n", p.name)
+	}
+	api.SetReady(true)
+	fmt.Fprintln(stdout, "topkd: ready")
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	if *stateDir != "" && *snapInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := api.SaveAll(); err != nil {
+						fmt.Fprintln(stderr, "topkd: snapshot:", err)
+					}
+				}
+			}
+		}()
 	}
 
 	select {
@@ -129,6 +212,13 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer, ready 
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stdout, "topkd: draining...")
+	// Phase one: stop advertising readiness but keep serving, so load
+	// balancers drain us before any request sees a rejection.
+	api.SetReady(false)
+	if *drainWait > 0 {
+		time.Sleep(*drainWait)
+	}
+	// Phase two: reject new work, finish in-flight requests.
 	api.Drain()
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
@@ -136,20 +226,59 @@ func run(parent context.Context, args []string, stdout, stderr io.Writer, ready 
 		fmt.Fprintln(stderr, "topkd: shutdown:", err)
 		return exitErr
 	}
+	if *stateDir != "" {
+		if err := api.SaveAll(); err != nil {
+			fmt.Fprintln(stderr, "topkd: final snapshot:", err)
+		} else {
+			fmt.Fprintln(stdout, "topkd: state saved")
+		}
+	}
 	fmt.Fprintln(stdout, "topkd: stopped")
 	return exitOK
 }
 
-// preload registers one native-netlist file under name.
-func preload(api *httpapi.Server, name, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// parseFaults turns -fault flags into an armed plan. Each flag is
+// site:key=value[,key=value...]; keys are on, every (hit triggers),
+// delay (sleep), err (inject an error message at FireErr sites) and
+// panic. Example: -fault snapshot.write:on=2,delay=3s holds the
+// second snapshot section write for three seconds — the window a
+// crash-recovery test kills the process in.
+func parseFaults(specs []string) (*faultinject.Plan, error) {
+	if !faultinject.Enabled() {
+		return nil, fmt.Errorf("-fault: probes compiled out (faultinject_off build)")
 	}
-	defer f.Close()
-	c, err := netlist.Parse(f, cell.Default())
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	plan := faultinject.NewPlan(1)
+	for _, spec := range specs {
+		site, kvs, ok := strings.Cut(spec, ":")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("-fault wants site:k=v[,k=v...], got %q", spec)
+		}
+		var r faultinject.Rule
+		for _, kv := range strings.Split(kvs, ",") {
+			key, val, _ := strings.Cut(strings.TrimSpace(kv), "=")
+			var err error
+			switch key {
+			case "on":
+				r.On, err = strconv.ParseInt(val, 10, 64)
+			case "every":
+				r.Every, err = strconv.ParseInt(val, 10, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			case "err":
+				if val == "" {
+					val = "injected fault"
+				}
+				r.Err = errors.New(val)
+			case "panic":
+				r.Panic = true
+			default:
+				return nil, fmt.Errorf("-fault %q: unknown key %q (want on, every, delay, err, panic)", spec, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("-fault %q: %s: %v", spec, key, err)
+			}
+		}
+		plan.Add(site, r)
 	}
-	return api.Preload(name, "netlist", c)
+	return plan, nil
 }

@@ -122,7 +122,7 @@ func TestRunServeAndShutdown(t *testing.T) {
 
 // TestPreloadsFlag covers the repeatable flag.Value.
 func TestPreloadsFlag(t *testing.T) {
-	var p preloads
+	var p repeated
 	for i := 0; i < 3; i++ {
 		if err := p.Set(fmt.Sprintf("m%d=f%d", i, i)); err != nil {
 			t.Fatal(err)
@@ -131,4 +131,107 @@ func TestPreloadsFlag(t *testing.T) {
 	if got := p.String(); got != "m0=f0,m1=f1,m2=f2" {
 		t.Errorf("preloads.String() = %q", got)
 	}
+}
+
+// TestParseFaults pins the -fault grammar.
+func TestParseFaults(t *testing.T) {
+	plan, err := parseFaults([]string{
+		"snapshot.write:on=2,delay=10ms,err=disk on fire",
+		"serve.query:every=3,panic",
+		"snapshot.restore:err=",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("nil plan")
+	}
+	for _, bad := range []string{
+		"nosite",         // missing colon
+		":on=1",          // empty site
+		"s:frobnicate=1", // unknown key
+		"s:on=x",         // bad int
+		"s:delay=fast",   // bad duration
+	} {
+		if _, err := parseFaults([]string{bad}); err == nil {
+			t.Errorf("parseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStateDirWarmRestart drives the daemon's persistence path end to
+// end: boot with a state dir and a preload, shut down (final
+// snapshot), boot again with no preload, and expect the model to come
+// back warm and answer queries.
+func TestStateDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	boot := func(args []string) (addr string, cancel context.CancelFunc, done chan int, out *bytes.Buffer) {
+		t.Helper()
+		ctx, cf := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done = make(chan int, 1)
+		out = &bytes.Buffer{}
+		var errb bytes.Buffer
+		go func() { done <- run(ctx, args, out, &errb, ready) }()
+		select {
+		case addr = <-ready:
+		case code := <-done:
+			t.Fatalf("daemon exited early with %d: %s", code, errb.String())
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return addr, cf, done, out
+	}
+	stopOK := func(cancel context.CancelFunc, done chan int) {
+		t.Helper()
+		cancel()
+		select {
+		case code := <-done:
+			if code != exitOK {
+				t.Fatalf("shutdown exit %d", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon never exited")
+		}
+	}
+	query := func(addr string) []byte {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/models/c17/query", "application/json",
+			strings.NewReader(`{"op":"addition","k":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	addr, cancel, done, out := boot([]string{
+		"-addr", "127.0.0.1:0",
+		"-preload", "c17=../../testdata/c17.ckt",
+		"-state-dir", dir,
+		"-snapshot-interval", "0",
+	})
+	cold := query(addr)
+	stopOK(cancel, done)
+	if !strings.Contains(out.String(), "state saved") {
+		t.Fatalf("first run never saved state: %s", out.String())
+	}
+
+	addr, cancel, done, out = boot([]string{
+		"-addr", "127.0.0.1:0",
+		"-state-dir", dir,
+		"-snapshot-interval", "0",
+	})
+	defer cancel()
+	if !strings.Contains(out.String(), `restored model "c17" (warm)`) {
+		t.Fatalf("second run not warm: %s", out.String())
+	}
+	if warm := query(addr); !bytes.Equal(cold, warm) {
+		t.Errorf("restored response differs from pre-restart response:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	stopOK(cancel, done)
 }

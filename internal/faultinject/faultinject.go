@@ -39,6 +39,17 @@ const (
 	// SiteBruteforceEval fires once per candidate set evaluated by a
 	// brute-force search worker (internal/bruteforce).
 	SiteBruteforceEval = "bruteforce.eval"
+	// SiteSnapshotWrite fires once per section framed by a snapshot
+	// encoder (internal/snapshot) — rules here model torn or failed
+	// writes: an Err rule aborts the encode mid-file (the atomic-rename
+	// protocol must then leave the previous snapshot intact), a Delay
+	// rule widens the window for kill -9 crash tests.
+	SiteSnapshotWrite = "snapshot.write"
+	// SiteSnapshotRestore fires once per section read by a snapshot
+	// decoder (internal/snapshot) — rules here model read-side
+	// corruption and slow restores (Delay exposes the /readyz
+	// not-ready window during boot).
+	SiteSnapshotRestore = "snapshot.restore"
 )
 
 // Injected is the panic value (and error) of an injected panic, so
@@ -69,6 +80,10 @@ type Rule struct {
 
 	// Panic injects a panic(*Injected) at the probe.
 	Panic bool
+	// Err injects an error return at probes that use FireErr (the
+	// snapshot write/read sites). Fire ignores it — error injection is
+	// only meaningful where the caller has an error path.
+	Err error
 	// Delay sleeps at the probe — for widening race windows and
 	// forcing deadline expiry at a known point.
 	Delay time.Duration
@@ -151,10 +166,28 @@ func Fire(site string) {
 	p.fire(site)
 }
 
-func (p *Plan) fire(site string) {
+// FireErr is Fire for probe sites whose caller has an error path (the
+// snapshot write/read sites): a triggered rule with Err set returns
+// that error instead of panicking, modelling I/O failures (ENOSPC, a
+// torn write, read-side corruption) that production code must handle
+// gracefully. Rules without Err behave exactly as under Fire.
+func FireErr(site string) error {
+	if !enabled {
+		return nil
+	}
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.fireErr(site)
+}
+
+func (p *Plan) fire(site string) { _ = p.fireErr(site) }
+
+func (p *Plan) fireErr(site string) error {
 	rules := p.rules[site]
 	if len(rules) == 0 {
-		return
+		return nil
 	}
 	hit := p.hits[site].Add(1)
 	for i := range rules {
@@ -182,5 +215,9 @@ func (p *Plan) fire(site string) {
 		if r.Panic {
 			panic(&Injected{Site: site, Hit: hit})
 		}
+		if r.Err != nil {
+			return fmt.Errorf("%w (injected at %s hit %d)", r.Err, site, hit)
+		}
 	}
+	return nil
 }

@@ -136,3 +136,36 @@ func TestHitsCountsOnlyRuledSites(t *testing.T) {
 		t.Fatalf("Hits(b) = %d, want 0", got)
 	}
 }
+
+func TestFireErrInjectsError(t *testing.T) {
+	needProbes(t)
+	sentinel := errors.New("disk on fire")
+	Arm(NewPlan(1).Add("io", Rule{On: 2, Err: sentinel}))
+	defer Disarm()
+	if err := FireErr("io"); err != nil {
+		t.Fatalf("hit 1 errored: %v", err)
+	}
+	err := FireErr("io")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("hit 2: got %v, want wrapped sentinel", err)
+	}
+	if err := FireErr("io"); err != nil {
+		t.Fatalf("hit 3 errored: %v", err)
+	}
+	// Unruled sites and disarmed plans stay silent.
+	if err := FireErr("other"); err != nil {
+		t.Fatalf("unruled site errored: %v", err)
+	}
+	Disarm()
+	if err := FireErr("io"); err != nil {
+		t.Fatalf("disarmed FireErr errored: %v", err)
+	}
+}
+
+func TestInjectedErrorString(t *testing.T) {
+	e := &Injected{Site: "snapshot.write", Hit: 4}
+	want := "faultinject: injected panic at snapshot.write (hit 4)"
+	if got := e.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}

@@ -29,6 +29,12 @@ type model struct {
 	m       *noise.Model
 	source  string // "netlist" or "verilog"(+"+spef")
 	created time.Time
+	// src is the upload material the circuit was built from, retained
+	// verbatim so the model can be persisted and — should its warm
+	// snapshot ever be corrupt — rebuilt cold from source. nil for
+	// models registered from an already-parsed circuit (Preload), which
+	// are therefore not persistable.
+	src *UploadRequest
 
 	mu        sync.Mutex
 	analyzers map[bool]*serve.Analyzer // keyed by the exact preset
@@ -49,6 +55,25 @@ func (md *model) analyzer(exact bool) *serve.Analyzer {
 		md.analyzers[exact] = a
 	}
 	return a
+}
+
+// analyzerSnapshot copies the current analyzer pool — the snapshot
+// writer iterates it without holding the model lock.
+func (md *model) analyzerSnapshot() map[bool]*serve.Analyzer {
+	md.mu.Lock()
+	defer md.mu.Unlock()
+	out := make(map[bool]*serve.Analyzer, len(md.analyzers))
+	for k, a := range md.analyzers {
+		out[k] = a
+	}
+	return out
+}
+
+// installAnalyzer publishes a restored analyzer under its preset key.
+func (md *model) installAnalyzer(exact bool, a *serve.Analyzer) {
+	md.mu.Lock()
+	md.analyzers[exact] = a
+	md.mu.Unlock()
 }
 
 // ModelInfo is the wire description of one registered model.
@@ -89,7 +114,15 @@ func newRegistry(fixWorkers int, reg *obs.Registry) *registry {
 }
 
 // add registers a circuit under name, replacing any previous model.
-func (r *registry) add(name, source string, c *circuit.Circuit) (*model, bool) {
+func (r *registry) add(name, source string, c *circuit.Circuit, src *UploadRequest) (*model, bool) {
+	md := r.build(name, source, c, src, time.Now())
+	return md, r.insert(md)
+}
+
+// build constructs a model entry without publishing it — snapshot
+// restore decodes warm analyzers into the entry first and registers it
+// only once the whole file has validated.
+func (r *registry) build(name, source string, c *circuit.Circuit, src *UploadRequest, created time.Time) *model {
 	m := noise.NewModel(c)
 	if r.fixWorkers > 0 {
 		m = m.WithWorkers(r.fixWorkers)
@@ -97,19 +130,24 @@ func (r *registry) add(name, source string, c *circuit.Circuit) (*model, bool) {
 	if r.obs != nil {
 		m = m.WithObs(r.obs)
 	}
-	md := &model{
+	return &model{
 		name:      name,
 		c:         c,
 		m:         m,
 		source:    source,
-		created:   time.Now(),
+		created:   created,
+		src:       src,
 		analyzers: map[bool]*serve.Analyzer{},
 	}
+}
+
+// insert publishes md, reporting whether it replaced a previous model.
+func (r *registry) insert(md *model) bool {
 	r.mu.Lock()
-	_, replaced := r.models[name]
-	r.models[name] = md
+	_, replaced := r.models[md.name]
+	r.models[md.name] = md
 	r.mu.Unlock()
-	return md, replaced
+	return replaced
 }
 
 func (r *registry) get(name string) (*model, bool) {

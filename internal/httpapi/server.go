@@ -10,6 +10,7 @@ import (
 	"topkagg/internal/circuit"
 	"topkagg/internal/obs"
 	"topkagg/internal/serve"
+	"topkagg/internal/snapshot"
 )
 
 // Config shapes a Server. The zero value serves with no admission
@@ -51,6 +52,15 @@ type Server struct {
 	mux *http.ServeMux
 	obs *httpObs
 
+	// store persists model state when OpenState was called; nil = no
+	// persistence (the default).
+	store *snapshot.Store
+	// ready gates /readyz: false from construction until the caller
+	// declares boot complete (SetReady), and false again once draining
+	// starts. Load balancers watch /readyz; /healthz only proves the
+	// process is alive.
+	ready atomic.Bool
+
 	streams atomic.Int64 // live NDJSON sweeps, for draining visibility
 }
 
@@ -67,6 +77,7 @@ func NewServer(cfg Config) *Server {
 		obs: newHTTPObs(cfg.Obs),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/models", s.handleList)
 	s.mux.HandleFunc("POST /v1/models/{name}", s.handleUpload)
 	s.mux.HandleFunc("PUT /v1/models/{name}", s.handleUpload)
@@ -98,19 +109,50 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.obs.done(rec.status, start)
 }
 
-// Drain flips the server into shutdown mode: admission-controlled
-// endpoints answer 503 from now on while in-flight requests finish.
-// Call it before http.Server.Shutdown for a clean two-phase stop.
-func (s *Server) Drain() { s.adm.drain() }
+// Drain flips the server into shutdown mode: /readyz answers 503
+// immediately (so load balancers stop routing here) and
+// admission-controlled endpoints answer 503 from now on while
+// in-flight requests finish. Call it before http.Server.Shutdown for
+// a clean two-phase stop.
+func (s *Server) Drain() {
+	s.ready.Store(false)
+	s.adm.drain()
+}
 
-// Preload registers a circuit directly, bypassing HTTP — for boot-time
-// -preload flags and in-process harnesses.
+// SetReady declares boot complete (or revokes it): /readyz flips
+// between 503 and 200. The daemon calls SetReady(true) once restore
+// and preloads have finished.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Preload registers an already-parsed circuit directly, bypassing
+// HTTP — for in-process harnesses. Models registered this way carry no
+// upload material and are therefore skipped by snapshot persistence;
+// use PreloadUpload when the model should survive restarts.
 func (s *Server) Preload(name, source string, c *circuit.Circuit) error {
 	if aerr := validateModelName(name); aerr != nil {
 		return aerr
 	}
-	s.reg.add(name, source, c)
+	s.reg.add(name, source, c, nil)
 	return nil
+}
+
+// PreloadUpload registers a model from raw upload material exactly as
+// a POST /v1/models/{name} would, bypassing HTTP — for boot-time
+// -preload flags. The material is retained, so the model persists
+// like any uploaded one.
+func (s *Server) PreloadUpload(name string, up *UploadRequest) error {
+	if aerr := validateModelName(name); aerr != nil {
+		return aerr
+	}
+	c, source, aerr := buildCircuit(up)
+	if aerr != nil {
+		return aerr
+	}
+	s.reg.add(name, source, c, up)
+	return s.SaveModel(name)
 }
 
 // policy is the limit policy every query resolves against.
@@ -124,6 +166,19 @@ func (s *Server) policy() limitPolicy {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the load-balancer readiness gate: 503 until boot-time
+// restore/rebuild completes and again from the moment draining starts,
+// 200 in between. Distinct from /healthz, which answers 200 whenever
+// the process can serve at all.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -158,10 +213,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	md, replaced := s.reg.add(name, source, c)
+	md, replaced := s.reg.add(name, source, c, up)
 	if s.obs != nil {
 		s.obs.uploads.Inc()
 	}
+	// Persist before replying: once the client sees 200, the model
+	// survives a crash. A failed save (disk full, injected fault) is
+	// counted by the store and does not fail the upload — the model is
+	// live in memory either way.
+	_ = s.SaveModel(name)
 	writeJSON(w, http.StatusOK, uploadResult{Model: md.info(), Replaced: replaced})
 }
 
@@ -179,6 +239,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.reg.remove(name) {
 		writeAPIError(w, errNotFound(codeUnknownModel, "no model %q", name))
 		return
+	}
+	if s.store != nil {
+		// A deleted model must not resurrect on the next boot.
+		_ = s.store.Remove(name)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }

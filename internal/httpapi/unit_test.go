@@ -206,7 +206,7 @@ func TestLimitPolicyResolve(t *testing.T) {
 func TestRegistryAnalyzerPool(t *testing.T) {
 	c := testCircuit(t, 2)
 	reg := newRegistry(0, nil)
-	md, replaced := reg.add("m", "netlist", c)
+	md, replaced := reg.add("m", "netlist", c, nil)
 	if replaced {
 		t.Fatal("first add reported replaced")
 	}
@@ -222,7 +222,7 @@ func TestRegistryAnalyzerPool(t *testing.T) {
 		t.Error("exact-preset analyzer not memoized")
 	}
 
-	md2, replaced := reg.add("m", "netlist", c)
+	md2, replaced := reg.add("m", "netlist", c, nil)
 	if !replaced {
 		t.Fatal("second add did not report replaced")
 	}

@@ -212,6 +212,11 @@ func NewAnalyzer(m *noise.Model, opt core.Options) *Analyzer {
 	return &Analyzer{m: m, opt: opt, preps: map[prepKey]*prepEntry{}, obs: newServeObs(m.Obs)}
 }
 
+// Options returns the Analyzer's enumeration options. Snapshot restore
+// uses it to check that a restored Analyzer matches the preset its
+// container claimed.
+func (a *Analyzer) Options() core.Options { return a.opt }
+
 // retryableStop reports whether a failed cache build may be retried by
 // a waiter whose own budget is still alive: the build died of the
 // BUILDER's budget (cancel, deadline, work), which says nothing about

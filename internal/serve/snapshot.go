@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"topkagg/internal/circuit"
+	"topkagg/internal/core"
+	"topkagg/internal/noise"
+	"topkagg/internal/snapshot"
+	"topkagg/internal/sta"
+)
+
+// Analyzer warm-state snapshot (DESIGN.md §13).
+//
+// A snapshot captures everything an Analyzer computed that is
+// expensive to recompute and strictly read-only once built: the
+// all-aggressor fixpoint analysis (noiseless and noisy windows,
+// per-net delay noise) and every completed (mode, target)
+// preparation. The restore-equivalence contract: for every query, a
+// restored Analyzer's Response is byte-identical to what a cold
+// Analyzer over the same model and options would return (wall-clock
+// fields aside), because (a) every serialized float round-trips as
+// its bit pattern, (b) everything not serialized — envelope intern
+// tables, digest memos, admission counters — is cache that the
+// determinism surface already excludes, and (c) preparation is itself
+// deterministic, pinned by the package's determinism property tests.
+// The differential suite in snapshot_test.go holds this end to end.
+//
+// Entries still being built and entries that failed are skipped — a
+// snapshot never persists an error or a partial build, so restoring
+// can only ever yield state a healthy cold server would also reach.
+
+// Section kinds of the analyzer container.
+const (
+	secAnalyzer = 1    // options + circuit fingerprint
+	secFull     = 2    // fixpoint analysis (windows, net noise)
+	secPrep     = 3    // one (mode, target) preparation
+	secEnd      = 0xFF // explicit terminator: absence = truncation
+)
+
+// Snapshot serializes the Analyzer's warm state to w as a versioned,
+// checksummed container. Safe to call on a live Analyzer: the briefly
+// held lock snapshots the cache maps, and the entries themselves are
+// immutable once published.
+func (a *Analyzer) Snapshot(w io.Writer) error {
+	var full *noise.Analysis
+	var shareds []*core.Shared
+	a.mu.Lock()
+	if e := a.full; e != nil {
+		select {
+		case <-e.done:
+			if e.err == nil && e.an != nil {
+				full = e.an
+			}
+		default: // still building; skip
+		}
+	}
+	type keyed struct {
+		key    prepKey
+		shared *core.Shared
+	}
+	var ks []keyed
+	for key, e := range a.preps {
+		select {
+		case <-e.done:
+			if e.err == nil && e.shared != nil {
+				ks = append(ks, keyed{key, e.shared})
+			}
+		default:
+		}
+	}
+	a.mu.Unlock()
+	// Deterministic section order: snapshots of identical warm state
+	// are identical files.
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key.elim != ks[j].key.elim {
+			return !ks[i].key.elim
+		}
+		return ks[i].key.net < ks[j].key.net
+	})
+	for _, k := range ks {
+		shareds = append(shareds, k.shared)
+	}
+
+	enc, err := snapshot.NewEncoder(w)
+	if err != nil {
+		return err
+	}
+	enc.Begin()
+	core.EncodeOptions(enc, a.opt)
+	enc.Int(a.m.C.NumNets())
+	enc.Int(a.m.C.NumCouplings())
+	if err := enc.Flush(secAnalyzer); err != nil {
+		return err
+	}
+	if full != nil {
+		enc.Begin()
+		enc.Int(full.Iterations)
+		enc.Bool(full.Converged)
+		enc.F64s(full.NetNoise)
+		encodeWindows(enc, full.Base.Windows)
+		encodeWindows(enc, full.Timing.Windows)
+		if err := enc.Flush(secFull); err != nil {
+			return err
+		}
+		for _, sh := range shareds {
+			enc.Begin()
+			sh.EncodeShared(enc)
+			if err := enc.Flush(secPrep); err != nil {
+				return err
+			}
+		}
+	}
+	enc.Begin()
+	return enc.Flush(secEnd)
+}
+
+func encodeWindows(e *snapshot.Encoder, ws []sta.Window) {
+	e.U32(uint32(len(ws)))
+	for _, w := range ws {
+		e.F64(w.EAT)
+		e.F64(w.LAT)
+		e.F64(w.Slew)
+	}
+}
+
+func decodeWindows(d *snapshot.Decoder, c *circuit.Circuit) ([]sta.Window, error) {
+	n := int(d.U32())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > d.Remaining()/24 {
+		return nil, fmt.Errorf("serve: restore: window block claims %d entries", n)
+	}
+	if n != c.NumNets() {
+		return nil, fmt.Errorf("serve: restore: %d windows for %d nets", n, c.NumNets())
+	}
+	ws := make([]sta.Window, n)
+	for i := range ws {
+		ws[i].EAT = d.FiniteF64()
+		ws[i].LAT = d.FiniteF64()
+		ws[i].Slew = d.FiniteF64()
+	}
+	return ws, d.Err()
+}
+
+// RestoreAnalyzer rebuilds an Analyzer from a snapshot stream against
+// a freshly constructed model of the same circuit. The model carries
+// everything a snapshot deliberately does not (the circuit's columnar
+// view, worker configuration, metric registry); the stream supplies
+// the options and warm caches. Any malformed input — truncation, bit
+// flips, adversarial bytes — yields a typed error and no Analyzer:
+// the caches are attached only after the entire stream has decoded
+// and validated, so a partially-populated Analyzer can never escape.
+func RestoreAnalyzer(r io.Reader, m *noise.Model) (*Analyzer, error) {
+	dec, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := dec.Next()
+	if err != nil {
+		return nil, restoreEOF(err)
+	}
+	if kind != secAnalyzer {
+		return nil, fmt.Errorf("serve: restore: leading section is kind %d, want analyzer header", kind)
+	}
+	opt, err := core.DecodeOptions(dec, m.C)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	nNets, nCoup := dec.Int(), dec.Int()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if nNets != m.C.NumNets() || nCoup != m.C.NumCouplings() {
+		return nil, fmt.Errorf("serve: restore: snapshot of a %d-net/%d-coupling circuit cannot restore onto %d/%d (%s)",
+			nNets, nCoup, m.C.NumNets(), m.C.NumCouplings(), m.C.Name)
+	}
+	if !dec.AtEnd() {
+		return nil, fmt.Errorf("serve: restore: %d trailing bytes in analyzer header", dec.Remaining())
+	}
+
+	var full *noise.Analysis
+	preps := map[prepKey]*prepEntry{}
+	done := false
+	for !done {
+		kind, err := dec.Next()
+		if err != nil {
+			return nil, restoreEOF(err)
+		}
+		switch kind {
+		case secFull:
+			if full != nil {
+				return nil, fmt.Errorf("serve: restore: duplicate fixpoint section")
+			}
+			full, err = decodeFull(dec, m)
+			if err != nil {
+				return nil, err
+			}
+		case secPrep:
+			if full == nil {
+				return nil, fmt.Errorf("serve: restore: preparation before fixpoint section")
+			}
+			sh, err := core.DecodeShared(dec, m, full, opt)
+			if err != nil {
+				return nil, err
+			}
+			key := prepKey{elim: sh.Elimination(), net: sh.Target()}
+			if _, dup := preps[key]; dup {
+				return nil, fmt.Errorf("serve: restore: duplicate preparation (elim=%v net=%d)", key.elim, key.net)
+			}
+			preps[key] = restoredPrep(sh)
+		case secEnd:
+			if !dec.AtEnd() {
+				return nil, fmt.Errorf("serve: restore: end section carries %d bytes", dec.Remaining())
+			}
+			done = true
+		default:
+			return nil, fmt.Errorf("serve: restore: unknown section kind %d", kind)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		return nil, fmt.Errorf("serve: restore: data after end section")
+	}
+
+	a := NewAnalyzer(m, opt)
+	if full != nil {
+		fe := &fullEntry{done: make(chan struct{}), an: full}
+		close(fe.done)
+		a.full = fe
+		a.preps = preps
+	}
+	return a, nil
+}
+
+// restoreEOF maps a clean EOF between sections to a typed truncation
+// error: a valid snapshot always ends with an explicit end section, so
+// running out of bytes first means the tail was lost.
+func restoreEOF(err error) error {
+	if err == io.EOF {
+		return &snapshot.FormatError{Msg: "container truncated before end section"}
+	}
+	return err
+}
+
+func decodeFull(dec *snapshot.Decoder, m *noise.Model) (*noise.Analysis, error) {
+	iterations := dec.Int()
+	converged := dec.Bool()
+	netNoise := dec.FiniteF64s()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if len(netNoise) != m.C.NumNets() {
+		return nil, fmt.Errorf("serve: restore: net noise covers %d of %d nets", len(netNoise), m.C.NumNets())
+	}
+	if iterations < 0 {
+		return nil, fmt.Errorf("serve: restore: negative iteration count %d", iterations)
+	}
+	baseW, err := decodeWindows(dec, m.C)
+	if err != nil {
+		return nil, err
+	}
+	timW, err := decodeWindows(dec, m.C)
+	if err != nil {
+		return nil, err
+	}
+	if !dec.AtEnd() {
+		return nil, fmt.Errorf("serve: restore: %d trailing bytes in fixpoint section", dec.Remaining())
+	}
+	base, err := sta.RestoreResult(m.C, baseW)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	timing, err := sta.RestoreResult(m.C, timW)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	return &noise.Analysis{
+		Base:       base,
+		Timing:     timing,
+		NetNoise:   netNoise,
+		Iterations: iterations,
+		Converged:  converged,
+	}, nil
+}
+
+// restoredPrep wraps a decoded preparation in a published cache entry.
+func restoredPrep(sh *core.Shared) *prepEntry {
+	e := &prepEntry{done: make(chan struct{}), shared: sh}
+	close(e.done)
+	return e
+}

@@ -1,0 +1,285 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"topkagg/internal/obs"
+)
+
+// snapExt is the per-model snapshot file extension. Model names are
+// restricted to [A-Za-z0-9._-] by the registry, so name+ext is a safe
+// filename and cannot collide with the manifest.
+const snapExt = ".snap"
+
+// manifestName is the store's index file, written atomically after
+// every change. It is advisory: Load unions it with a directory scan,
+// so a lost or stale manifest degrades to a rescan, never to data loss.
+const manifestName = "MANIFEST.json"
+
+// Manifest is the JSON index of a state directory.
+type Manifest struct {
+	// FormatVersion is the container version the files were written
+	// with.
+	FormatVersion int `json:"formatVersion"`
+	// Models lists the persisted models.
+	Models []ManifestEntry `json:"models"`
+}
+
+// ManifestEntry describes one persisted model.
+type ManifestEntry struct {
+	Name    string `json:"name"`
+	File    string `json:"file"`
+	SavedAt string `json:"savedAt"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// Store manages one state directory: per-model snapshot files, the
+// manifest, quarantine of corrupt files, and the snapshot.* metrics.
+// All methods are safe for concurrent use; per-model writes are
+// serialized by the store lock, restores happen once at boot.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest map[string]ManifestEntry
+
+	saves, saveErrors, restores, corruptions, quarantines *obs.Counter
+	saveBytes                                             *obs.Counter
+	encodeNS, decodeNS                                    *obs.Histogram
+}
+
+// Open creates (if needed) and opens a state directory. reg, when
+// non-nil, receives the snapshot.* metrics.
+func Open(dir string, reg *obs.Registry) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: state dir: %w", err)
+	}
+	s := &Store{dir: dir, manifest: map[string]ManifestEntry{}}
+	if reg != nil {
+		s.saves = reg.Counter("snapshot.saves")
+		s.saveErrors = reg.Counter("snapshot.save_errors")
+		s.saveBytes = reg.Counter("snapshot.save_bytes")
+		s.restores = reg.Counter("snapshot.restores")
+		s.corruptions = reg.Counter("snapshot.corruptions_detected")
+		s.quarantines = reg.Counter("snapshot.quarantines")
+		s.encodeNS = reg.Histogram("snapshot.encode_ns")
+		s.decodeNS = reg.Histogram("snapshot.decode_ns")
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		var m Manifest
+		if json.Unmarshal(data, &m) == nil {
+			for _, e := range m.Models {
+				if e.Name != "" && e.File == e.Name+snapExt {
+					s.manifest[e.Name] = e
+				}
+			}
+		}
+		// An unreadable manifest is not fatal: Load rescans the
+		// directory and the next Save rewrites it.
+	}
+	return s, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name+snapExt) }
+
+// Save atomically writes one model's snapshot file and updates the
+// manifest. encode receives a fresh Encoder positioned after the
+// container header; it frames whatever sections the caller's layer
+// defines.
+func (s *Store) Save(name string, encode func(*Encoder) error) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	n, err := WriteFileAtomic(s.path(name), encode)
+	if err != nil {
+		if s.saveErrors != nil {
+			s.saveErrors.Inc()
+		}
+		return 0, err
+	}
+	if s.saves != nil {
+		s.saves.Inc()
+		s.saveBytes.Add(n)
+		s.encodeNS.Observe(int64(time.Since(start)))
+	}
+	s.manifest[name] = ManifestEntry{
+		Name:    name,
+		File:    name + snapExt,
+		SavedAt: start.UTC().Format(time.RFC3339),
+		Bytes:   n,
+	}
+	return n, s.writeManifestLocked()
+}
+
+// Remove deletes a model's snapshot file and manifest entry (model
+// deletion must not resurrect on the next boot). Missing files are
+// fine — the model may never have been saved.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.manifest, name)
+	if err := os.Remove(s.path(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("snapshot: remove: %w", err)
+	}
+	return s.writeManifestLocked()
+}
+
+func (s *Store) writeManifestLocked() error {
+	m := Manifest{FormatVersion: Version}
+	for _, e := range s.manifest {
+		m.Models = append(m.Models, e)
+	}
+	sort.Slice(m.Models, func(i, j int) bool { return m.Models[i].Name < m.Models[j].Name })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(s.dir, manifestName)
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+manifestName+".*")
+	if err != nil {
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// LoadOutcome classifies one model file's fate during Load.
+type LoadOutcome struct {
+	// Name is the model name (derived from the file name).
+	Name string
+	// Restored reports a fully successful restore.
+	Restored bool
+	// Quarantined holds the quarantine path of a corrupt file ("" when
+	// the file decoded cleanly).
+	Quarantined string
+	// Err is the decode/restore failure, nil on success.
+	Err error
+}
+
+// Load drives boot-time restore: it sweeps temp files orphaned by a
+// crash mid-write, then decodes every *.snap file (union of manifest
+// and directory scan, sorted by name for deterministic boot order)
+// through the restore callback. A file whose decode or restore fails
+// is quarantined — moved aside with its evidence preserved — and boot
+// continues; the server never crashes on, and never serves from, bad
+// state. The callback may have salvaged a prefix (e.g. rebuilt the
+// model from the design-source section before a later warm section
+// went bad); that salvage lives in the callback's own state and is
+// not undone by the quarantine.
+func (s *Store) Load(restore func(name string, dec *Decoder) error) []LoadOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := map[string]bool{}
+	entries, err := os.ReadDir(s.dir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if strings.HasPrefix(e.Name(), tmpPrefix) {
+				// Orphan of a crash mid-write: the rename never happened,
+				// so it holds no published state.
+				os.Remove(filepath.Join(s.dir, e.Name()))
+				continue
+			}
+			if n, ok := strings.CutSuffix(e.Name(), snapExt); ok && n != "" {
+				names[n] = true
+			}
+		}
+	}
+	for n := range s.manifest {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var outs []LoadOutcome
+	dirty := false
+	for _, name := range ordered {
+		out := LoadOutcome{Name: name}
+		out.Restored, out.Quarantined, out.Err = s.loadOne(name, restore)
+		if !out.Restored {
+			if _, ok := s.manifest[name]; ok {
+				delete(s.manifest, name)
+				dirty = true
+			}
+		}
+		outs = append(outs, out)
+	}
+	if dirty {
+		// Manifest entries for quarantined/missing files are dropped;
+		// best effort — a failed write here only means a stale manifest,
+		// which the next Save or Load absorbs.
+		_ = s.writeManifestLocked()
+	}
+	return outs
+}
+
+func (s *Store) loadOne(name string, restore func(string, *Decoder) error) (restored bool, quarantined string, err error) {
+	start := time.Now()
+	path := s.path(name)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, "", fmt.Errorf("snapshot: %s: file named by manifest is missing", name)
+		}
+		return false, "", err
+	}
+	defer f.Close()
+	dec, err := NewDecoder(f)
+	if err == nil {
+		err = restore(name, dec)
+	}
+	if err != nil {
+		if s.corruptions != nil && IsCorrupt(err) {
+			s.corruptions.Inc()
+		}
+		f.Close()
+		q, qerr := Quarantine(path)
+		if qerr == nil {
+			if s.quarantines != nil {
+				s.quarantines.Inc()
+			}
+			return false, q, err
+		}
+		// Could not even move it aside; leave it, report the original
+		// failure. The model is still not served from bad state.
+		return false, "", fmt.Errorf("%w (quarantine also failed: %v)", err, qerr)
+	}
+	if s.restores != nil {
+		s.restores.Inc()
+		s.decodeNS.Observe(int64(time.Since(start)))
+	}
+	return true, "", nil
+}

@@ -102,6 +102,29 @@ func Analyze(c *circuit.Circuit, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// RestoreResult reconstructs an analysis Result from previously
+// computed windows (a snapshot round trip): the evaluation order is
+// re-derived from the circuit's columnar view — it is a pure function
+// of the topology, so the restored Result is indistinguishable from
+// the one the windows were taken from. Every window must be finite
+// (corrupt snapshots are refused, exactly as Analyze refuses corrupt
+// cell data) and the slice must cover the circuit's nets.
+func RestoreResult(c *circuit.Circuit, windows []Window) (*Result, error) {
+	if len(windows) != c.NumNets() {
+		return nil, fmt.Errorf("sta: restore: %d windows for %d nets", len(windows), c.NumNets())
+	}
+	for i := range windows {
+		if !windows[i].finite() {
+			return nil, &NonFiniteError{Net: circuit.NetID(i), Window: windows[i]}
+		}
+	}
+	cols, err := c.Columns()
+	if err != nil {
+		return nil, fmt.Errorf("sta: restore: %w", err)
+	}
+	return &Result{Circuit: c, Windows: windows, order: cols.TopoNets}, nil
+}
+
 // computeWindow evaluates one net's window from its fanin windows —
 // the single propagation step shared by the full and incremental
 // analyses, so both produce bit-identical results. The arithmetic is

@@ -40,6 +40,26 @@ type PWL struct {
 // time.
 var ErrUnordered = errors.New("waveform: breakpoints not sorted by time")
 
+// Restore reconstructs a waveform from the exact breakpoints of a
+// previously constructed one (waveform.PWL.Points), taking ownership
+// of pts. Unlike New it performs no Eps-merging — internal algebra may
+// legitimately produce breakpoints closer than Eps, and a snapshot
+// round trip must reproduce the original bit-for-bit — but it still
+// rejects unordered times and non-finite values, so a decoder fed
+// corrupt bytes can never materialize a waveform the algebra's
+// invariants don't hold for.
+func Restore(pts []Point) (PWL, error) {
+	for i := range pts {
+		if math.IsNaN(pts[i].T) || math.IsInf(pts[i].T, 0) || math.IsNaN(pts[i].V) || math.IsInf(pts[i].V, 0) {
+			return PWL{}, fmt.Errorf("waveform: restore: non-finite point %d (t=%v v=%v)", i, pts[i].T, pts[i].V)
+		}
+		if i > 0 && pts[i].T < pts[i-1].T {
+			return PWL{}, fmt.Errorf("%w: point %d at t=%g after t=%g", ErrUnordered, i, pts[i].T, pts[i-1].T)
+		}
+	}
+	return PWL{pts: pts}, nil
+}
+
 // New constructs a waveform from breakpoints. Points must be sorted by
 // non-decreasing time; points closer than Eps in time are merged
 // (keeping the later value). A waveform with no points is the constant

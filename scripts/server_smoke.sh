@@ -4,7 +4,8 @@
 # against the committed goldens in testdata/golden/ — the wire format
 # carries no timing or cache counters, so the bytes are fully
 # deterministic. Finishes with a short loadgen run against the live
-# server and a graceful SIGTERM drain.
+# server and a graceful SIGTERM drain, asserting the /readyz ladder:
+# 200 while serving, 503 from the moment draining starts.
 #
 # Usage: scripts/server_smoke.sh [-update]   (-update rewrites goldens)
 set -euo pipefail
@@ -15,7 +16,8 @@ WORK=$(mktemp -d)
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/topkd" ./cmd/topkd
-"$WORK/topkd" -addr 127.0.0.1:0 -preload c17=testdata/c17.ckt >"$WORK/topkd.log" 2>&1 &
+"$WORK/topkd" -addr 127.0.0.1:0 -preload c17=testdata/c17.ckt \
+  -drain-wait 1s >"$WORK/topkd.log" 2>&1 &
 PID=$!
 
 ADDR=
@@ -32,6 +34,15 @@ fi
 
 curl -fsS "http://$ADDR/healthz" >/dev/null
 curl -fsS "http://$ADDR/debug/metrics" >/dev/null
+
+# Readiness ladder, serving side: /readyz answers 200 once boot-time
+# preloads are done (the listener is up earlier, answering 503).
+for _ in $(seq 1 100); do
+  READY=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
+  [ "$READY" = 200 ] && break
+  sleep 0.1
+done
+[ "$READY" = 200 ] || { echo "server_smoke: /readyz $READY after boot, want 200" >&2; exit 1; }
 
 check() { # name path body
   local name=$1 path=$2 body=$3
@@ -68,7 +79,24 @@ go run ./cmd/loadgen -addr "$ADDR" -duration 2s -concurrency 2 \
   -o "$WORK/loadgen.json"
 grep -q '"qps"' "$WORK/loadgen.json"
 
+# Readiness ladder, drain side: the -drain-wait window holds /readyz
+# at 503 while requests still complete, so load balancers stop routing
+# before anything is rejected.
 kill -TERM "$PID"
+DRAINED=
+for _ in $(seq 1 20); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz" || true)
+  [ "$code" = 503 ] && { DRAINED=1; break; }
+  sleep 0.05
+done
+[ -n "$DRAINED" ] || { echo "server_smoke: /readyz never went 503 during drain" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' -d '{"op":"addition","k":1}' \
+  "http://$ADDR/v1/models/c17/query" || true)
+[ "$code" = 200 ] || {
+  echo "server_smoke: drain-window query got $code, want 200 during -drain-wait" >&2
+  exit 1
+}
 wait "$PID"
 grep -q 'stopped' "$WORK/topkd.log" || {
   echo "server_smoke: no graceful-stop marker in log" >&2
